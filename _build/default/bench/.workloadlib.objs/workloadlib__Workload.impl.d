@@ -1,0 +1,1 @@
+bench/workload.ml: Array Buffer Database Float List Printf Relkit Schema Trigview Value

@@ -1,0 +1,186 @@
+(* The Table 2 workload generator.
+
+   Hierarchy depth d gives tables t1 (root) … td (leaf); each child table
+   has a foreign key [parent] referencing its parent's primary key, exactly
+   as §6.1 describes.  The XML view nests children inside parents, and the
+   count(…) >= 2 predicate sits on the lowest level.  Triggers are placed on
+   the top-level element with a selection constant on its name attribute;
+   [num_satisfied] of them carry the name of the element the benchmark
+   updates. *)
+
+open Relkit
+
+type params = {
+  depth : int;  (* 2..5 *)
+  leaf_tuples : int;
+  fanout : int;  (* leaf tuples per top-level XML element *)
+  num_triggers : int;
+  num_satisfied : int;
+}
+
+(* Table 2 defaults (bold entries). *)
+let paper_defaults =
+  { depth = 3; leaf_tuples = 128_000; fanout = 64; num_triggers = 10_000; num_satisfied = 20 }
+
+(* Scaled-down defaults for quick runs. *)
+let quick_defaults =
+  { depth = 3; leaf_tuples = 16_000; fanout = 64; num_triggers = 1_000; num_satisfied = 20 }
+
+let table_name i = Printf.sprintf "t%d" i
+let elem_name i = Printf.sprintf "e%d" i
+
+(* per-level child fanout so that the product over the d-1 nesting levels is
+   the requested leaf fanout *)
+let per_level_fanout p =
+  if p.depth <= 1 then 1
+  else
+    let f = float_of_int p.fanout ** (1.0 /. float_of_int (p.depth - 1)) in
+    max 1 (int_of_float (Float.round f))
+
+let schemas p =
+  List.init p.depth (fun i ->
+      let level = i + 1 in
+      let base = [ ("id", Schema.TString) ] in
+      let cols =
+        if level = 1 then base @ [ ("name", Schema.TString) ]
+        else if level = p.depth then
+          base @ [ ("parent", Schema.TString); ("price", Schema.TFloat) ]
+        else base @ [ ("parent", Schema.TString) ]
+      in
+      let fks =
+        if level = 1 then []
+        else
+          [ { Schema.fk_columns = [ "parent" ];
+              fk_table = table_name (level - 1);
+              fk_ref_columns = [ "id" ];
+            }
+          ]
+      in
+      Schema.make ~name:(table_name level) ~columns:cols ~primary_key:[ "id" ]
+        ~foreign_keys:fks ())
+
+(* Deterministic pseudo-random prices so runs are reproducible. *)
+let price_of i = float_of_int (50 + ((i * 7919) mod 300))
+
+type built = {
+  db : Database.t;
+  depth : int;
+  view_text : string;
+  top_names : string array;  (* name attribute of each top-level element *)
+  leaf_ids_of_top : string array array;  (* leaf ids under each top element *)
+}
+
+let build p =
+  let db = Database.create () in
+  List.iter (Database.create_table db) (schemas p);
+  let f = per_level_fanout p in
+  let n_top = max 1 (p.leaf_tuples / p.fanout) in
+  (* level sizes: n_top, n_top*f, ..., leaf level gets the exact remainder *)
+  let sizes =
+    Array.init p.depth (fun i ->
+        if i = 0 then n_top
+        else if i = p.depth - 1 then n_top * int_of_float (float_of_int f ** float_of_int i)
+        else n_top * int_of_float (float_of_int f ** float_of_int i))
+  in
+  (* root *)
+  let top_names = Array.init n_top (fun i -> Printf.sprintf "name%d" i) in
+  Database.load_rows db ~table:(table_name 1)
+    (List.init n_top (fun i ->
+         [| Value.String (Printf.sprintf "t1r%d" i); Value.String top_names.(i) |]));
+  (* intermediate + leaf levels; parents assigned contiguously *)
+  for level = 2 to p.depth do
+    let n = sizes.(level - 1) in
+    let n_parent = sizes.(level - 2) in
+    let rows =
+      List.init n (fun i ->
+          let id = Value.String (Printf.sprintf "t%dr%d" level i) in
+          let parent =
+            Value.String (Printf.sprintf "t%dr%d" (level - 1) (i * n_parent / n))
+          in
+          if level = p.depth then [| id; parent; Value.Float (price_of i) |]
+          else [| id; parent |])
+    in
+    Database.load_rows db ~table:(table_name level) rows;
+    Database.create_index db ~table:(table_name level) ~column:"parent"
+  done;
+  Database.create_index db ~table:(table_name 1) ~column:"name";
+  (* leaves under each top element, for targeted updates *)
+  let n_leaf = sizes.(p.depth - 1) in
+  let leaf_ids_of_top =
+    Array.init n_top (fun t ->
+        let per_top = n_leaf / n_top in
+        Array.init per_top (fun j -> Printf.sprintf "t%dr%d" p.depth ((t * per_top) + j)))
+  in
+  (* the view: nested FLWORs, count predicate on the lowest level *)
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "<doc>{";
+  let rec emit level =
+    let v = Printf.sprintf "x%d" level in
+    if level = 1 then begin
+      Buffer.add_string buf
+        (Printf.sprintf "for $%s in view(\"default\")/%s/row " v (table_name 1));
+      Buffer.add_string buf
+        (Printf.sprintf "let $c2 := view(\"default\")/%s/row[./parent = $%s/id] "
+           (table_name 2) v);
+      if p.depth = 2 then Buffer.add_string buf "where count($c2) >= 2 ";
+      Buffer.add_string buf
+        (Printf.sprintf "return <%s name=\"{$%s/name}\">{" (elem_name 1) v);
+      emit 2;
+      Buffer.add_string buf (Printf.sprintf "}</%s>" (elem_name 1))
+    end
+    else if level = p.depth then
+      Buffer.add_string buf
+        (Printf.sprintf "for $%s in $c%d return <%s><id>{$%s/id}</id><price>{$%s/price}</price></%s>"
+           v level (elem_name level) v v (elem_name level))
+    else begin
+      Buffer.add_string buf (Printf.sprintf "for $%s in $c%d " v level);
+      Buffer.add_string buf
+        (Printf.sprintf "let $c%d := view(\"default\")/%s/row[./parent = $%s/id] "
+           (level + 1) (table_name (level + 1)) v);
+      if level = p.depth - 1 then
+        Buffer.add_string buf (Printf.sprintf "where count($c%d) >= 2 " (level + 1));
+      Buffer.add_string buf
+        (Printf.sprintf "return <%s id=\"{$%s/id}\">{" (elem_name level) v);
+      emit (level + 1);
+      Buffer.add_string buf (Printf.sprintf "}</%s>" (elem_name level))
+    end
+  in
+  emit 1;
+  Buffer.add_string buf "}</doc>";
+  { db; depth = p.depth; view_text = Buffer.contents buf; top_names; leaf_ids_of_top }
+
+(* Install [num_triggers] structurally similar triggers; [num_satisfied] of
+   them match the target element's name, the rest carry distinct other
+   constants. *)
+let install_triggers mgr p ~target_name =
+  (* Every trigger shares the same structure and differs only in its two
+     selection constants.  Satisfied triggers carry the target element's name
+     plus a distinct (vacuously true) count threshold, so each one
+     contributes its own constants-table row — the number of computed
+     (OLD_NODE, NEW_NODE) pairs then grows with the number of satisfied
+     triggers, as in the paper's Figure 24. *)
+  let text i const threshold =
+    Printf.sprintf
+      "CREATE TRIGGER bench%d AFTER UPDATE ON view('doc')/%s WHERE NEW_NODE/@name = '%s' and count(NEW_NODE/%s) >= %d DO record(NEW_NODE)"
+      i (elem_name 1) const (elem_name 2) threshold
+  in
+  for i = 0 to p.num_triggers - 1 do
+    if i < p.num_satisfied then
+      Trigview.Runtime.create_trigger mgr (text i target_name (-i))
+    else
+      Trigview.Runtime.create_trigger mgr (text i (Printf.sprintf "nomatch%d" i) 1)
+  done
+
+(* One benchmark statement: update a leaf price under the target element. *)
+let update_leaf built ~top_index ~step =
+  let leaves = built.leaf_ids_of_top.(top_index) in
+  let leaf = leaves.(step mod Array.length leaves) in
+  let leaf_table = table_name built.depth in
+  ignore
+    (Database.update_pk built.db ~table:leaf_table
+       ~pk:[ Value.String leaf ]
+       ~set:(fun row ->
+         let row = Array.copy row in
+         let slot = Array.length row - 1 in
+         row.(slot) <- Value.add row.(slot) (Value.Float 1.0);
+         row))

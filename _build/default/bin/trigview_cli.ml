@@ -1,0 +1,192 @@
+(* trigview_cli: an interactive shell over the paper's product/vendor catalog.
+
+   Starts with the Figure 2 database and the Figure 3 catalog view published;
+   lets you create XML triggers, run DML, and inspect the materialized view,
+   the generated SQL triggers and the runtime statistics.
+
+     dune exec bin/trigview_cli.exe -- --strategy grouped-agg
+     dune exec bin/trigview_cli.exe -- --script demo.txt *)
+
+open Relkit
+module Runtime = Trigview.Runtime
+
+let catalog_view =
+  {|<catalog>
+    {for $prodname in distinct(view("default")/product/row/pname)
+     let $products := view("default")/product/row[./pname = $prodname]
+     let $vendors := view("default")/vendor/row[./pid = $products/pid]
+     where count($vendors) >= 2
+     return <product name="{$prodname}">
+       {for $vendor in $vendors return <vendor>{$vendor/*}</vendor>}
+     </product>}
+  </catalog>|}
+
+let make_db () =
+  let db = Database.create () in
+  Database.create_table db
+    (Schema.make ~name:"product"
+       ~columns:[ ("pid", Schema.TString); ("pname", Schema.TString); ("mfr", Schema.TString) ]
+       ~primary_key:[ "pid" ] ());
+  Database.create_table db
+    (Schema.make ~name:"vendor"
+       ~columns:[ ("vid", Schema.TString); ("pid", Schema.TString); ("price", Schema.TFloat) ]
+       ~primary_key:[ "vid"; "pid" ]
+       ~foreign_keys:
+         [ { Schema.fk_columns = [ "pid" ]; fk_table = "product"; fk_ref_columns = [ "pid" ] } ]
+       ());
+  Database.create_index db ~table:"vendor" ~column:"pid";
+  Database.create_index db ~table:"product" ~column:"pname";
+  Database.insert_rows db ~table:"product"
+    [ [| Value.String "P1"; Value.String "CRT 15"; Value.String "Samsung" |];
+      [| Value.String "P2"; Value.String "LCD 19"; Value.String "Samsung" |];
+      [| Value.String "P3"; Value.String "CRT 15"; Value.String "Viewsonic" |];
+    ];
+  Database.insert_rows db ~table:"vendor"
+    [ [| Value.String "Amazon"; Value.String "P1"; Value.Float 100.0 |];
+      [| Value.String "Bestbuy"; Value.String "P1"; Value.Float 120.0 |];
+      [| Value.String "Circuitcity"; Value.String "P1"; Value.Float 150.0 |];
+      [| Value.String "Buy.com"; Value.String "P2"; Value.Float 200.0 |];
+      [| Value.String "Bestbuy"; Value.String "P2"; Value.Float 180.0 |];
+      [| Value.String "Bestbuy"; Value.String "P3"; Value.Float 120.0 |];
+      [| Value.String "Circuitcity"; Value.String "P3"; Value.Float 140.0 |];
+    ];
+  db
+
+let help_text =
+  {|commands:
+  help                        this message
+  SELECT/INSERT/UPDATE/... .  run a SQL statement against the database
+  view                        print the materialized catalog view
+  sql                         show the generated SQL triggers
+  triggers                    list installed XML triggers
+  trigger CREATE TRIGGER ...  install an XML trigger (action: notify)
+  drop NAME                   drop an XML trigger
+  price VID PID AMOUNT        update a vendor's price
+  add VID PID AMOUNT          add a vendor offer
+  remove VID PID              remove a vendor offer
+  product PID NAME MFR        add a product
+  stats                       runtime statistics
+  quit                        exit|}
+
+let run strategy script =
+  let db = make_db () in
+  let mgr = Runtime.create ~strategy db in
+  Runtime.define_view mgr ~name:"catalog" catalog_view;
+  Runtime.register_action mgr ~name:"notify" (fun fi ->
+      Printf.printf "! %s fired (%s)\n" fi.Runtime.fi_trigger
+        (Database.string_of_event fi.Runtime.fi_event);
+      Option.iter
+        (fun n -> Printf.printf "  OLD: %s\n" (Xmlkit.Xml.to_string n))
+        fi.Runtime.fi_old;
+      Option.iter
+        (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
+        fi.Runtime.fi_new);
+  let schema_of name = Table.schema (Database.get_table db name) in
+  let view = Xquery.Compile.view_of_string ~schema_of ~name:"catalog" catalog_view in
+  let interactive = script = None in
+  let input =
+    match script with Some path -> open_in path | None -> stdin
+  in
+  Printf.printf
+    "trigview shell — strategy %s; the Figure 2 database and Figure 3 catalog view are loaded.\n\
+     Type 'help' for commands.\n"
+    (Runtime.strategy_to_string strategy);
+  let rec loop () =
+    if interactive then (print_string "> "; flush stdout);
+    match input_line input with
+    | exception End_of_file -> ()
+    | line ->
+      let line = String.trim line in
+      (try
+         match String.split_on_char ' ' line with
+         | [ "" ] -> ()
+         | [ "help" ] -> print_endline help_text
+         | [ "quit" ] | [ "exit" ] -> raise Exit
+         | [ "view" ] ->
+           print_string
+             (Xmlkit.Xml.to_pretty_string
+                (Xquery.Compile.materialize (Ra_eval.ctx_of_db db) view))
+         | [ "sql" ] ->
+           List.iter
+             (fun (name, sql) -> Printf.printf "---- %s ----\n%s\n" name sql)
+             (Runtime.generated_sql mgr)
+         | [ "triggers" ] ->
+           List.iter print_endline (Runtime.trigger_names mgr);
+           Printf.printf "(%d SQL triggers underneath)\n" (Runtime.sql_trigger_count mgr)
+         | "trigger" :: _ ->
+           let text = String.sub line 8 (String.length line - 8) in
+           Runtime.create_trigger mgr text;
+           Printf.printf "installed; %d SQL triggers now registered\n"
+             (Runtime.sql_trigger_count mgr)
+         | [ "drop"; name ] -> Runtime.drop_trigger mgr name
+         | [ "price"; vid; pid; amount ] ->
+           let changed =
+             Database.update_pk db ~table:"vendor"
+               ~pk:[ Value.String vid; Value.String pid ]
+               ~set:(fun row -> [| row.(0); row.(1); Value.Float (float_of_string amount) |])
+           in
+           if not changed then Printf.printf "no such vendor offer\n"
+         | [ "add"; vid; pid; amount ] ->
+           Database.insert_rows db ~table:"vendor"
+             [ [| Value.String vid; Value.String pid; Value.Float (float_of_string amount) |] ]
+         | [ "remove"; vid; pid ] ->
+           if not (Database.delete_pk db ~table:"vendor" ~pk:[ Value.String vid; Value.String pid ])
+           then Printf.printf "no such vendor offer\n"
+         | "product" :: pid :: name :: mfr ->
+           Database.insert_rows db ~table:"product"
+             [ [| Value.String pid; Value.String name; Value.String (String.concat " " mfr) |] ]
+         | [ "stats" ] ->
+           let s = Runtime.stats mgr in
+           Printf.printf "SQL firings %d, pairs computed %d, actions dispatched %d\n"
+             s.Runtime.sql_firings s.Runtime.rows_computed s.Runtime.actions_dispatched
+         | first :: _
+           when List.mem
+                  (String.uppercase_ascii first)
+                  [ "SELECT"; "INSERT"; "UPDATE"; "DELETE"; "CREATE" ] -> (
+           match Sql.exec db line with
+           | Sql.Rows rel ->
+             Printf.printf "%s\n" (String.concat " | " (Array.to_list rel.Ra_eval.cols));
+             List.iter
+               (fun row ->
+                 Printf.printf "%s\n"
+                   (String.concat " | "
+                      (Array.to_list (Array.map Value.to_string row))))
+               rel.Ra_eval.rows;
+             Printf.printf "(%d rows)\n" (List.length rel.Ra_eval.rows)
+           | Sql.Affected n -> Printf.printf "%d row(s) affected\n" n
+           | Sql.Done -> Printf.printf "ok\n")
+         | _ -> Printf.printf "unrecognized command (try 'help')\n"
+       with
+      | Exit -> raise Exit
+      | Runtime.Error msg -> Printf.printf "error: %s\n" msg
+      | Sql.Error msg -> Printf.printf "sql error: %s\n" msg
+      | Invalid_argument msg -> Printf.printf "error: %s\n" msg
+      | Failure msg -> Printf.printf "error: %s\n" msg);
+      loop ()
+  in
+  (try loop () with Exit -> ());
+  if not interactive then close_in input
+
+open Cmdliner
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum
+      [ ("ungrouped", Runtime.Ungrouped); ("grouped", Runtime.Grouped);
+        ("grouped-agg", Runtime.Grouped_agg); ("materialized", Runtime.Materialized);
+      ]
+  in
+  Arg.(
+    value
+    & opt strategy_conv Runtime.Grouped_agg
+    & info [ "strategy" ] ~doc:"Trigger processing strategy.")
+
+let script_arg =
+  Arg.(value & opt (some file) None & info [ "script" ] ~doc:"Read commands from $(docv).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
+    Term.(const run $ strategy_arg $ script_arg)
+
+let () = exit (Cmd.eval cmd)

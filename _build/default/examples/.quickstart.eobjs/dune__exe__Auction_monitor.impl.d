@@ -1,0 +1,1 @@
+examples/auction_monitor.ml: Array Database List Option Printf Relkit Schema Trigview Value Xmlkit

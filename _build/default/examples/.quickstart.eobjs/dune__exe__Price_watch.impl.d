@@ -1,0 +1,1 @@
+examples/price_watch.ml: Array Database List Option Printf Relkit Schema Trigview Value Xmlkit

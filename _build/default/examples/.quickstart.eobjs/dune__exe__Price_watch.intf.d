@@ -1,0 +1,1 @@
+examples/price_watch.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Database List Option Printf Ra_eval Relkit Schema String Table Trigview Value Xmlkit Xquery

@@ -1,0 +1,176 @@
+(* Auction monitor: a deep (4-level) hierarchy — site / category / auction /
+   bid — exercising nested views, aggregate conditions, a min() view with the
+   aggregate-only comparison optimization (Appendix F.4), and all three XML
+   events at an inner level of the hierarchy.
+
+     dune exec examples/auction_monitor.exe *)
+
+open Relkit
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let db = Database.create () in
+  Database.create_table db
+    (Schema.make ~name:"category"
+       ~columns:[ ("cid", Schema.TString); ("cname", Schema.TString) ]
+       ~primary_key:[ "cid" ] ());
+  Database.create_table db
+    (Schema.make ~name:"auction"
+       ~columns:
+         [ ("aid", Schema.TString); ("cid", Schema.TString); ("title", Schema.TString) ]
+       ~primary_key:[ "aid" ]
+       ~foreign_keys:
+         [ { Schema.fk_columns = [ "cid" ]; fk_table = "category"; fk_ref_columns = [ "cid" ] } ]
+       ());
+  Database.create_table db
+    (Schema.make ~name:"bid"
+       ~columns:
+         [ ("bid_id", Schema.TString); ("aid", Schema.TString); ("bidder", Schema.TString);
+           ("amount", Schema.TFloat);
+         ]
+       ~primary_key:[ "bid_id" ]
+       ~foreign_keys:
+         [ { Schema.fk_columns = [ "aid" ]; fk_table = "auction"; fk_ref_columns = [ "aid" ] } ]
+       ());
+  Database.create_index db ~table:"auction" ~column:"cid";
+  Database.create_index db ~table:"bid" ~column:"aid";
+  Database.insert_rows db ~table:"category"
+    [ [| Value.String "C1"; Value.String "paintings" |];
+      [| Value.String "C2"; Value.String "clocks" |];
+    ];
+  Database.insert_rows db ~table:"auction"
+    [ [| Value.String "A1"; Value.String "C1"; Value.String "Sunset over fields" |];
+      [| Value.String "A2"; Value.String "C1"; Value.String "Portrait study" |];
+      [| Value.String "A3"; Value.String "C2"; Value.String "Longcase clock" |];
+    ];
+  Database.insert_rows db ~table:"bid"
+    [ [| Value.String "B1"; Value.String "A1"; Value.String "ann"; Value.Float 120.0 |];
+      [| Value.String "B2"; Value.String "A1"; Value.String "ben"; Value.Float 140.0 |];
+      [| Value.String "B3"; Value.String "A2"; Value.String "cat"; Value.Float 80.0 |];
+      [| Value.String "B4"; Value.String "A3"; Value.String "dan"; Value.Float 300.0 |];
+      [| Value.String "B5"; Value.String "A3"; Value.String "eve"; Value.Float 320.0 |];
+    ];
+
+  let mgr = Trigview.Runtime.create ~strategy:Trigview.Runtime.Grouped_agg db in
+  (* the site view: categories > auctions > bids; an auction is "live" once
+     it has at least one bid *)
+  Trigview.Runtime.define_view mgr ~name:"site"
+    {|<site>
+      {for $c in view("default")/category/row
+       let $as := view("default")/auction/row[./cid = $c/cid]
+       return <category name="{$c/cname}">
+         {for $a in $as
+          let $bs := view("default")/bid/row[./aid = $a/aid]
+          where count($bs) >= 1
+          return <auction id="{$a/aid}"><title>{$a/title}</title>
+            {for $b in $bs
+             return <bid><bidder>{$b/bidder}</bidder><amount>{$b/amount}</amount></bid>}
+          </auction>}
+       </category>}
+    </site>|};
+
+  let announce name fi =
+    let describe node =
+      match Xmlkit.Xml.tag node with
+      | Some "auction" ->
+        Printf.sprintf "auction %s (%d bids)"
+          (Option.value ~default:"?" (Xmlkit.Xml.attr node "id"))
+          (List.length (Xmlkit.Xml.children_named node "bid"))
+      | Some "category" ->
+        Printf.sprintf "category %s"
+          (Option.value ~default:"?" (Xmlkit.Xml.attr node "name"))
+      | _ -> Xmlkit.Xml.to_string node
+    in
+    Printf.printf "  [%s] %s: %s\n" name
+      (Database.string_of_event fi.Trigview.Runtime.fi_event)
+      (match fi.Trigview.Runtime.fi_new, fi.Trigview.Runtime.fi_old with
+      | Some n, _ -> describe n
+      | None, Some o -> describe o ^ " (removed)"
+      | None, None -> "?")
+  in
+  List.iter
+    (fun a -> Trigview.Runtime.register_action mgr ~name:a (announce a))
+    [ "watcher"; "hot"; "closer"; "seller" ];
+
+  (* triggers on an inner level of the hierarchy *)
+  List.iter
+    (Trigview.Runtime.create_trigger mgr)
+    [ (* any change to a live auction (new bids are updates of the node) *)
+      "CREATE TRIGGER w1 AFTER UPDATE ON view('site')//auction DO watcher(NEW_NODE)";
+      (* auctions that get hot: five or more bids *)
+      "CREATE TRIGGER h1 AFTER UPDATE ON view('site')//auction WHERE count(NEW_NODE/bid) >= 5 DO hot(NEW_NODE)";
+      (* an auction going live / dying *)
+      "CREATE TRIGGER c1 AFTER INSERT ON view('site')//auction DO closer(NEW_NODE)";
+      "CREATE TRIGGER c2 AFTER DELETE ON view('site')//auction DO closer(OLD_NODE)";
+      (* category-level monitoring *)
+      "CREATE TRIGGER s1 AFTER UPDATE ON view('site')/category[@name = 'paintings'] DO seller(NEW_NODE)";
+    ];
+
+  section "A new bid lands on A1 (auction + category updates)";
+  Database.insert_rows db ~table:"bid"
+    [ [| Value.String "B6"; Value.String "A1"; Value.String "fay"; Value.Float 150.0 |] ];
+
+  section "A bidding war makes A1 hot";
+  Database.insert_rows db ~table:"bid"
+    [ [| Value.String "B7"; Value.String "A1"; Value.String "gus"; Value.Float 160.0 |];
+      [| Value.String "B8"; Value.String "A1"; Value.String "ann"; Value.Float 175.0 |];
+    ];
+
+  section "A brand-new auction goes live with its first bid";
+  Database.insert_rows db ~table:"auction"
+    [ [| Value.String "A4"; Value.String "C2"; Value.String "Carriage clock" |] ];
+  Printf.printf "(no bids yet: the auction is not in the view)\n";
+  Database.insert_rows db ~table:"bid"
+    [ [| Value.String "B9"; Value.String "A4"; Value.String "ben"; Value.Float 60.0 |] ];
+
+  section "All bids on A2 are retracted: the auction leaves the view";
+  ignore
+    (Database.delete_rows db ~table:"bid" ~where:(fun row ->
+         Value.equal row.(1) (Value.String "A2")));
+
+  section "A no-op repricing statement is suppressed end to end";
+  ignore
+    (Database.update_rows db ~table:"bid" ~where:(fun _ -> true) ~set:(fun r -> Array.copy r));
+  Printf.printf "(nothing fired)\n";
+
+  section "Aggregate-only views: best bid per category (Appendix F.4)";
+  Trigview.Runtime.define_view mgr ~name:"best"
+    {|<best>
+      {for $c in view("default")/category/row
+       let $as := view("default")/auction/row[./cid = $c/cid]
+       let $bs := view("default")/bid/row[./aid = $as/aid]
+       where count($bs) >= 1
+       return <category name="{$c/cname}"><top>{max($bs/amount)}</top></category>}
+    </best>|};
+  Trigview.Runtime.register_action mgr ~name:"records" (fun fi ->
+      match fi.Trigview.Runtime.fi_new with
+      | Some n ->
+        Printf.printf "  [records] new top bid in %s: %s\n"
+          (Option.value ~default:"?" (Xmlkit.Xml.attr n "name"))
+          (Xmlkit.Xml.text_content n)
+      | None -> ());
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER r1 AFTER UPDATE ON view('best')/category DO records(NEW_NODE)";
+  Printf.printf "a bid below the maximum does not fire:\n";
+  Database.insert_rows db ~table:"bid"
+    [ [| Value.String "B10"; Value.String "A3"; Value.String "dan"; Value.Float 310.0 |] ];
+  Printf.printf "a record-setting bid does:\n";
+  Database.insert_rows db ~table:"bid"
+    [ [| Value.String "B11"; Value.String "A3"; Value.String "eve"; Value.Float 400.0 |] ];
+
+  section "Incrementally maintained view copy (the paper's future work, 8)";
+  let maintained = Trigview.Maintain.attach mgr ~path:"view('site')//auction" in
+  Printf.printf "maintaining %d auction nodes incrementally\n"
+    (List.length (Trigview.Maintain.current maintained));
+  Database.insert_rows db ~table:"bid"
+    [ [| Value.String "B12"; Value.String "A4"; Value.String "gus"; Value.Float 75.0 |] ];
+  Printf.printf "after one more bid: %d nodes, %d deltas applied (no recomputation)\n"
+    (List.length (Trigview.Maintain.current maintained))
+    (Trigview.Maintain.deltas_applied maintained);
+
+  section "Stats";
+  let s = Trigview.Runtime.stats mgr in
+  Printf.printf "SQL firings %d, pairs computed %d, actions dispatched %d\n"
+    s.Trigview.Runtime.sql_firings s.Trigview.Runtime.rows_computed
+    s.Trigview.Runtime.actions_dispatched

@@ -1,0 +1,133 @@
+(* Price watch: the web-service scenario from the paper's introduction.
+
+   A supplier publishes its product catalog as an XML view; buyers place
+   triggers instead of polling:
+   - price-drop alerts on specific products (UPDATE triggers with conditions
+     over NEW_NODE, grouped across buyers);
+   - new-offer alerts (UPDATE fired when a vendor joins a product);
+   - availability alerts (INSERT: a product appears in the published view
+     once at least two vendors carry it);
+   - discontinuation alerts (DELETE: it drops below the threshold).
+
+     dune exec examples/price_watch.exe *)
+
+open Relkit
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let catalog_view =
+  {|<catalog>
+    {for $prodname in distinct(view("default")/product/row/pname)
+     let $products := view("default")/product/row[./pname = $prodname]
+     let $vendors := view("default")/vendor/row[./pid = $products/pid]
+     where count($vendors) >= 2
+     return <product name="{$prodname}">
+       {for $vendor in $vendors return <vendor>{$vendor/*}</vendor>}
+     </product>}
+  </catalog>|}
+
+let () =
+  let db = Database.create () in
+  Database.create_table db
+    (Schema.make ~name:"product"
+       ~columns:[ ("pid", Schema.TString); ("pname", Schema.TString); ("mfr", Schema.TString) ]
+       ~primary_key:[ "pid" ] ());
+  Database.create_table db
+    (Schema.make ~name:"vendor"
+       ~columns:[ ("vid", Schema.TString); ("pid", Schema.TString); ("price", Schema.TFloat) ]
+       ~primary_key:[ "vid"; "pid" ]
+       ~foreign_keys:
+         [ { Schema.fk_columns = [ "pid" ]; fk_table = "product"; fk_ref_columns = [ "pid" ] } ]
+       ());
+  Database.create_index db ~table:"vendor" ~column:"pid";
+  Database.create_index db ~table:"product" ~column:"pname";
+  (* a slightly larger catalog *)
+  let products =
+    [ ("P1", "CRT 15", "Samsung"); ("P2", "LCD 19", "Samsung"); ("P3", "CRT 17", "Viewsonic");
+      ("P4", "OLED 27", "LG"); ("P5", "Plasma 42", "Panasonic");
+    ]
+  in
+  List.iter
+    (fun (pid, pname, mfr) ->
+      Database.insert_rows db ~table:"product"
+        [ [| Value.String pid; Value.String pname; Value.String mfr |] ])
+    products;
+  List.iter
+    (fun (vid, pid, price) ->
+      Database.insert_rows db ~table:"vendor"
+        [ [| Value.String vid; Value.String pid; Value.Float price |] ])
+    [ ("Amazon", "P1", 100.0); ("Bestbuy", "P1", 120.0);
+      ("Amazon", "P2", 210.0); ("Buy.com", "P2", 200.0); ("Bestbuy", "P2", 180.0);
+      ("Newegg", "P3", 160.0); ("Amazon", "P3", 170.0);
+      ("Amazon", "P4", 890.0);  (* only one vendor: not yet in the view *)
+      ("Amazon", "P5", 1400.0); ("Bestbuy", "P5", 1350.0);
+    ];
+
+  let mgr = Trigview.Runtime.create ~strategy:Trigview.Runtime.Grouped db in
+  Trigview.Runtime.define_view mgr ~name:"catalog" catalog_view;
+
+  (* buyers' mailboxes *)
+  let deliver buyer fi =
+    let name node = Option.value ~default:"?" (Xmlkit.Xml.attr node "name") in
+    match fi.Trigview.Runtime.fi_event, fi.Trigview.Runtime.fi_new, fi.Trigview.Runtime.fi_old with
+    | Database.Insert, Some n, _ ->
+      Printf.printf "  [%s] now available: %s\n" buyer (name n)
+    | Database.Delete, _, Some o ->
+      Printf.printf "  [%s] discontinued: %s\n" buyer (name o)
+    | _, Some n, _ ->
+      let best =
+        List.fold_left min infinity
+          (List.filter_map float_of_string_opt
+             (Xmlkit.Xpath.select_strings n "/vendor/price"))
+      in
+      Printf.printf "  [%s] %s changed; best offer now $%.2f\n" buyer (name n) best
+    | _ -> ()
+  in
+  List.iter
+    (fun buyer -> Trigview.Runtime.register_action mgr ~name:buyer (deliver buyer))
+    [ "alice"; "bob"; "carol" ];
+
+  (* Structurally similar price-drop triggers from different buyers: one
+     shared SQL trigger, one constants-table row per watched product. *)
+  List.iter
+    (Trigview.Runtime.create_trigger mgr)
+    [ "CREATE TRIGGER alice_crt AFTER UPDATE ON view('catalog')/product WHERE NEW_NODE/@name = 'CRT 15' DO alice(NEW_NODE)";
+      "CREATE TRIGGER bob_crt AFTER UPDATE ON view('catalog')/product WHERE NEW_NODE/@name = 'CRT 15' DO bob(NEW_NODE)";
+      "CREATE TRIGGER bob_lcd AFTER UPDATE ON view('catalog')/product WHERE NEW_NODE/@name = 'LCD 19' DO bob(NEW_NODE)";
+      (* a bargain hunter: any product that gains a sub-$150 offer *)
+      "CREATE TRIGGER carol_deals AFTER UPDATE ON view('catalog')/product WHERE NEW_NODE/vendor/price < 150 DO carol(NEW_NODE)";
+      (* availability / discontinuation *)
+      "CREATE TRIGGER alice_avail AFTER INSERT ON view('catalog')/product DO alice(NEW_NODE)";
+      "CREATE TRIGGER alice_gone AFTER DELETE ON view('catalog')/product DO alice(OLD_NODE)";
+    ];
+  Printf.printf "%d XML triggers -> %d SQL triggers (GROUPED)\n"
+    (List.length (Trigview.Runtime.trigger_names mgr))
+    (Trigview.Runtime.sql_trigger_count mgr);
+
+  section "Amazon drops the CRT 15 price to $89";
+  ignore
+    (Database.update_pk db ~table:"vendor"
+       ~pk:[ Value.String "Amazon"; Value.String "P1" ]
+       ~set:(fun row -> [| row.(0); row.(1); Value.Float 89.0 |]));
+
+  section "A second vendor starts carrying the OLED 27";
+  Database.insert_rows db ~table:"vendor"
+    [ [| Value.String "Bestbuy"; Value.String "P4"; Value.Float 870.0 |] ];
+
+  section "Buy.com stops carrying the LCD 19 (still two vendors left)";
+  ignore (Database.delete_pk db ~table:"vendor" ~pk:[ Value.String "Buy.com"; Value.String "P2" ]);
+
+  section "Bestbuy stops carrying the Plasma 42 (drops out of the catalog)";
+  ignore (Database.delete_pk db ~table:"vendor" ~pk:[ Value.String "Bestbuy"; Value.String "P5" ]);
+
+  section "A statement touching many rows fires each trigger once per node";
+  ignore
+    (Database.update_rows db ~table:"vendor"
+       ~where:(fun row -> Value.equal row.(1) (Value.String "P2"))
+       ~set:(fun row -> [| row.(0); row.(1); Value.sub row.(2) (Value.Float 40.0) |]));
+
+  section "Stats";
+  let s = Trigview.Runtime.stats mgr in
+  Printf.printf "SQL firings %d, pairs computed %d, actions dispatched %d\n"
+    s.Trigview.Runtime.sql_firings s.Trigview.Runtime.rows_computed
+    s.Trigview.Runtime.actions_dispatched

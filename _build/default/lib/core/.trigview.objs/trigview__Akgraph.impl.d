@@ -1,0 +1,1 @@
+lib/core/akgraph.ml: List Option Printf Relkit Xqgm

@@ -1,0 +1,1 @@
+lib/core/akgraph.mli: Relkit Xqgm

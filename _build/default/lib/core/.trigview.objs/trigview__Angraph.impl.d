@@ -1,0 +1,1 @@
+lib/core/angraph.ml: Akgraph List Option Relkit String Xqgm

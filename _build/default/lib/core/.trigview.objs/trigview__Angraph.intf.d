@@ -1,0 +1,1 @@
+lib/core/angraph.mli: Relkit Xqgm

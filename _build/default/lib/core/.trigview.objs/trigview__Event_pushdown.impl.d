@@ -1,0 +1,1 @@
+lib/core/event_pushdown.ml: Format Hashtbl List Relkit Set String Xqgm

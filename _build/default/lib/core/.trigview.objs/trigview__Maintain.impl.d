@@ -1,0 +1,1 @@
+lib/core/maintain.ml: Hashtbl List Printf Runtime Xmlkit

@@ -1,0 +1,1 @@
+lib/core/pushdown.ml: Array Buffer Hashtbl List Printf Relkit String Xmlkit Xqgm

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Angraph Array Event_pushdown Float Hashtbl Lazy List Option Printf Pushdown Relkit String Trigger Xmlkit Xqgm Xquery

@@ -1,0 +1,30 @@
+(** CreateAKGraph (Figure 8 of the paper): build the affected-key graph.
+
+    Given a view graph [G] (or its pre-state version [G_old]), the updated
+    base table [T], and a transition-table binding (Δ or ∇), produce an
+    operator [O'] such that joining [G]'s top operator with [O'] on the
+    returned key columns yields exactly the output tuples affected by the
+    relational update.  This is the piece that stays correct under nested
+    predicates (§4.1's Δvendor/count example): GroupBy operators join their
+    *full* input with the affected keys before re-deriving group keys,
+    instead of evaluating the view over transition tuples alone.
+
+    The returned key may be a subset of the operator's canonical key: when
+    only one side of a join can be affected, only that side's key columns are
+    needed (and joining on them is exactly the paper's invariant). *)
+
+(** [(graph column, affected-key column)] pairs: the AK graph names each key
+    column ["ak$" ^ original]. *)
+type key = (string * string) list
+
+(** @raise Xqgm.Keys.Not_trigger_specifiable if a needed key cannot be
+    derived.  Returns [None] when the subgraph cannot be affected by the
+    update (the paper's ∅). *)
+val create :
+  schema_of:(string -> Relkit.Schema.t) ->
+  table:string ->
+  dt:Xqgm.Op.binding ->
+  Xqgm.Op.t ->
+  (Xqgm.Op.t * key) option
+
+val ak_col : string -> string

@@ -1,0 +1,240 @@
+module Op = Xqgm.Op
+module Expr = Xqgm.Expr
+module Value = Relkit.Value
+module Database = Relkit.Database
+
+type monitored = {
+  graph : Xqgm.Op.t;
+  node_col : string;
+  key : string list;
+}
+
+type check =
+  | No_check
+  | Compare_cols of string list
+  | Compare_nodes
+
+type nested = {
+  an_child : Xqgm.Op.t;
+  an_link : string list;
+  an_side : [ `Old | `New ];
+  an_inner : Xqgm.Expr.t;
+  an_cmp : Relkit.Ra.binop;
+  an_rhs : Xqgm.Expr.t;
+}
+
+type t = {
+  graph : Xqgm.Op.t;
+  key : string list;
+  old_col : string;
+  new_col : string;
+}
+
+let old_pfx c = "old$" ^ c
+let new_pfx c = "new$" ^ c
+
+let expose g cols =
+  match g.Op.node with
+  | Op.Project { input; defs } ->
+    let missing =
+      List.filter (fun c -> not (List.exists (fun (o, _) -> o = c) defs)) cols
+    in
+    if missing = [] then g
+    else Op.project ~defs:(defs @ List.map (fun c -> (c, Expr.Col c)) missing) input
+  | _ ->
+    invalid_arg "Angraph.expose: the path graph's top operator is not a projection"
+
+(* Columns a condition references through the old$/new$ prefixes. *)
+let cond_side_cols cond =
+  List.filter_map
+    (fun c ->
+      let strip p = if String.length c > String.length p && String.sub c 0 (String.length p) = p then Some (String.sub c (String.length p) (String.length c - String.length p)) else None in
+      match strip "old$" with
+      | Some base -> Some base
+      | None -> strip "new$")
+    (Expr.cols cond)
+
+let create ~schema_of ~event ~table ~check ?cond ?consts ?nested (monitored : monitored) =
+  (* Expose whatever the comparison and the condition need as plain columns
+     of the path graph. *)
+  let extra =
+    (match check with Compare_cols cs -> cs | No_check | Compare_nodes -> [])
+    @ (match cond with Some c -> cond_side_cols c | None -> [])
+    @ (match nested with Some ns -> ns.an_link | None -> [])
+  in
+  let g = if extra = [] then monitored.graph else expose monitored.graph extra in
+  let gold = Op.to_old ~table g in
+  let akd = Akgraph.create ~schema_of ~table ~dt:Op.Delta g in
+  let akn = Akgraph.create ~schema_of ~table ~dt:Op.Nabla gold in
+  match akd, akn with
+  | None, None -> None
+  | _ ->
+    let key_pairs =
+      match akd, akn with
+      | Some (_, k), _ | _, Some (_, k) -> k
+      | None, None -> assert false
+    in
+    let ak_cols = List.map snd key_pairs in
+    let parts =
+      List.filter_map
+        (Option.map (fun (ak, (k : Akgraph.key)) ->
+             (* project down to exactly the key columns, in key_pairs order *)
+             ignore k;
+             Op.project ~defs:(List.map (fun c -> (c, Expr.Col c)) ak_cols) ak))
+        [ akd; akn ]
+    in
+    let ou = Op.union ~cols:ak_cols (List.map (fun p -> (p, ak_cols)) parts) in
+    let g_cols = Op.cols g in
+    let gnew = Op.project ~defs:(List.map (fun c -> (new_pfx c, Expr.Col c)) g_cols) g in
+    let gold_r =
+      Op.project ~defs:(List.map (fun c -> (old_pfx c, Expr.Col c)) g_cols) gold
+    in
+    let join_back side_pfx side =
+      let pred =
+        Expr.and_
+          (List.map (fun (k, akc) -> Expr.eq (Expr.Col akc) (Expr.Col (side_pfx k))) key_pairs)
+      in
+      let j = Op.join ~pred ou side in
+      (* drop the ak columns *)
+      Op.project ~defs:(List.map (fun c -> (side_pfx c, Expr.Col (side_pfx c))) g_cols) j
+    in
+    let onew = join_back new_pfx gnew in
+    let oold = join_back old_pfx gold_r in
+    let full_key_pred =
+      Expr.and_
+        (List.map (fun k -> Expr.eq (Expr.Col (new_pfx k)) (Expr.Col (old_pfx k)))
+           monitored.key)
+    in
+    let apply_cond side_subst body =
+      let mapped_cond =
+        Option.map
+          (fun c ->
+            side_subst
+              (Expr.map_cols
+                 (fun col ->
+                   if col = "old_node" then old_pfx monitored.node_col
+                   else if col = "new_node" then new_pfx monitored.node_col
+                   else col)
+                 c))
+          cond
+      in
+      let body =
+        match consts with
+        | Some consts_op ->
+          (* Trigger grouping: the condition becomes the predicate of the join
+             with the constants table (Figure 14 — "converting select to
+             join"), so an index on the constants columns turns the per-update
+             cost into a probe regardless of the group size. *)
+          let pred =
+            match mapped_cond with Some c -> c | None -> Expr.Const (Value.Bool true)
+          in
+          Op.join ~pred body consts_op
+        | None -> (
+          match mapped_cond with Some c -> Op.select ~pred:c body | None -> body)
+      in
+      (* §5.1's nested condition: a per-(node, constants) count subquery,
+         left-outer joined on the link columns and the constants key.  The
+         constants key among the grouping columns is exactly the
+         decorrelation move that keeps nested selections correct
+         (Figure 15). *)
+      match nested, consts with
+      | None, _ -> body
+      | Some _, None ->
+        invalid_arg "Angraph: nested conditions require a constants operator"
+      | Some ns, Some consts_op ->
+        let consts_cols = Op.cols consts_op in
+        let consts2 =
+          match consts_op.Op.node with
+          | Op.Table { table = tname; cols; _ } ->
+            Op.table tname (List.map (fun (src, out) -> (src, "nc$" ^ out)) cols)
+          | _ -> invalid_arg "Angraph: the constants operator must be a table scan"
+        in
+        let inner =
+          Expr.map_cols
+            (fun c -> if List.mem c consts_cols then "nc$" ^ c else c)
+            ns.an_inner
+        in
+        let joined = Op.join ~pred:inner ns.an_child consts2 in
+        let counted =
+          Op.group_by
+            ~keys:(ns.an_link @ [ "nc$cid" ])
+            ~aggs:[ ("nc$cnt", Expr.Count) ]
+            joined
+        in
+        let pfx = match ns.an_side with `Old -> old_pfx | `New -> new_pfx in
+        let link_pred =
+          Expr.and_
+            (List.map (fun l -> Expr.eq (Expr.Col (pfx l)) (Expr.Col l)) ns.an_link
+            @ [ Expr.eq (Expr.Col "cid") (Expr.Col "nc$cid") ])
+        in
+        let paired = Op.join ~kind:Op.Left_outer ~pred:link_pred body counted in
+        let cnt = Expr.Col "nc$cnt" in
+        (* a node with no qualifying children has no group: count it as 0 *)
+        let pass =
+          Expr.Binop
+            ( Relkit.Ra.Or,
+              Expr.Binop
+                ( Relkit.Ra.And,
+                  Expr.Not (Expr.Is_null cnt),
+                  Expr.Binop (ns.an_cmp, cnt, ns.an_rhs) ),
+              Expr.Binop
+                ( Relkit.Ra.And,
+                  Expr.Is_null cnt,
+                  Expr.Binop (ns.an_cmp, Expr.Const (Value.Int 0), ns.an_rhs) ) )
+        in
+        Op.select ~pred:pass paired
+    in
+    let final ~key_side body =
+      Op.project
+        ~defs:
+          (List.map (fun k -> (k, Expr.Col (key_side k))) monitored.key
+          @ (match consts with
+            | Some _ -> [ ("trig_ids", Expr.Col "trig_ids") ]
+            | None -> [])
+          @ [ ( "old_node",
+                match event with
+                | Database.Insert -> Expr.Const Value.Null
+                | _ -> Expr.Col (old_pfx monitored.node_col) );
+              ( "new_node",
+                match event with
+                | Database.Delete -> Expr.Const Value.Null
+                | _ -> Expr.Col (new_pfx monitored.node_col) );
+            ])
+        body
+    in
+    let graph =
+      match event with
+      | Database.Update ->
+        let paired = Op.join ~pred:full_key_pred onew oold in
+        let checked =
+          match check with
+          | No_check -> paired
+          | Compare_cols cs ->
+            let same c =
+              Expr.Binop
+                ( Relkit.Ra.Or,
+                  Expr.eq (Expr.Col (new_pfx c)) (Expr.Col (old_pfx c)),
+                  Expr.Binop
+                    ( Relkit.Ra.And,
+                      Expr.Is_null (Expr.Col (new_pfx c)),
+                      Expr.Is_null (Expr.Col (old_pfx c)) ) )
+            in
+            Op.select ~pred:(Expr.Not (Expr.and_ (List.map same cs))) paired
+          | Compare_nodes ->
+            Op.select
+              ~pred:
+                (Expr.Not
+                   (Expr.Node_eq
+                      ( Expr.Col (new_pfx monitored.node_col),
+                        Expr.Col (old_pfx monitored.node_col) )))
+              paired
+        in
+        final ~key_side:new_pfx (apply_cond (fun c -> c) checked)
+      | Database.Insert ->
+        let inserted = Op.join ~kind:Op.Left_anti ~pred:full_key_pred onew oold in
+        final ~key_side:new_pfx (apply_cond (fun c -> c) inserted)
+      | Database.Delete ->
+        let deleted = Op.join ~kind:Op.Right_anti ~pred:full_key_pred onew oold in
+        final ~key_side:old_pfx (apply_cond (fun c -> c) deleted)
+    in
+    Some { graph; key = monitored.key; old_col = "old_node"; new_col = "new_node" }

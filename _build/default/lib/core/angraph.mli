@@ -1,0 +1,77 @@
+(** CreateANGraph (Figure 12 of the paper): build G_affected, the graph that
+    produces the (OLD_NODE, NEW_NODE) pairs for a (table, event) pair.
+
+    The graph unions the Δ- and ∇-side affected keys, joins the union back
+    with the Path graph [G] and its pre-state version [G_old], and pairs the
+    sides with the event-specific join: inner for UPDATE, left-anti for
+    INSERT (no matching old node), right-anti for DELETE.
+
+    For UPDATE, the spurious-update check of Appendix E.1/F is selected by
+    [check]:
+    - [No_check] — the view is injective w.r.t. the table (Theorem 3);
+    - [Compare_cols cs] — compare the scalar columns [cs] (inputs of [G]'s
+      top projection) relationally (Appendix F.4);
+    - [Compare_nodes] — full structural node comparison (the tagger-level
+      fallback). *)
+
+(** A monitored portion of a view: the Path graph (Figure 5A), which output
+    column holds the monitored node, and the canonical key of the top
+    operator. *)
+type monitored = {
+  graph : Xqgm.Op.t;
+  node_col : string;
+  key : string list;
+}
+
+type check =
+  | No_check
+  | Compare_cols of string list
+  | Compare_nodes
+
+(** A nested-count condition (§5.1's hard case): a per-(node, constants)
+    count subquery is joined in and the constants key is added to its
+    grouping columns — the decorrelated form of Figure 15. *)
+type nested = {
+  an_child : Xqgm.Op.t;  (** the child level's operator *)
+  an_link : string list;  (** columns linking child to monitored level *)
+  an_side : [ `Old | `New ];
+  an_inner : Xqgm.Expr.t;  (** inner selection: child columns + constants columns *)
+  an_cmp : Relkit.Ra.binop;
+  an_rhs : Xqgm.Expr.t;  (** over constants columns *)
+}
+
+type t = {
+  graph : Xqgm.Op.t;  (** G_affected *)
+  key : string list;  (** output key columns *)
+  old_col : string;  (** ["old_node"]; NULL for INSERT events *)
+  new_col : string;  (** ["new_node"]; NULL for DELETE events *)
+}
+
+(** Builds G_affected for one (event, table) pair.  Returns [None] when the
+    view cannot be affected by changes to [table].
+
+    An optional [cond] (the trigger's WHERE, compiled against the view) is
+    applied after pairing: it may reference the key columns, ["old$" ^ c] /
+    ["new$" ^ c] for any column [c] of [G], and the node columns via
+    [old_node] / [new_node].
+
+    For trigger grouping (§5.1), [consts] joins a constants-table operator in
+    before the condition is applied; [cond] may then also reference the
+    constants columns, and the operator's [trig_ids] column is carried to the
+    output so the activation module can dispatch to every member of the
+    group. *)
+val create :
+  schema_of:(string -> Relkit.Schema.t) ->
+  event:Relkit.Database.event ->
+  table:string ->
+  check:check ->
+  ?cond:Xqgm.Expr.t ->
+  ?consts:Xqgm.Op.t ->
+  ?nested:nested ->
+  monitored ->
+  t option
+
+(** [expose g cols] extends the top projection of [g] with pass-through
+    outputs for [cols] (input columns of that projection) when missing.
+    @raise Invalid_argument if the top operator is not a projection. *)
+val expose : Xqgm.Op.t -> string list -> Xqgm.Op.t

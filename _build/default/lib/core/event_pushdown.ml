@@ -1,0 +1,150 @@
+module Op = Xqgm.Op
+module Expr = Xqgm.Expr
+module Database = Relkit.Database
+module S = Set.Make (String)
+
+type relational_event = {
+  ev_table : string;
+  ev_event : Database.event;
+}
+
+let pp_event ppf { ev_table; ev_event } =
+  Format.fprintf ppf "%s ON %s" (Database.string_of_event ev_event) ev_table
+
+(* An event on an operator's output: INSERT(o), DELETE(o), or UPDATE(o, C)
+   where C is the set of output columns that changed (Appendix C). *)
+type op_event =
+  | Ins
+  | Del
+  | Upd of S.t
+
+let all_cols op = S.of_list (Op.cols op)
+
+(* Columns of the input that feed the given output columns of a Project. *)
+let project_source_cols defs out_cols =
+  List.fold_left
+    (fun acc (o, e) ->
+      if S.mem o out_cols then S.union acc (S.of_list (Expr.cols e)) else acc)
+    S.empty defs
+
+(* GetSrcEvents (Figure 19): recurse the Table 4 rules down to base tables. *)
+let rec src_events (op : Op.t) (e : op_event) : relational_event list =
+  match op.Op.node with
+  | Op.Table { table; binding = _; _ } -> (
+    (* An SQL UPDATE statement that rewrites a primary key inserts one key
+       and deletes another (Definitions 2/3 identify rows by key), so
+       table-level INSERT/DELETE events are also caused by UPDATE
+       statements.  Pruned transition tables keep the no-op case cheap. *)
+    match e with
+    | Ins ->
+      [ { ev_table = table; ev_event = Database.Insert };
+        { ev_table = table; ev_event = Database.Update };
+      ]
+    | Del ->
+      [ { ev_table = table; ev_event = Database.Delete };
+        { ev_table = table; ev_event = Database.Update };
+      ]
+    | Upd _ -> [ { ev_table = table; ev_event = Database.Update } ])
+  | Op.Select { input; pred } -> (
+    let sigma = S.of_list (Expr.cols pred) in
+    match e with
+    | Ins ->
+      (* INSERT(O) <- INSERT(I) or UPDATE(I, Csigma) *)
+      src_events input Ins @ src_events input (Upd sigma)
+    | Del -> src_events input Del @ src_events input (Upd sigma)
+    | Upd c -> src_events input (Upd c))
+  | Op.Project { input; defs } -> (
+    match e with
+    | Ins -> src_events input Ins
+    | Del -> src_events input Del
+    | Upd c -> src_events input (Upd (project_source_cols defs c)))
+  | Op.Join { kind = _; left; right; pred } -> (
+    let sigma = S.of_list (Expr.cols pred) in
+    let both f = f left @ f right in
+    match e with
+    | Ins ->
+      (* a tuple can appear because an input tuple appeared, or because an
+         update made the join predicate become true *)
+      both (fun i -> src_events i Ins) @ both (fun i -> src_events i (Upd sigma))
+    | Del -> both (fun i -> src_events i Del) @ both (fun i -> src_events i (Upd sigma))
+    | Upd c ->
+      let for_side side =
+        let side_cols = all_cols side in
+        let c_side = S.inter c side_cols in
+        let upd = if S.is_empty c_side then [] else src_events side (Upd c_side) in
+        (* updates to join columns move tuples between groups of partners *)
+        let sigma_side = S.inter sigma side_cols in
+        let upd_sigma =
+          if S.is_empty sigma_side then [] else src_events side (Upd sigma_side)
+        in
+        upd @ upd_sigma
+      in
+      for_side left @ for_side right)
+  | Op.Group_by { input; keys; aggs; _ } -> (
+    let g = S.of_list keys in
+    let agg_inputs =
+      List.fold_left (fun acc (_, a) -> S.union acc (S.of_list (Expr.agg_cols a))) S.empty aggs
+    in
+    match e with
+    | Ins -> src_events input Ins @ src_events input (Upd g)
+    | Del -> src_events input Del @ src_events input (Upd g)
+    | Upd c ->
+      let out_keys = S.inter c g in
+      let out_aggs = S.diff c g in
+      let from_keys =
+        if S.is_empty out_keys then [] else src_events input (Upd out_keys)
+      in
+      (* An aggregate changes when contributing rows change value, appear, or
+         disappear (Table 4: INSERT(I)/DELETE(I) unless C subset of G). *)
+      let from_aggs =
+        if S.is_empty out_aggs then []
+        else
+          src_events input (Upd (S.union agg_inputs g))
+          @ src_events input Ins @ src_events input Del
+      in
+      from_keys @ from_aggs)
+  | Op.Union { inputs; cols } -> (
+    let map_back mapping c_out =
+      (* output column set -> this input's column set *)
+      List.fold_left2
+        (fun acc out src -> if S.mem out c_out then S.add src acc else acc)
+        S.empty cols mapping
+    in
+    match e with
+    | Ins | Del ->
+      (* Any input event (including updates that create/destroy duplicates)
+         can insert into or delete from a duplicate-removing union. *)
+      List.concat_map
+        (fun (i, _) -> src_events i Ins @ src_events i Del @ src_events i (Upd (all_cols i)))
+        inputs
+    | Upd c ->
+      List.concat_map (fun (i, mapping) -> src_events i (Upd (map_back mapping c))) inputs)
+
+let dedup events =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun ev ->
+      let k = (ev.ev_table, ev.ev_event) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    events
+
+let source_events op (event : Database.event) =
+  let e =
+    match event with
+    | Database.Insert -> Ins
+    | Database.Delete -> Del
+    | Database.Update -> Upd (all_cols op)
+  in
+  dedup (src_events op e)
+
+let relevant_columns op ~table =
+  Op.fold op ~init:S.empty ~f:(fun acc o ->
+      match o.Op.node with
+      | Op.Table { table = t; cols; _ } when t = table ->
+        S.union acc (S.of_list (List.map fst cols))
+      | _ -> acc)
+  |> S.elements

@@ -1,0 +1,27 @@
+(** Event pushdown (§3.3 and Appendix C of the paper): given the Path graph
+    of an XML trigger and the XML-level event it monitors, determine the
+    minimal set of (base table, relational event) pairs that can cause it.
+
+    This is GetSrcEvents (Figure 19), driven by the operator-specific rules
+    of Table 4.  The implementation tracks updated-column sets through
+    Select/Project/GroupBy so that, e.g., an UPDATE trigger over a view that
+    never reads some column does not monitor updates that can only touch that
+    column (the refinement is conservative: when in doubt a pair is kept). *)
+
+type relational_event = {
+  ev_table : string;
+  ev_event : Relkit.Database.event;
+}
+
+(** The XML-level event of the trigger, translated to an event on the Path
+    graph's top operator.  For [Update] the column set is "all output
+    columns". *)
+val source_events :
+  Xqgm.Op.t -> Relkit.Database.event -> relational_event list
+
+(** The columns of [table] actually scanned anywhere in the graph — the
+    runtime prunes UPDATE transition tables to these columns, so updates
+    touching only unscanned columns never produce affected keys. *)
+val relevant_columns : Xqgm.Op.t -> table:string -> string list
+
+val pp_event : Format.formatter -> relational_event -> unit

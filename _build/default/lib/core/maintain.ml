@@ -1,0 +1,57 @@
+module Xml = Xmlkit.Xml
+
+type t = {
+  mgr : Runtime.t;
+  store : (string, Xml.t) Hashtbl.t;  (* canonical text -> node *)
+  mutable deltas : int;
+  trigger_names : string list;
+}
+
+let next_id =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let key node = Xml.to_string ~canonical:true node
+
+let apply t fi =
+  t.deltas <- t.deltas + 1;
+  (match fi.Runtime.fi_old with
+  | Some old_node -> Hashtbl.remove t.store (key old_node)
+  | None -> ());
+  match fi.Runtime.fi_new with
+  | Some new_node -> Hashtbl.replace t.store (key new_node) new_node
+  | None -> ()
+
+let attach mgr ~path =
+  let id = next_id () in
+  let store = Hashtbl.create 64 in
+  List.iter
+    (fun node -> Hashtbl.replace store (key node) node)
+    (Runtime.view_nodes mgr ~path);
+  let action = Printf.sprintf "maintain$%d" id in
+  let trigger_names =
+    List.map
+      (fun event -> Printf.sprintf "maintain$%d$%s" id event)
+      [ "UPDATE"; "INSERT"; "DELETE" ]
+  in
+  let t = { mgr; store; deltas = 0; trigger_names } in
+  Runtime.register_action mgr ~name:action (apply t);
+  List.iter2
+    (fun name event ->
+      Runtime.create_trigger mgr
+        (Printf.sprintf "CREATE TRIGGER %s AFTER %s ON %s DO %s(%s)" name event path
+           action
+           (match event with "DELETE" -> "OLD_NODE" | _ -> "NEW_NODE")))
+    trigger_names
+    [ "UPDATE"; "INSERT"; "DELETE" ];
+  t
+
+let current t =
+  Hashtbl.fold (fun _ node acc -> node :: acc) t.store []
+  |> List.sort Xml.compare
+
+let deltas_applied t = t.deltas
+
+let detach t = List.iter (Runtime.drop_trigger t.mgr) t.trigger_names

@@ -1,0 +1,28 @@
+(** Incremental maintenance of materialized XML views — the future-work
+    direction of the paper's §8 ("whether our general algorithm for detecting
+    changes over complex XQuery views can be adapted for incrementally
+    maintaining complex materialized XML views").
+
+    [attach] materializes the node set a trigger path selects and keeps it
+    up to date by installing three internal XML triggers (UPDATE, INSERT,
+    DELETE) whose firings are applied as deltas — the stored copy is never
+    recomputed.  Because the deltas come from the same G_affected plans that
+    power user triggers, the maintained copy stays correct under nested
+    predicates, threshold crossings, and multi-row statements. *)
+
+type t
+
+(** Attaches an incrementally maintained copy of the nodes selected by
+    [path] (e.g. ["view('catalog')/product"]).  The manager must already
+    have the view defined.
+    @raise Runtime.Error on unknown views or unsupported paths. *)
+val attach : Runtime.t -> path:string -> t
+
+(** The maintained node set, in canonical order. *)
+val current : t -> Xmlkit.Xml.t list
+
+(** Number of delta applications since [attach]. *)
+val deltas_applied : t -> int
+
+(** Uninstalls the internal triggers. *)
+val detach : t -> unit

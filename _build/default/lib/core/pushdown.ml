@@ -1,0 +1,527 @@
+module Op = Xqgm.Op
+module Expr = Xqgm.Expr
+module Xval = Xqgm.Xval
+module Eval = Xqgm.Eval
+module Ra = Relkit.Ra
+module Ra_opt = Relkit.Ra_opt
+module Ra_eval = Relkit.Ra_eval
+module Value = Relkit.Value
+module Xml = Xmlkit.Xml
+
+exception Not_pushable of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Not_pushable msg)) fmt
+
+type atom =
+  | A_col of string
+  | A_const of Value.t
+
+type template =
+  | T_elem of {
+      tag : string;
+      attrs : (string * atom) list;
+      content : template list;
+    }
+  | T_atom of atom
+  | T_frag of frag
+
+and frag = {
+  f_plan : Ra.t;
+  f_template : template;
+  f_link : (string * string) list;
+  f_order : string list;
+}
+
+type t = {
+  plan : Ra.t;
+  out_cols : string list;
+  xml : (string * template) list;
+}
+
+(* --- shredding --- *)
+
+let source_of_binding table = function
+  | Op.Post -> Ra.Base table
+  | Op.Pre -> Ra.Old_of table
+  | Op.Delta -> Ra.Delta table
+  | Op.Nabla -> Ra.Nabla table
+
+(* Scalar expression translation; XML constructs are rejected. *)
+let rec translate_scalar ~xml_cols (e : Expr.t) : Ra.expr =
+  match e with
+  | Expr.Col c ->
+    if List.mem_assoc c xml_cols then fail "column %S is XML-valued in a scalar position" c;
+    Ra.Col c
+  | Expr.Const v -> Ra.Const v
+  | Expr.Binop (op, a, b) ->
+    Ra.Binop (op, translate_scalar ~xml_cols a, translate_scalar ~xml_cols b)
+  | Expr.Not e -> Ra.Not (translate_scalar ~xml_cols e)
+  | Expr.Is_null e -> Ra.Is_null (translate_scalar ~xml_cols e)
+  | Expr.Elem _ -> fail "element constructor in a scalar position"
+  | Expr.Node_eq _ -> fail "node comparison has no relational translation"
+
+let atom_of_expr ~xml_cols = function
+  | Expr.Col c ->
+    if List.mem_assoc c xml_cols then fail "XML column %S used as an atomic value" c;
+    A_col c
+  | Expr.Const v -> A_const v
+  | e -> fail "computed value %s in an XML template (bind it to a column first)" (Expr.to_string e)
+
+let rec template_of_expr ~xml_cols (e : Expr.t) : template =
+  match e with
+  | Expr.Col c -> (
+    match List.assoc_opt c xml_cols with
+    | Some t -> t
+    | None -> T_atom (A_col c))
+  | Expr.Const v -> T_atom (A_const v)
+  | Expr.Elem { tag; attrs; content } ->
+    T_elem
+      { tag;
+        attrs = List.map (fun (k, e) -> (k, atom_of_expr ~xml_cols e)) attrs;
+        content = List.map (template_of_expr ~xml_cols) content;
+      }
+  | e -> fail "expression %s cannot appear in XML content" (Expr.to_string e)
+
+let hidden_col =
+  let n = ref 0 in
+  fun c ->
+    incr n;
+    Printf.sprintf "h%d$%s" !n c
+
+(* Rename the *current level's* column references of a template (atoms and
+   parent sides of fragment links); child levels are untouched. *)
+let rec rename_template_cols m tpl =
+  let ren c = match List.assoc_opt c m with Some c' -> c' | None -> c in
+  match tpl with
+  | T_atom (A_col c) -> T_atom (A_col (ren c))
+  | T_atom (A_const v) -> T_atom (A_const v)
+  | T_elem { tag; attrs; content } ->
+    T_elem
+      { tag;
+        attrs =
+          List.map
+            (fun (k, a) -> (k, match a with A_col c -> A_col (ren c) | a -> a))
+            attrs;
+        content = List.map (rename_template_cols m) content;
+      }
+  | T_frag f ->
+    T_frag { f with f_link = List.map (fun (p, c) -> (ren p, c)) f.f_link }
+
+(* Columns of the *current level's plan* that a template needs: atom columns
+   plus the parent side of immediate fragment links.  Child templates resolve
+   against their own level. *)
+let rec template_plan_cols = function
+  | T_atom (A_col c) -> [ c ]
+  | T_atom (A_const _) -> []
+  | T_elem { attrs; content; _ } ->
+    List.filter_map (fun (_, a) -> match a with A_col c -> Some c | A_const _ -> None) attrs
+    @ List.concat_map template_plan_cols content
+  | T_frag f -> List.map fst f.f_link
+
+let rec shred (op : Op.t) : t =
+  match op.Op.node with
+  | Op.Table { table; binding; cols } ->
+    { plan = Ra.Scan (source_of_binding table binding, cols);
+      out_cols = List.map snd cols;
+      xml = [];
+    }
+  | Op.Select { input; pred } ->
+    let s = shred input in
+    let pred = translate_scalar ~xml_cols:s.xml pred in
+    { s with plan = Ra.Select (pred, s.plan) }
+  | Op.Project { input; defs } ->
+    let s = shred input in
+    let scalar_defs, xml_defs =
+      List.partition (fun (_, e) -> Expr.is_scalar e && not (List.exists (fun c -> List.mem_assoc c s.xml) (Expr.cols e))) defs
+    in
+    let xml =
+      List.map (fun (o, e) -> (o, template_of_expr ~xml_cols:s.xml e)) xml_defs
+    in
+    let ra_defs =
+      List.map (fun (o, e) -> (o, translate_scalar ~xml_cols:s.xml e)) scalar_defs
+    in
+    (* Carry the columns the templates still need.  They are renamed to fresh
+       hidden names so they can never collide with the projection's own
+       outputs (the old/new sides of an affected-node graph both carry the
+       same underlying columns). *)
+    let needed =
+      List.sort_uniq compare (List.concat_map (fun (_, t) -> template_plan_cols t) xml)
+    in
+    let renaming, ra_defs =
+      List.fold_left
+        (fun (ren, acc) c ->
+          (* reuse an identity pass-through when the projection already has
+             one for this column *)
+          match List.find_opt (fun (_, e) -> e = Ra.Col c) acc with
+          | Some (o, _) -> ((c, o) :: ren, acc)
+          | None ->
+            let h = hidden_col c in
+            ((c, h) :: ren, acc @ [ (h, Ra.Col c) ]))
+        ([], ra_defs) needed
+    in
+    let xml = List.map (fun (o, t) -> (o, rename_template_cols renaming t)) xml in
+    { plan = Ra.Project (ra_defs, s.plan);
+      out_cols = List.map fst defs;
+      xml;
+    }
+  | Op.Join { kind; left; right; pred } ->
+    let l = shred left and r = shred right in
+    let xml_cols = l.xml @ r.xml in
+    let pred = translate_scalar ~xml_cols pred in
+    let kind' =
+      match kind with
+      | Op.Inner -> Ra.Inner
+      | Op.Left_outer -> Ra.Left_outer
+      | Op.Left_anti -> Ra.Left_anti
+      | Op.Right_anti -> Ra.Right_anti
+    in
+    let out_cols =
+      match kind with
+      | Op.Inner | Op.Left_outer -> l.out_cols @ r.out_cols
+      | Op.Left_anti -> l.out_cols
+      | Op.Right_anti -> r.out_cols
+    in
+    let xml =
+      match kind with
+      | Op.Inner | Op.Left_outer -> xml_cols
+      | Op.Left_anti -> l.xml
+      | Op.Right_anti -> r.xml
+    in
+    { plan = Ra.Join (kind', pred, l.plan, r.plan); out_cols; xml }
+  | Op.Group_by { input; keys; aggs; order } ->
+    let s = shred input in
+    List.iter
+      (fun k -> if List.mem_assoc k s.xml then fail "grouping on XML column %S" k)
+      keys;
+    let rel_aggs, frag_aggs =
+      List.partition_map
+        (fun (o, a) ->
+          match a with
+          | Expr.Count -> Left (o, Ra.Count_star)
+          | Expr.Sum e -> Left (o, Ra.Sum (translate_scalar ~xml_cols:s.xml e))
+          | Expr.Min e -> Left (o, Ra.Min (translate_scalar ~xml_cols:s.xml e))
+          | Expr.Max e -> Left (o, Ra.Max (translate_scalar ~xml_cols:s.xml e))
+          | Expr.Avg e -> Left (o, Ra.Avg (translate_scalar ~xml_cols:s.xml e))
+          | Expr.Xml_frag e -> Right (o, e))
+        aggs
+    in
+    let xml =
+      List.map
+        (fun (o, e) ->
+          let f_template = template_of_expr ~xml_cols:s.xml e in
+          List.iter
+            (fun c -> if List.mem_assoc c s.xml then fail "order column %S is XML-valued" c)
+            order;
+          ( o,
+            T_frag
+              { f_plan = s.plan;
+                f_template;
+                f_link = List.map (fun k -> (k, k)) keys;
+                f_order = order;
+              } ))
+        frag_aggs
+    in
+    { plan = Ra.Group_by (keys, rel_aggs, s.plan);
+      out_cols = keys @ List.map fst aggs;
+      xml;
+    }
+  | Op.Union { cols; inputs } ->
+    let shredded = List.map (fun (i, mapping) -> (shred i, mapping)) inputs in
+    List.iter
+      (fun ((s : t), _) ->
+        if s.xml <> [] then fail "union over XML-valued columns is not pushable")
+      shredded;
+    let parts =
+      List.map
+        (fun ((s : t), mapping) ->
+          Ra.Project (List.map2 (fun out src -> (out, Ra.Col src)) cols mapping, s.plan))
+        shredded
+    in
+    { plan = Ra.Union { all = false; inputs = parts }; out_cols = cols; xml = [] }
+
+(* --- GROUPED-AGG: invert aggregates over OLD-OF (§5.2) --- *)
+
+let rec plan_scans_old table = function
+  | Ra.Scan (Ra.Old_of t, _) -> t = table
+  | Ra.Scan (_, _) | Ra.Values _ -> false
+  | Ra.Select (_, i)
+  | Ra.Project (_, i)
+  | Ra.Group_by (_, _, i)
+  | Ra.Distinct i
+  | Ra.Order_by (_, i)
+  | Ra.Shared (_, i) ->
+    plan_scans_old table i
+  | Ra.Join (_, _, l, r) -> plan_scans_old table l || plan_scans_old table r
+  | Ra.Union { inputs; _ } -> List.exists (plan_scans_old table) inputs
+
+let rec subst_old table replacement = function
+  | Ra.Scan (Ra.Old_of t, renames) when t = table -> Ra.Scan (replacement t, renames)
+  | Ra.Scan (s, renames) -> Ra.Scan (s, renames)
+  | Ra.Values (c, r) -> Ra.Values (c, r)
+  | Ra.Select (p, i) -> Ra.Select (p, subst_old table replacement i)
+  | Ra.Project (d, i) -> Ra.Project (d, subst_old table replacement i)
+  | Ra.Group_by (k, a, i) -> Ra.Group_by (k, a, subst_old table replacement i)
+  | Ra.Distinct i -> Ra.Distinct (subst_old table replacement i)
+  | Ra.Order_by (k, i) -> Ra.Order_by (k, subst_old table replacement i)
+  | Ra.Shared (id, i) ->
+    (* keep the id (and thus the per-firing memoization) when nothing below
+       actually changed; rebuild with a fresh id otherwise *)
+    let i' = subst_old table replacement i in
+    if i' = i then Ra.Shared (id, i) else Ra.shared i'
+  | Ra.Join (k, p, l, r) ->
+    Ra.Join (k, p, subst_old table replacement l, subst_old table replacement r)
+  | Ra.Union { all; inputs } ->
+    Ra.Union { all; inputs = List.map (subst_old table replacement) inputs }
+
+let exists_col = "old_exists$"
+
+let invert_group_by table keys aggs input =
+  let invertible =
+    List.for_all (fun (_, a) -> match a with Ra.Count_star | Ra.Sum _ -> true | _ -> false) aggs
+  in
+  if not invertible then None
+  else begin
+    let post_input = subst_old table (fun t -> Ra.Base t) input in
+    let deleted_input = subst_old table (fun t -> Ra.Nabla t) input in
+    let inserted_input = subst_old table (fun t -> Ra.Delta t) input in
+    (* Existence of a group in the pre-state = its row count there; reuse an
+       existing COUNT aggregate when the view already computes one, so the
+       post-state group-by stays structurally identical to the NEW side's and
+       common-subplan sharing evaluates it once per firing. *)
+    let existing_count = List.find_opt (fun (_, a) -> a = Ra.Count_star) aggs in
+    let exists_col =
+      match existing_count with Some (c, _) -> c | None -> exists_col
+    in
+    let aggs_plus =
+      match existing_count with
+      | Some _ -> aggs
+      | None -> aggs @ [ (exists_col, Ra.Count_star) ]
+    in
+    (* Post-state aggregates.  Deliberately NOT wrapped in Shared here: the
+       affected-key restriction must still be pushed inside; common-subplan
+       sharing runs after that pass. *)
+    let base = Ra.Group_by (keys, aggs_plus, post_input) in
+    let contrib sign inp =
+      let defs =
+        List.map (fun k -> (k, Ra.Col k)) keys
+        @ List.map
+            (fun (o, a) ->
+              let v =
+                match a with
+                | Ra.Count_star -> Ra.Const (Value.Int 1)
+                | Ra.Sum e -> e
+                | _ -> assert false
+              in
+              (o, if sign > 0 then v else Ra.Binop (Ra.Sub, Ra.Const (Value.Int 0), v)))
+            aggs_plus
+      in
+      Ra.Project (defs, inp)
+    in
+    let base_rows =
+      Ra.Project
+        ( List.map (fun k -> (k, Ra.Col k)) keys
+          @ List.map (fun (o, _) -> (o, Ra.Col o)) aggs_plus,
+          base )
+    in
+    let union =
+      Ra.Union
+        { all = true;
+          inputs =
+            [ base_rows; contrib 1 deleted_input; contrib (-1) inserted_input ];
+        }
+    in
+    let resummed =
+      Ra.Group_by
+        (keys, List.map (fun (o, _) -> (o, Ra.Sum (Ra.Col o))) aggs_plus, union)
+    in
+    (* a group existed in the pre-state iff its row count there was > 0 *)
+    let filtered =
+      Ra.Select (Ra.Binop (Ra.Gt, Ra.Col exists_col, Ra.Const (Value.Int 0)), resummed)
+    in
+    let dropped =
+      Ra.Project
+        ( List.map (fun k -> (k, Ra.Col k)) keys
+          @ List.map (fun (o, _) -> (o, Ra.Col o)) aggs,
+          filtered )
+    in
+    Some dropped
+  end
+
+(* Number of OLD-OF scans below a plan: the contribution algebra of
+   invert_group_by is linear in one occurrence of the pre-update table, so
+   inversion only applies when there is exactly one. *)
+let rec old_scan_count table = function
+  | Ra.Scan (Ra.Old_of t, _) -> if t = table then 1 else 0
+  | Ra.Scan (_, _) | Ra.Values _ -> 0
+  | Ra.Select (_, i)
+  | Ra.Project (_, i)
+  | Ra.Group_by (_, _, i)
+  | Ra.Distinct i
+  | Ra.Order_by (_, i)
+  | Ra.Shared (_, i) ->
+    old_scan_count table i
+  | Ra.Join (_, _, l, r) -> old_scan_count table l + old_scan_count table r
+  | Ra.Union { inputs; _ } ->
+    List.fold_left (fun acc i -> acc + old_scan_count table i) 0 inputs
+
+(* Only the top-most qualifying GroupBy on each path is rewritten: its three
+   substituted branches (post / deleted / inserted) already account for every
+   OLD-OF access below it, so recursing into them would only multiply the
+   plan size (3^depth for nested groupings). *)
+let rec invert_plan table = function
+  | Ra.Group_by (keys, aggs, input)
+    when plan_scans_old table input && old_scan_count table input = 1 -> (
+    match invert_group_by table keys aggs input with
+    | Some rewritten -> rewritten
+    | None -> Ra.Group_by (keys, aggs, invert_plan table input))
+  | Ra.Scan (s, r) -> Ra.Scan (s, r)
+  | Ra.Values (c, r) -> Ra.Values (c, r)
+  | Ra.Select (p, i) -> Ra.Select (p, invert_plan table i)
+  | Ra.Project (d, i) -> Ra.Project (d, invert_plan table i)
+  | Ra.Group_by (k, a, i) -> Ra.Group_by (k, a, invert_plan table i)
+  | Ra.Distinct i -> Ra.Distinct (invert_plan table i)
+  | Ra.Order_by (k, i) -> Ra.Order_by (k, invert_plan table i)
+  | Ra.Shared (id, i) -> Ra.Shared (id, invert_plan table i)
+  | Ra.Join (k, p, l, r) -> Ra.Join (k, p, invert_plan table l, invert_plan table r)
+  | Ra.Union { all; inputs } -> Ra.Union { all; inputs = List.map (invert_plan table) inputs }
+
+let rec invert_template table = function
+  | T_atom a -> T_atom a
+  | T_elem { tag; attrs; content } ->
+    T_elem { tag; attrs; content = List.map (invert_template table) content }
+  | T_frag f ->
+    T_frag
+      { f with
+        f_plan = invert_plan table f.f_plan;
+        f_template = invert_template table f.f_template;
+      }
+
+let invert_old_aggregates ~table t =
+  { t with
+    plan = invert_plan table t.plan;
+    xml = List.map (fun (o, tpl) -> (o, invert_template table tpl)) t.xml;
+  }
+
+(* --- rendering (the tagger) --- *)
+
+let distinct_rows rows =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun row ->
+      let k = Array.to_list (Array.map Value.to_string row) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    rows
+
+let rec node_fun ctx (rel : Ra_eval.rel) (tpl : template) : Value.t array -> Xval.t =
+  match tpl with
+  | T_atom (A_const v) -> fun _ -> Xval.atom v
+  | T_atom (A_col c) ->
+    let i = Ra_eval.col_index rel c in
+    fun row -> Xval.atom row.(i)
+  | T_elem { tag; attrs; content } ->
+    let attr_fs =
+      List.map
+        (fun (k, a) ->
+          match a with
+          | A_const v -> (k, fun (_ : Value.t array) -> v)
+          | A_col c ->
+            let i = Ra_eval.col_index rel c in
+            (k, fun row -> row.(i)))
+        attrs
+    in
+    let content_fs = List.map (node_fun ctx rel) content in
+    fun row ->
+      let attrs =
+        List.filter_map
+          (fun (k, f) ->
+            match f row with Value.Null -> None | v -> Some (k, Value.to_string v))
+          attr_fs
+      in
+      let children = List.concat_map (fun f -> Xval.to_nodes (f row)) content_fs in
+      Xval.node (Xml.elem ~attrs tag children)
+  | T_frag f ->
+    let parent_slots = List.map (fun (p, _) -> Ra_eval.col_index rel p) f.f_link in
+    (* restrict the child level to the parent keys actually present *)
+    let key_rows =
+      distinct_rows
+        (List.map
+           (fun row -> Array.of_list (List.map (fun i -> row.(i)) parent_slots))
+           rel.Ra_eval.rows)
+    in
+    let key_cols = List.map (fun (_, c) -> "lk$" ^ c) f.f_link in
+    let keys_rel = Ra.Values (key_cols, key_rows) in
+    let restricted =
+      Ra_opt.push_semijoin ~keys:keys_rel
+        ~on:(List.map2 (fun (_, c) kc -> (c, kc)) f.f_link key_cols)
+        f.f_plan
+    in
+    let child_rel = Ra_eval.eval ctx restricted in
+    let child_node = node_fun ctx child_rel f.f_template in
+    let child_link_slots = List.map (fun (_, c) -> Ra_eval.col_index child_rel c) f.f_link in
+    let order_slots = List.map (Ra_eval.col_index child_rel) f.f_order in
+    (* group child rows by link value, ordered by the order columns *)
+    let groups : (string list, (Value.t list * Xval.t) list ref) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    List.iter
+      (fun row ->
+        let link = List.map (fun i -> Value.to_string row.(i)) child_link_slots in
+        let okey = List.map (fun i -> row.(i)) order_slots in
+        let node = child_node row in
+        match Hashtbl.find_opt groups link with
+        | Some cell -> cell := (okey, node) :: !cell
+        | None -> Hashtbl.add groups link (ref [ (okey, node) ]))
+      child_rel.Ra_eval.rows;
+    fun row ->
+      let link = List.map (fun i -> Value.to_string row.(i)) parent_slots in
+      match Hashtbl.find_opt groups link with
+      | None -> Xval.Seq []
+      | Some cell ->
+        let sorted =
+          List.sort
+            (fun (a, _) (b, _) -> List.compare Value.compare a b)
+            (List.rev !cell)
+        in
+        Xval.seq (List.map snd sorted)
+
+let render ?cols ctx (t : t) : Eval.xrel =
+  let wanted = match cols with Some cs -> cs | None -> t.out_cols in
+  let rel = Ra_eval.eval ctx t.plan in
+  let getters =
+    List.map
+      (fun c ->
+        match List.assoc_opt c t.xml with
+        | Some tpl -> node_fun ctx rel tpl
+        | None ->
+          let i = Ra_eval.col_index rel c in
+          fun row -> Xval.atom row.(i))
+      wanted
+  in
+  { Eval.cols = Array.of_list wanted;
+    rows =
+      List.map (fun row -> Array.of_list (List.map (fun g -> g row) getters)) rel.Ra_eval.rows;
+  }
+
+let to_sql (t : t) =
+  (* Present the levels as one sorted-outer-union query: the top level is
+     branch 0; each fragment level becomes a further branch. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Relkit.Sql_print.plan_to_sql t.plan);
+  let rec frags prefix = function
+    | T_frag f ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n\nUNION ALL -- child level %s (link on %s, order by %s)\n"
+           prefix
+           (String.concat ", " (List.map fst f.f_link))
+           (String.concat ", " f.f_order));
+      Buffer.add_string buf (Relkit.Sql_print.plan_to_sql f.f_plan);
+      frags (prefix ^ "*") f.f_template
+    | T_elem { content; _ } -> List.iter (frags prefix) content
+    | T_atom _ -> ()
+  in
+  List.iter (fun (_, tpl) -> frags "*" tpl) t.xml;
+  Buffer.contents buf

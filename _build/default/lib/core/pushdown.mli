@@ -1,0 +1,66 @@
+(** Trigger pushdown (§5.2 of the paper): compile an XQGM graph into
+    relational plans plus tagging templates, and evaluate them through the
+    relational engine.
+
+    [shred] splits a graph into a scalar {!Relkit.Ra} plan per nesting level
+    (the branches of the paper's sorted outer union) and a template per
+    XML-valued column describing how the tagger rebuilds nodes from rows.
+    aggXMLFrag aggregates become child levels linked to their parent by the
+    grouping columns.
+
+    [render] executes a shredded graph: child levels are restricted to the
+    parent's link keys with {!Relkit.Ra_opt.push_semijoin} before evaluation
+    (so only affected subtrees are ever computed), rows are grouped and
+    ordered, and templates are instantiated — the constant-space tagger.
+    Only the requested columns are materialized: a trigger whose action needs
+    only NEW_NODE never touches the OLD side's content.
+
+    [invert_old_aggregates] is the GROUPED-AGG optimization (§5.2): a
+    GroupBy over the pre-update table computes its COUNT/SUM aggregates from
+    the post-state aggregate and the transition tables instead
+    (old = new + ∇-contributions − Δ-contributions), eliminating OLD-OF
+    access for distributive aggregates.  MIN/MAX are not invertible and are
+    left untouched, as in the paper. *)
+
+exception Not_pushable of string
+
+type atom =
+  | A_col of string
+  | A_const of Relkit.Value.t
+
+type template =
+  | T_elem of {
+      tag : string;
+      attrs : (string * atom) list;
+      content : template list;
+    }
+  | T_atom of atom
+  | T_frag of frag
+
+and frag = {
+  f_plan : Relkit.Ra.t;  (** child level plan, unrestricted *)
+  f_template : template;  (** instantiated once per child row *)
+  f_link : (string * string) list;  (** (parent plan column, child plan column) *)
+  f_order : string list;  (** child columns giving document order *)
+}
+
+type t = {
+  plan : Relkit.Ra.t;  (** scalar part of the top level *)
+  out_cols : string list;  (** the original graph's output columns *)
+  xml : (string * template) list;  (** XML-valued outputs *)
+}
+
+(** @raise Not_pushable when the graph uses features with no relational
+    translation (node comparisons, XML-valued unions, computed attribute
+    contents); callers fall back to direct XQGM evaluation. *)
+val shred : Xqgm.Op.t -> t
+
+(** Rewrites every invertible GroupBy-over-OLD-OF in the shredded plans. *)
+val invert_old_aggregates : table:string -> t -> t
+
+(** Evaluates; [cols] defaults to all output columns. *)
+val render : ?cols:string list -> Relkit.Ra_eval.ctx -> t -> Xqgm.Eval.xrel
+
+(** The printable single-query form (shared subplans as WITH clauses), for
+    the generated SQL trigger text. *)
+val to_sql : t -> string

@@ -1,0 +1,988 @@
+module Database = Relkit.Database
+module Schema = Relkit.Schema
+module Value = Relkit.Value
+module Ra = Relkit.Ra
+module Ra_opt = Relkit.Ra_opt
+module Ra_eval = Relkit.Ra_eval
+module Op = Xqgm.Op
+module Expr = Xqgm.Expr
+module Xval = Xqgm.Xval
+module Eval = Xqgm.Eval
+module Xml = Xmlkit.Xml
+module Ast = Xquery.Ast
+module Compile = Xquery.Compile
+module Compose = Xquery.Compose
+
+type strategy = Ungrouped | Grouped | Grouped_agg | Materialized
+
+let strategy_to_string = function
+  | Ungrouped -> "UNGROUPED"
+  | Grouped -> "GROUPED"
+  | Grouped_agg -> "GROUPED-AGG"
+  | Materialized -> "MATERIALIZED"
+
+type firing = {
+  fi_trigger : string;
+  fi_event : Database.event;
+  fi_old : Xml.t option;
+  fi_new : Xml.t option;
+  fi_args : Xval.t list;
+}
+
+type action = firing -> unit
+
+type stats = {
+  mutable sql_firings : int;
+  mutable rows_computed : int;
+  mutable actions_dispatched : int;
+}
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+type tuning = {
+  push_affected_keys : bool;
+  share_subplans : bool;
+}
+
+let default_tuning = { push_affected_keys = true; share_subplans = true }
+
+(* --- execution plan per (group, table): pushed-down or middleware --- *)
+
+type table_plan = {
+  tp_table : string;
+  tp_shred : Pushdown.t option;  (* None: middleware evaluation *)
+  tp_graph : Op.t;  (* the affected-node graph, for middleware / display *)
+  tp_rel_events : Database.event list;
+  tp_relevant_cols : string list;  (* UPDATE transition pruning *)
+  tp_sql : string Lazy.t;  (* rendering deep plans is expensive: on demand *)
+}
+
+and member = {
+  m_trigger : Trigger.t;
+  m_fallback_cond : Ast.expr option;
+  m_args : Ast.expr list;
+}
+
+and group = {
+  g_id : int;
+  g_signature : string;
+  g_event : Database.event;  (* the XML-level event *)
+  g_key : string list;
+  g_consts_table : string;
+  g_needs_old : bool ref;
+  g_needs_new : bool ref;
+  g_node_compare : bool;
+  g_plans : table_plan list;
+  mutable g_members : (string (* cid *) * member list) list;  (* keyed by cid *)
+  mutable g_next_cid : int;
+  g_consts_index : (string, int * string) Hashtbl.t;
+      (* constants vector -> (cid, current trig_ids); avoids rescanning the
+         constants table when the 100 000th similar trigger arrives *)
+  g_monitored : Compose.monitored;
+  g_view : string;
+}
+
+and t = {
+  db : Database.t;
+  strat : strategy;
+  tuning : tuning;
+  mutable views : (string * Compile.view) list;
+  mutable actions : (string * action) list;
+  mutable groups : group list;
+  mutable trigger_index : (string * group) list;  (* trigger name -> group *)
+  (* Materialized baseline: one snapshot per (view, path) *)
+  mutable snapshots : (string * (string * Xml.t) list ref) list;
+  counters : stats;
+  mutable next_group : int;
+  template_cache : (string, template_plans) Hashtbl.t;
+}
+
+(* Compiled plan templates, shared across groups of this manager with the
+   same structure: trigger compile time is paid once per structure, so
+   installing 100 000 similar triggers stays cheap. *)
+and template_plans = {
+  tmpl_key : string list;
+  tmpl_node_compare : bool;
+  tmpl_plans :
+    (string (* table *) * Pushdown.t option * Op.t * Database.event list * string list)
+    list;
+}
+
+let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
+  { db;
+    strat = strategy;
+    tuning;
+    views = [];
+    actions = [];
+    groups = [];
+    trigger_index = [];
+    snapshots = [];
+    counters = { sql_firings = 0; rows_computed = 0; actions_dispatched = 0 };
+    next_group = 0;
+    template_cache = Hashtbl.create 16;
+  }
+
+let database t = t.db
+let strategy t = t.strat
+let stats t = t.counters
+
+let reset_stats t =
+  t.counters.sql_firings <- 0;
+  t.counters.rows_computed <- 0;
+  t.counters.actions_dispatched <- 0
+
+let schema_of t name =
+  match Database.find_table t.db name with
+  | Some tbl -> Relkit.Table.schema tbl
+  | None -> fail "unknown table %S" name
+
+let define_view t ~name text =
+  if List.mem_assoc name t.views then fail "view %S already exists" name;
+  match Compile.view_of_string ~schema_of:(schema_of t) ~name text with
+  | view -> t.views <- (name, view) :: t.views
+  | exception Compile.Unsupported msg -> fail "cannot compile view %S: %s" name msg
+  | exception Xquery.Parser.Parse_error msg -> fail "cannot parse view %S: %s" name msg
+  | exception Xqgm.Keys.Not_trigger_specifiable msg ->
+    fail "view %S is not trigger-specifiable (Theorem 1): %s" name msg
+
+let register_action t ~name action =
+  t.actions <- (name, action) :: List.remove_assoc name t.actions
+
+let trigger_names t = List.map fst t.trigger_index
+let sql_trigger_count t = Database.trigger_count t.db
+
+let generated_sql t =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun tp -> (Printf.sprintf "group%d/%s" g.g_id tp.tp_table, Lazy.force tp.tp_sql))
+        g.g_plans)
+    t.groups
+
+(* --- constants extraction (trigger grouping, §5.1) --- *)
+
+let gc_col i = Printf.sprintf "gc$%d" i
+
+(* Replace every non-boolean constant by a reference to a constants-table
+   column, sharing the column counter across the given expressions. *)
+let generalize_many (exprs : Expr.t list) : Expr.t list * Value.t list =
+  let consts = ref [] in
+  let rec go = function
+    | Expr.Const (Value.Bool _ as v) -> Expr.Const v
+    | Expr.Const v ->
+      let i = List.length !consts in
+      consts := !consts @ [ v ];
+      Expr.Col (gc_col i)
+    | Expr.Col c -> Expr.Col c
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go a, go b)
+    | Expr.Not e -> Expr.Not (go e)
+    | Expr.Is_null e -> Expr.Is_null (go e)
+    | Expr.Node_eq (a, b) -> Expr.Node_eq (go a, go b)
+    | Expr.Elem _ as e -> e
+  in
+  let gs = List.map go exprs in
+  (gs, !consts)
+
+let value_col_type = function
+  | Value.Int _ -> Schema.TInt
+  | Value.Float _ -> Schema.TFloat
+  | Value.String _ -> Schema.TString
+  | Value.Bool _ -> Schema.TBool
+  | Value.Null -> Schema.TString
+
+(* --- argument / side analysis --- *)
+
+let rec expr_mentions_var name (e : Ast.expr) =
+  match e with
+  | Ast.Path { root = Ast.R_var v; _ } -> v = name
+  | Ast.Lit _ -> false
+  | Ast.Path _ -> false
+  | Ast.Cmp (_, a, b) | Ast.Arith (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+    expr_mentions_var name a || expr_mentions_var name b
+  | Ast.Not e -> expr_mentions_var name e
+  | Ast.Call (_, args) -> List.exists (expr_mentions_var name) args
+  | Ast.Quantified { source; satisfies; _ } ->
+    expr_mentions_var name source || expr_mentions_var name satisfies
+  | Ast.Elem { attrs; content; _ } ->
+    List.exists (fun (_, e) -> expr_mentions_var name e) attrs
+    || List.exists
+         (function
+           | Ast.C_text _ -> false
+           | Ast.C_elem e | Ast.C_enclosed e -> expr_mentions_var name e)
+         content
+  | Ast.Flwor { clauses; where; return } ->
+    List.exists
+      (function Ast.For (_, e) | Ast.Let (_, e) -> expr_mentions_var name e)
+      clauses
+    || (match where with Some w -> expr_mentions_var name w | None -> false)
+    || expr_mentions_var name return
+
+let validate_arg (a : Ast.expr) =
+  let rec ok = function
+    | Ast.Lit _ -> true
+    | Ast.Path { root = Ast.R_var ("OLD_NODE" | "NEW_NODE"); _ } -> true
+    | Ast.Call (("count" | "sum" | "min" | "max" | "avg"), [ p ]) -> ok p
+    | _ -> false
+  in
+  if not (ok a) then
+    fail "unsupported action argument %s (use OLD_NODE/NEW_NODE paths)" (Ast.expr_to_string a)
+
+let eval_arg ~old_node ~new_node (a : Ast.expr) : Xval.t =
+  let nodes_of (p : Ast.path) =
+    let base =
+      match p.Ast.root with
+      | Ast.R_var "OLD_NODE" -> old_node
+      | Ast.R_var "NEW_NODE" -> new_node
+      | _ -> None
+    in
+    match base with
+    | None -> []
+    | Some node ->
+      if p.Ast.steps = [] then [ node ]
+      else
+        let steps =
+          List.map
+            (fun (s : Ast.step) ->
+              { Xmlkit.Xpath.axis =
+                  (match s.Ast.axis with
+                  | Ast.Child -> Xmlkit.Xpath.Child
+                  | Ast.Descendant -> Xmlkit.Xpath.Descendant
+                  | Ast.Attribute -> Xmlkit.Xpath.Attribute
+                  | Ast.Self -> Xmlkit.Xpath.Self);
+                test =
+                  (if s.Ast.name = "*" then Xmlkit.Xpath.Any
+                   else Xmlkit.Xpath.Name s.Ast.name);
+                preds = [];
+              })
+            p.Ast.steps
+        in
+        Xmlkit.Xpath.eval node { Xmlkit.Xpath.absolute = false; steps }
+  in
+  match a with
+  | Ast.Lit v -> Xval.atom v
+  | Ast.Path p -> Xval.seq (List.map Xval.node (nodes_of p))
+  | Ast.Call ("count", [ Ast.Path p ]) -> Xval.atom (Value.Int (List.length (nodes_of p)))
+  | Ast.Call ((("sum" | "min" | "max" | "avg") as fn), [ Ast.Path p ]) -> (
+    let nums =
+      List.filter_map
+        (fun n -> float_of_string_opt (String.trim (Xml.text_content n)))
+        (nodes_of p)
+    in
+    match nums with
+    | [] -> Xval.atom Value.Null
+    | _ ->
+      let v =
+        match fn with
+        | "sum" -> List.fold_left ( +. ) 0.0 nums
+        | "min" -> List.fold_left Float.min Float.infinity nums
+        | "max" -> List.fold_left Float.max Float.neg_infinity nums
+        | _ -> List.fold_left ( +. ) 0.0 nums /. float_of_int (List.length nums)
+      in
+      Xval.atom (Value.Float v))
+  | _ -> Xval.atom Value.Null
+
+(* --- transition-table pruning (Appendix F.1, refined to scanned columns) --- *)
+
+let prune_ctx (ctx : Ra_eval.ctx) ~table ~pk_slots ~relevant_slots =
+  match List.assoc_opt table ctx.Ra_eval.trans with
+  | None | Some ([], _) | Some (_, []) -> ctx
+  | Some (delta, nabla) ->
+    let key_of row = List.map (fun i -> row.(i)) pk_slots in
+    let nabla_by_pk = Hashtbl.create (List.length nabla) in
+    List.iter
+      (fun row -> Hashtbl.replace nabla_by_pk (List.map Value.to_string (key_of row)) row)
+      nabla;
+    let same_relevant a b =
+      List.for_all (fun i -> Value.equal a.(i) b.(i)) relevant_slots
+    in
+    let dropped_nabla = Hashtbl.create 8 in
+    let delta' =
+      List.filter
+        (fun d ->
+          match Hashtbl.find_opt nabla_by_pk (List.map Value.to_string (key_of d)) with
+          | Some n when same_relevant d n ->
+            Hashtbl.replace dropped_nabla (List.map Value.to_string (key_of n)) ();
+            false
+          | _ -> true)
+        delta
+    in
+    let nabla' =
+      List.filter
+        (fun n ->
+          not (Hashtbl.mem dropped_nabla (List.map Value.to_string (key_of n))))
+        nabla
+    in
+    { ctx with
+      Ra_eval.trans =
+        (table, (delta', nabla'))
+        :: List.remove_assoc table ctx.Ra_eval.trans;
+    }
+
+(* --- installing a group's SQL triggers --- *)
+
+let decode_node = function
+  | Xval.Node n -> Some n
+  | Xval.Atom Value.Null -> None
+  | Xval.Seq [] -> None
+  | v -> fail "unexpected node value %s" (Xval.to_string v)
+
+let dispatch t group ~trig_ids ~old_node ~new_node =
+  let members =
+    match List.assoc_opt trig_ids group.g_members with
+    | Some ms -> ms
+    | None -> []
+  in
+  List.iter
+    (fun m ->
+      let passes =
+        match m.m_fallback_cond with
+        | None -> true
+        | Some cond -> Compose.condition_fallback cond ~old_node ~new_node
+      in
+      if passes then begin
+        t.counters.actions_dispatched <- t.counters.actions_dispatched + 1;
+        match List.assoc_opt m.m_trigger.Trigger.action t.actions with
+        | Some action ->
+          action
+            { fi_trigger = m.m_trigger.Trigger.name;
+              fi_event = group.g_event;
+              fi_old = old_node;
+              fi_new = new_node;
+              fi_args = List.map (eval_arg ~old_node ~new_node) m.m_args;
+            }
+        | None -> ()
+      end)
+    members
+
+let install_sql_triggers t group =
+  List.iter
+    (fun tp ->
+      let schema = schema_of t tp.tp_table in
+      let pk_slots =
+        List.map (Schema.col_index schema) schema.Schema.primary_key
+      in
+      let relevant_slots = List.map (Schema.col_index schema) tp.tp_relevant_cols in
+      let body tc =
+        t.counters.sql_firings <- t.counters.sql_firings + 1;
+        let ctx = Ra_eval.ctx_of_trigger tc in
+        let ctx =
+          if tc.Database.event = Database.Update then
+            prune_ctx ctx ~table:tp.tp_table ~pk_slots ~relevant_slots
+          else ctx
+        in
+        let empty =
+          match List.assoc_opt tp.tp_table ctx.Ra_eval.trans with
+          | Some ([], []) -> true
+          | _ -> false
+        in
+        if not empty then begin
+          let cols =
+            [ "trig_ids" ]
+            @ (if !(group.g_needs_old) || group.g_node_compare then [ "old_node" ] else [])
+            @ if !(group.g_needs_new) || group.g_node_compare then [ "new_node" ] else []
+          in
+          let rel =
+            match tp.tp_shred with
+            | Some shred -> Pushdown.render ~cols ctx shred
+            | None ->
+              let full = Eval.eval ctx tp.tp_graph in
+              let slots = List.map (Eval.col_index full) cols in
+              { Eval.cols = Array.of_list cols;
+                rows =
+                  List.map
+                    (fun row -> Array.of_list (List.map (fun i -> row.(i)) slots))
+                    full.Eval.rows;
+              }
+          in
+          t.counters.rows_computed <- t.counters.rows_computed + List.length rel.Eval.rows;
+          let idx c = Eval.col_index rel c in
+          let ti = idx "trig_ids" in
+          let oi = if List.mem "old_node" cols then Some (idx "old_node") else None in
+          let ni = if List.mem "new_node" cols then Some (idx "new_node") else None in
+          List.iter
+            (fun row ->
+              let old_node = Option.bind oi (fun i -> decode_node row.(i)) in
+              let new_node = Option.bind ni (fun i -> decode_node row.(i)) in
+              let spurious =
+                group.g_node_compare
+                &&
+                match old_node, new_node with
+                | Some a, Some b -> Xml.equal a b
+                | _ -> false
+              in
+              if not spurious then
+                let trig_ids =
+                  match row.(ti) with
+                  | Xval.Atom (Value.String s) -> s
+                  | v -> fail "bad trig_ids value %s" (Xval.to_string v)
+                in
+                dispatch t group ~trig_ids ~old_node ~new_node)
+            rel.Eval.rows
+        end
+      in
+      List.iter
+        (fun ev ->
+          Database.create_trigger t.db
+            { Database.trig_name =
+                Printf.sprintf "xmltrig$g%d$%s$%s" group.g_id tp.tp_table
+                  (Database.string_of_event ev);
+              trig_table = tp.tp_table;
+              trig_event = ev;
+              body;
+              (* the full text is available via [generated_sql]; rendering a
+                 deep plan eagerly here would dominate trigger creation *)
+              sql_text =
+                Printf.sprintf "-- SQL trigger for %s (see Runtime.generated_sql)"
+                  tp.tp_table;
+            })
+        tp.tp_rel_events)
+    group.g_plans
+
+(* --- group construction --- *)
+
+let consts_template = "trigconsts$template"
+
+let rec rename_base_table ~from ~to_ (plan : Ra.t) : Ra.t =
+  let go = rename_base_table ~from ~to_ in
+  match plan with
+  | Ra.Scan (Ra.Base tname, renames) when tname = from -> Ra.Scan (Ra.Base to_, renames)
+  | Ra.Scan (s, r) -> Ra.Scan (s, r)
+  | Ra.Values (c, r) -> Ra.Values (c, r)
+  | Ra.Select (p, i) -> Ra.Select (p, go i)
+  | Ra.Project (d, i) -> Ra.Project (d, go i)
+  | Ra.Group_by (k, a, i) -> Ra.Group_by (k, a, go i)
+  | Ra.Distinct i -> Ra.Distinct (go i)
+  | Ra.Order_by (k, i) -> Ra.Order_by (k, go i)
+  | Ra.Shared (id, i) -> Ra.Shared (id, go i)
+  | Ra.Join (k, p, l, r) -> Ra.Join (k, p, go l, go r)
+  | Ra.Union { all; inputs } -> Ra.Union { all; inputs = List.map go inputs }
+
+let rec rename_in_template ~from ~to_ (tpl : Pushdown.template) =
+  match tpl with
+  | Pushdown.T_atom a -> Pushdown.T_atom a
+  | Pushdown.T_elem { tag; attrs; content } ->
+    Pushdown.T_elem
+      { tag; attrs; content = List.map (rename_in_template ~from ~to_) content }
+  | Pushdown.T_frag f ->
+    Pushdown.T_frag
+      { f with
+        Pushdown.f_plan = rename_base_table ~from ~to_ f.Pushdown.f_plan;
+        f_template = rename_in_template ~from ~to_ f.Pushdown.f_template;
+      }
+
+let rename_shred ~from ~to_ (s : Pushdown.t) =
+  { s with
+    Pushdown.plan = rename_base_table ~from ~to_ s.Pushdown.plan;
+    xml =
+      List.map (fun (c, tpl) -> (c, rename_in_template ~from ~to_ tpl)) s.Pushdown.xml;
+  }
+
+let rec rename_op_table ~from ~to_ (op : Op.t) : Op.t =
+  let go = rename_op_table ~from ~to_ in
+  match op.Op.node with
+  | Op.Table { table; binding; cols } ->
+    if table = from then Op.table ~binding to_ cols else op
+  | Op.Select { input; pred } -> Op.select ~pred (go input)
+  | Op.Project { input; defs } -> Op.project ~defs (go input)
+  | Op.Join { kind; left; right; pred } -> Op.join ~kind ~pred (go left) (go right)
+  | Op.Group_by { input; keys; aggs; order } -> Op.group_by ~keys ~aggs ~order (go input)
+  | Op.Union { cols; inputs } ->
+    Op.union ~cols (List.map (fun (i, m) -> (go i, m)) inputs)
+
+let signature ~view_name ~path_text ~event ~cond_shape ~n_consts ~strat =
+  Printf.sprintf "%s|%s|%s|%s|%d|%s" view_name path_text
+    (Database.string_of_event event)
+    cond_shape n_consts
+    (match strat with Grouped_agg -> "agg" | _ -> "plain")
+
+let build_template t ~monitored ~event ~cond_rel ~nested ~n_consts =
+  (* spurious-update checking (Appendix E.1/F): injective views need none;
+     aggregate-only non-injectivity compares the aggregate columns in the
+     plan; otherwise the tagger compares the full nodes *)
+  let node_compare = ref false in
+  let verdict_check table =
+    if event <> Database.Update then Angraph.No_check
+    else
+      match Xqgm.Injective.analyze ~table ~schema_of:(schema_of t) monitored.Compose.m_op with
+      | Xqgm.Injective.Injective -> Angraph.No_check
+      | Xqgm.Injective.Agg_only cols -> Angraph.Compare_cols cols
+      | Xqgm.Injective.Opaque ->
+        node_compare := true;
+        Angraph.No_check
+  in
+  let consts_cols =
+    ("cid", "cid") :: ("trig_ids", "trig_ids")
+    :: List.init n_consts (fun i -> (gc_col i, gc_col i))
+  in
+  let consts_op = Op.table consts_template consts_cols in
+  let events =
+    Event_pushdown.source_events monitored.Compose.m_op event
+  in
+  let tables = List.sort_uniq compare (List.map (fun e -> e.Event_pushdown.ev_table) events) in
+  let m : Angraph.monitored =
+    { Angraph.graph = monitored.Compose.m_op;
+      node_col = monitored.Compose.m_node_col;
+      key = monitored.Compose.m_key;
+    }
+  in
+  let plans =
+    List.filter_map
+      (fun table ->
+        let check = verdict_check table in
+        match
+          Angraph.create ~schema_of:(schema_of t) ~event ~table ~check ?cond:cond_rel
+            ~consts:consts_op ?nested m
+        with
+        | None -> None
+        | Some an ->
+          let shred =
+            match Pushdown.shred an.Angraph.graph with
+            | shred ->
+              (* Pass order matters: (1) restrict by affected keys — before
+                 the GROUPED-AGG rewrite introduces transition scans into the
+                 old side, which would hide the restriction opportunity;
+                 (2) invert old aggregates; (3) share common subplans — a
+                 shared plan is evaluated once, so it must already contain
+                 the affected-keys join (ProductCount over AffectedKeys,
+                 Fig. 16). *)
+              let shred =
+                if t.tuning.push_affected_keys then
+                  { shred with
+                    Pushdown.plan = Ra_opt.push_transition_joins shred.Pushdown.plan;
+                  }
+                else shred
+              in
+              let shred =
+                if t.strat = Grouped_agg then
+                  Pushdown.invert_old_aggregates ~table shred
+                else shred
+              in
+              let plan =
+                if t.tuning.share_subplans then
+                  Ra_opt.share_common_subplans shred.Pushdown.plan
+                else shred.Pushdown.plan
+              in
+              Some { shred with Pushdown.plan }
+            | exception Pushdown.Not_pushable _ -> None
+          in
+          let rel_events =
+            List.filter_map
+              (fun e ->
+                if e.Event_pushdown.ev_table = table then Some e.Event_pushdown.ev_event
+                else None)
+              events
+            |> List.sort_uniq compare
+          in
+          let relevant = Event_pushdown.relevant_columns monitored.Compose.m_op ~table in
+          Some (table, shred, an.Angraph.graph, rel_events, relevant))
+      tables
+  in
+  { tmpl_key = monitored.Compose.m_key; tmpl_node_compare = !node_compare; tmpl_plans = plans }
+
+let instantiate_template tmpl ~consts_table =
+  List.map
+    (fun (table, shred, graph, rel_events, relevant) ->
+      let shred = Option.map (rename_shred ~from:consts_template ~to_:consts_table) shred in
+      let graph = rename_op_table ~from:consts_template ~to_:consts_table graph in
+      let sql =
+        lazy
+          (match shred with
+          | Some s -> Pushdown.to_sql s
+          | None ->
+            "-- middleware evaluation (plan not pushable):\n" ^ Xqgm.Print.to_string graph)
+      in
+      { tp_table = table;
+        tp_shred = shred;
+        tp_graph = graph;
+        tp_rel_events = rel_events;
+        tp_relevant_cols = relevant;
+        tp_sql = sql;
+      })
+    tmpl.tmpl_plans
+
+(* --- consts table management --- *)
+
+let create_consts_table t ~name ~consts =
+  let cols =
+    [ ("cid", Schema.TInt); ("trig_ids", Schema.TString) ]
+    @ List.mapi (fun i v -> (gc_col i, value_col_type v)) consts
+  in
+  Database.create_table t.db
+    (Schema.make ~name ~columns:cols ~primary_key:[ "cid" ] ());
+  (* the generated plans probe the constants table by constant value *)
+  List.iteri (fun i _ -> Database.create_index t.db ~table:name ~column:(gc_col i)) consts
+
+let add_member_constants t group ~consts ~trig_name =
+  let key = String.concat "\x00" (List.map Value.to_string consts) in
+  match Hashtbl.find_opt group.g_consts_index key with
+  | Some (cid, old_ids) ->
+    let new_ids = old_ids ^ "," ^ trig_name in
+    ignore
+      (Database.update_pk t.db ~table:group.g_consts_table ~pk:[ Value.Int cid ]
+         ~set:(fun r ->
+           let r = Array.copy r in
+           r.(1) <- Value.String new_ids;
+           r));
+    Hashtbl.replace group.g_consts_index key (cid, new_ids);
+    (new_ids, old_ids)
+  | None ->
+    let cid = group.g_next_cid in
+    group.g_next_cid <- cid + 1;
+    Database.insert_rows t.db ~table:group.g_consts_table
+      [ Array.of_list (Value.Int cid :: Value.String trig_name :: consts) ];
+    Hashtbl.replace group.g_consts_index key (cid, trig_name);
+    (trig_name, "")
+
+(* --- the Materialized baseline --- *)
+
+let snapshot_key view_name path_text = view_name ^ "#" ^ path_text
+
+let level_snapshot t (m : Compose.monitored) =
+  let rel = Eval.eval (Ra_eval.ctx_of_db t.db) m.Compose.m_op in
+  let kslots = List.map (Eval.col_index rel) m.Compose.m_key in
+  let nslot = Eval.col_index rel m.Compose.m_node_col in
+  List.map
+    (fun row ->
+      let key =
+        String.concat "\x00" (List.map (fun i -> Xval.to_string row.(i)) kslots)
+      in
+      match row.(nslot) with
+      | Xval.Node n -> (key, n)
+      | v -> fail "level row is not a node: %s" (Xval.to_string v))
+    rel.Eval.rows
+
+let install_materialized t (tr : Trigger.t) view_name m =
+  (* one snapshot per trigger: each diff consumes its own before-image *)
+  let key =
+    snapshot_key view_name (Ast.path_to_string tr.Trigger.path) ^ "#" ^ tr.Trigger.name
+  in
+  let snap =
+    match List.assoc_opt key t.snapshots with
+    | Some s -> s
+    | None ->
+      let s = ref (level_snapshot t m) in
+      t.snapshots <- (key, s) :: t.snapshots;
+      s
+  in
+  let events = Event_pushdown.source_events m.Compose.m_op tr.Trigger.event in
+  let body _tc =
+    t.counters.sql_firings <- t.counters.sql_firings + 1;
+    let before = !snap in
+    let after = level_snapshot t m in
+    snap := after;
+    let fire ~old_node ~new_node =
+      t.counters.rows_computed <- t.counters.rows_computed + 1;
+      let passes =
+        match tr.Trigger.condition with
+        | None -> true
+        | Some c -> Compose.condition_fallback c ~old_node ~new_node
+      in
+      if passes then begin
+        t.counters.actions_dispatched <- t.counters.actions_dispatched + 1;
+        match List.assoc_opt tr.Trigger.action t.actions with
+        | Some action ->
+          action
+            { fi_trigger = tr.Trigger.name;
+              fi_event = tr.Trigger.event;
+              fi_old = old_node;
+              fi_new = new_node;
+              fi_args =
+                List.map (eval_arg ~old_node ~new_node) tr.Trigger.args;
+            }
+        | None -> ()
+      end
+    in
+    match tr.Trigger.event with
+    | Database.Update ->
+      List.iter
+        (fun (k, old_n) ->
+          match List.assoc_opt k after with
+          | Some new_n when not (Xml.equal old_n new_n) ->
+            fire ~old_node:(Some old_n) ~new_node:(Some new_n)
+          | _ -> ())
+        before
+    | Database.Insert ->
+      List.iter
+        (fun (k, new_n) ->
+          if not (List.mem_assoc k before) then fire ~old_node:None ~new_node:(Some new_n))
+        after
+    | Database.Delete ->
+      List.iter
+        (fun (k, old_n) ->
+          if not (List.mem_assoc k after) then fire ~old_node:(Some old_n) ~new_node:None)
+        before
+  in
+  List.iter
+    (fun ev ->
+      Database.create_trigger t.db
+        { Database.trig_name =
+            Printf.sprintf "xmltrig$mat$%s$%s$%s" tr.Trigger.name ev.Event_pushdown.ev_table
+              (Database.string_of_event ev.Event_pushdown.ev_event);
+          trig_table = ev.Event_pushdown.ev_table;
+          trig_event = ev.Event_pushdown.ev_event;
+          body;
+          sql_text = "-- MATERIALIZED baseline: recompute and diff";
+        })
+    events
+
+(* --- create_trigger: the full pipeline --- *)
+
+let create_trigger t text =
+  let tr = try Trigger.parse text with Trigger.Parse_error msg -> fail "%s" msg in
+  if List.mem_assoc tr.Trigger.name t.trigger_index then
+    fail "trigger %S already exists" tr.Trigger.name;
+  List.iter validate_arg tr.Trigger.args;
+  if not (List.mem_assoc tr.Trigger.action t.actions) then
+    fail "unknown action function %S (register it first)" tr.Trigger.action;
+  let view_name =
+    match tr.Trigger.path.Ast.root with
+    | Ast.R_view v -> v
+    | Ast.R_var _ -> fail "trigger path must be over a view"
+  in
+  let view =
+    match List.assoc_opt view_name t.views with
+    | Some v -> v
+    | None -> fail "unknown view %S" view_name
+  in
+  let m =
+    try Compose.compose_path view tr.Trigger.path with
+    | Compose.Compose_error msg -> fail "%s" msg
+    | Xqgm.Keys.Not_trigger_specifiable msg -> fail "not trigger-specifiable (Theorem 1): %s" msg
+  in
+  (match Xqgm.Keys.trigger_specifiable ~schema_of:(schema_of t) m.Compose.m_op with
+  | Ok () -> ()
+  | Error msg -> fail "view is not trigger-specifiable (Theorem 1): %s" msg);
+  (* event restriction of §2.2: OLD_NODE exists only for UPDATE/DELETE,
+     NEW_NODE only for UPDATE/INSERT *)
+  let uses_old e = expr_mentions_var "OLD_NODE" e in
+  let uses_new e = expr_mentions_var "NEW_NODE" e in
+  let all_exprs = Option.to_list tr.Trigger.condition @ tr.Trigger.args in
+  if tr.Trigger.event = Database.Insert && List.exists uses_old all_exprs then
+    fail "OLD_NODE cannot be used with an INSERT trigger";
+  if tr.Trigger.event = Database.Delete && List.exists uses_new all_exprs then
+    fail "NEW_NODE cannot be used with a DELETE trigger";
+  if t.strat = Materialized then begin
+    install_materialized t tr view_name m;
+    (* materialized triggers are not grouped; track them in a singleton *)
+    let group =
+      { g_id = t.next_group;
+        g_signature = "materialized:" ^ tr.Trigger.name;
+        g_event = tr.Trigger.event;
+        g_key = m.Compose.m_key;
+        g_consts_table = "";
+        g_needs_old = ref true;
+        g_needs_new = ref true;
+        g_node_compare = false;
+        g_plans = [];
+        g_members = [];
+        g_next_cid = 0;
+        g_consts_index = Hashtbl.create 1;
+        g_monitored = m;
+        g_view = view_name;
+      }
+    in
+    t.next_group <- t.next_group + 1;
+    t.groups <- group :: t.groups;
+    t.trigger_index <- (tr.Trigger.name, group) :: t.trigger_index
+  end
+  else begin
+    (* Condition analysis, in decreasing order of pushdown power:
+       (1) a §5.1 nested-count conjunct handled by a grouped subquery,
+       (2) a plain relational predicate,
+       (3) middleware fallback (XPath over the tagged nodes). *)
+    let nested_split = Option.bind tr.Trigger.condition (Compose.compile_nested_count m) in
+    let nested, cond_rel, fallback_cond =
+      match nested_split with
+      | Some (nc, rest) -> (
+        match rest with
+        | None -> (Some nc, None, None)
+        | Some r -> (
+          match Compose.compile_condition m r with
+          | Some e -> (Some nc, Some e, None)
+          | None -> (None, None, tr.Trigger.condition)))
+      | None ->
+        let cond_rel = Option.bind tr.Trigger.condition (Compose.compile_condition m) in
+        let fb =
+          match tr.Trigger.condition, cond_rel with Some c, None -> Some c | _ -> None
+        in
+        (None, cond_rel, fb)
+    in
+    (match fallback_cond with
+    | Some c -> (
+      match Compose.validate_fallback c with
+      | Ok () -> ()
+      | Error msg -> fail "unsupported trigger condition: %s" msg)
+    | None -> ());
+    let shapes, consts =
+      generalize_many
+        (Option.to_list cond_rel
+        @
+        match nested with
+        | Some nc -> [ nc.Compose.nc_inner; nc.Compose.nc_rhs ]
+        | None -> [])
+    in
+    let cond_rel_shape, nested_shape =
+      match cond_rel, nested, shapes with
+      | Some _, Some nc, [ c; i; r ] -> (Some c, Some (nc, i, r))
+      | Some _, None, [ c ] -> (Some c, None)
+      | None, Some nc, [ i; r ] -> (None, Some (nc, i, r))
+      | None, None, [] -> (None, None)
+      | _ -> assert false
+    in
+    let cond_shape =
+      match fallback_cond with
+      | Some c -> "fallback:" ^ Ast.expr_to_string c
+      | None -> (
+        match shapes, nested with
+        | [], None -> "none"
+        | _ ->
+          String.concat "&" (List.map Expr.to_string shapes)
+          ^ (match nested with
+            | Some nc ->
+              "#nested:" ^ nc.Compose.nc_child.Compile.elem_tag
+              ^ (match nc.Compose.nc_side with `Old -> "o" | `New -> "n")
+            | None -> ""))
+    in
+    let path_text = Ast.path_to_string tr.Trigger.path in
+    let grouped = t.strat = Grouped || t.strat = Grouped_agg in
+    let sig_base =
+      signature ~view_name ~path_text ~event:tr.Trigger.event ~cond_shape
+        ~n_consts:(List.length consts) ~strat:t.strat
+    in
+    let group_sig = if grouped then sig_base else sig_base ^ "!" ^ tr.Trigger.name in
+    let member =
+      { m_trigger = tr; m_fallback_cond = fallback_cond; m_args = tr.Trigger.args }
+    in
+    let needs_old =
+      tr.Trigger.event = Database.Delete
+      || List.exists uses_old all_exprs
+      || fallback_cond <> None && List.exists uses_old (Option.to_list tr.Trigger.condition)
+    in
+    let needs_new = tr.Trigger.event <> Database.Delete in
+    let group =
+      match List.find_opt (fun g -> g.g_signature = group_sig) t.groups with
+      | Some g -> g
+      | None ->
+        (* first member: build (or reuse) the plan template and install *)
+        let tmpl =
+          match Hashtbl.find_opt t.template_cache sig_base with
+          | Some tmpl -> tmpl
+          | None ->
+            let an_nested =
+              Option.map
+                (fun ((nc : Compose.nested_count), inner, rhs) ->
+                  { Angraph.an_child = nc.Compose.nc_child.Compile.op;
+                    an_link = nc.Compose.nc_link;
+                    an_side = nc.Compose.nc_side;
+                    an_inner = inner;
+                    an_cmp = nc.Compose.nc_cmp;
+                    an_rhs = rhs;
+                  })
+                nested_shape
+            in
+            let tmpl =
+              build_template t ~monitored:m ~event:tr.Trigger.event
+                ~cond_rel:cond_rel_shape ~nested:an_nested
+                ~n_consts:(List.length consts)
+            in
+            Hashtbl.replace t.template_cache sig_base tmpl;
+            tmpl
+        in
+        let gid = t.next_group in
+        t.next_group <- gid + 1;
+        let consts_table = Printf.sprintf "trigconsts%d" gid in
+        create_consts_table t ~name:consts_table ~consts;
+        let plans = instantiate_template tmpl ~consts_table in
+        let g =
+          { g_id = gid;
+            g_signature = group_sig;
+            g_event = tr.Trigger.event;
+            g_key = tmpl.tmpl_key;
+            g_consts_table = consts_table;
+            g_needs_old = ref false;
+            g_needs_new = ref false;
+            g_node_compare = tmpl.tmpl_node_compare;
+            g_plans = plans;
+            g_members = [];
+            g_next_cid = 0;
+            g_consts_index = Hashtbl.create 64;
+            g_monitored = m;
+            g_view = view_name;
+          }
+        in
+        t.groups <- g :: t.groups;
+        install_sql_triggers t g;
+        g
+    in
+    if needs_old then group.g_needs_old := true;
+    if needs_new then group.g_needs_new := true;
+    let new_ids, old_ids =
+      add_member_constants t group ~consts ~trig_name:tr.Trigger.name
+    in
+    let existing = match List.assoc_opt old_ids group.g_members with Some ms -> ms | None -> [] in
+    group.g_members <-
+      (new_ids, member :: existing) :: List.remove_assoc old_ids group.g_members;
+    t.trigger_index <- (tr.Trigger.name, group) :: t.trigger_index
+  end
+
+let drop_trigger t name =
+  match List.assoc_opt name t.trigger_index with
+  | None -> ()
+  | Some group ->
+    t.trigger_index <- List.remove_assoc name t.trigger_index;
+    group.g_members <-
+      List.filter_map
+        (fun (ids, ms) ->
+          let ms =
+            List.filter (fun m -> m.m_trigger.Trigger.name <> name) ms
+          in
+          if ms = [] then None else Some (ids, ms))
+        group.g_members;
+    (* Materialized triggers installed their SQL triggers under their own
+       name; grouped ones share the group's. *)
+    if group.g_members = [] then begin
+      List.iter
+        (fun tp ->
+          List.iter
+            (fun ev ->
+              Database.drop_trigger t.db
+                (Printf.sprintf "xmltrig$g%d$%s$%s" group.g_id tp.tp_table
+                   (Database.string_of_event ev)))
+            tp.tp_rel_events)
+        group.g_plans;
+      t.groups <- List.filter (fun g -> g.g_id <> group.g_id) t.groups
+    end;
+    List.iter
+      (fun tbl ->
+        List.iter
+          (fun ev ->
+            Database.drop_trigger t.db
+              (Printf.sprintf "xmltrig$mat$%s$%s$%s" name tbl
+                 (Database.string_of_event ev)))
+          [ Database.Insert; Database.Update; Database.Delete ])
+      (Database.table_names t.db)
+
+let view_nodes t ~path =
+  let path =
+    try Xquery.Parser.parse_path path
+    with Xquery.Parser.Parse_error msg -> fail "%s" msg
+  in
+  let view_name =
+    match path.Ast.root with Ast.R_view v -> v | Ast.R_var _ -> fail "bad path root"
+  in
+  let view =
+    match List.assoc_opt view_name t.views with
+    | Some v -> v
+    | None -> fail "unknown view %S" view_name
+  in
+  let m =
+    try Compose.compose_path view path
+    with Compose.Compose_error msg -> fail "%s" msg
+  in
+  let rel = Eval.eval (Ra_eval.ctx_of_db t.db) m.Compose.m_op in
+  let slot = Eval.col_index rel m.Compose.m_node_col in
+  List.filter_map
+    (fun row -> match row.(slot) with Xval.Node n -> Some n | _ -> None)
+    rel.Eval.rows

@@ -1,0 +1,89 @@
+(** The trigger manager — the system architecture of Figure 6.
+
+    A manager owns a set of published views over one database, a registry of
+    external action functions, and the installed XML triggers.  Creating an
+    XML trigger runs the full paper pipeline: parse → compose Path with the
+    view (§3.3) → event pushdown (Appendix C) → affected-node graph (§4) →
+    grouping (§5.1) → pushdown to relational plans (§5.2) → registration of
+    one SQL trigger per (base table, relational event).  When a SQL trigger
+    fires, the plans compute the (OLD_NODE, NEW_NODE) pairs, the tagger
+    rebuilds the XML, and the activation module dispatches to the OCaml
+    action callbacks.
+
+    Strategies match the paper's evaluation:
+    - [Ungrouped]: one plan set per XML trigger (§6's UNGROUPED);
+    - [Grouped]: structurally similar triggers share one plan set
+      parameterized by a constants table (GROUPED);
+    - [Grouped_agg]: GROUPED plus the inverse-maintenance rewrite of
+      aggregates over the pre-update state (GROUPED-AGG);
+    - [Materialized]: the rejected baseline of §1 — keep the monitored view
+      level materialized, recompute and diff on every relevant statement. *)
+
+type strategy = Ungrouped | Grouped | Grouped_agg | Materialized
+
+val strategy_to_string : strategy -> string
+
+(** What the activation module hands to an action callback. *)
+type firing = {
+  fi_trigger : string;  (** XML trigger name *)
+  fi_event : Relkit.Database.event;
+  fi_old : Xmlkit.Xml.t option;  (** OLD_NODE (absent for INSERT) *)
+  fi_new : Xmlkit.Xml.t option;  (** NEW_NODE (absent for DELETE) *)
+  fi_args : Xqgm.Xval.t list;  (** the Action's evaluated parameters *)
+}
+
+type action = firing -> unit
+
+type stats = {
+  mutable sql_firings : int;  (** SQL trigger activations *)
+  mutable rows_computed : int;  (** (OLD, NEW) pairs produced by the plans *)
+  mutable actions_dispatched : int;
+}
+
+type t
+
+exception Error of string
+
+(** Optimizer-pass toggles, for ablation studies (bench target
+    [ablation]).  Both default to on; turning either off is always
+    semantics-preserving, only slower. *)
+type tuning = {
+  push_affected_keys : bool;
+      (** semijoin-restrict plans by the affected keys (§5.2 pushdown) *)
+  share_subplans : bool;  (** common-subplan sharing (the WITH clauses) *)
+}
+
+val default_tuning : tuning
+
+val create : ?strategy:strategy -> ?tuning:tuning -> Relkit.Database.t -> t
+val database : t -> Relkit.Database.t
+val strategy : t -> strategy
+
+(** Compiles and publishes a view; its name is the one used in trigger
+    paths.  @raise Error on parse/compile problems. *)
+val define_view : t -> name:string -> string -> unit
+
+(** Registers an external function callable from trigger actions. *)
+val register_action : t -> name:string -> action -> unit
+
+(** Parses and installs an XML trigger (syntax of §2.2).
+    @raise Error on syntax errors, unknown views/actions, paths over
+    non-trigger-specifiable views (Theorem 1), or unsupported conditions. *)
+val create_trigger : t -> string -> unit
+
+val drop_trigger : t -> string -> unit
+val trigger_names : t -> string list
+
+(** Number of SQL triggers currently registered underneath. *)
+val sql_trigger_count : t -> int
+
+(** The generated SQL trigger texts, for inspection (cf. Figure 16). *)
+val generated_sql : t -> (string * string) list
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Materializes the nodes a trigger path selects (used by
+    {!Maintain} for initial population, and handy for debugging).
+    @raise Error on unknown views or non-composable paths. *)
+val view_nodes : t -> path:string -> Xmlkit.Xml.t list

@@ -1,0 +1,134 @@
+module Database = Relkit.Database
+
+type t = {
+  name : string;
+  event : Database.event;
+  path : Xquery.Ast.path;
+  condition : Xquery.Ast.expr option;
+  action : string;
+  args : Xquery.Ast.expr list;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+(* Find a top-level keyword (outside quotes, parentheses and brackets),
+   case-insensitively, at word boundaries.  Returns its offset. *)
+let find_keyword text kw ~from =
+  let n = String.length text and k = String.length kw in
+  let kw = String.uppercase_ascii kw in
+  let depth = ref 0 in
+  let quote = ref None in
+  let result = ref None in
+  let i = ref from in
+  while !result = None && !i + k <= n do
+    let c = text.[!i] in
+    (match !quote with
+    | Some q -> if c = q then quote := None
+    | None -> (
+      match c with
+      | '\'' | '"' -> quote := Some c
+      | '(' | '[' | '{' -> incr depth
+      | ')' | ']' | '}' -> decr depth
+      | _ ->
+        if !depth = 0 && String.uppercase_ascii (String.sub text !i k) = kw then begin
+          let before_ok = !i = 0 || not (Xquery.Parser.is_word_char text.[!i - 1]) in
+          let after_ok = !i + k >= n || not (Xquery.Parser.is_word_char text.[!i + k]) in
+          if before_ok && after_ok then result := Some !i
+        end));
+    incr i
+  done;
+  !result
+
+let slice text a b = String.trim (String.sub text a (b - a))
+
+let parse text =
+  let must kw from =
+    match find_keyword text kw ~from with
+    | Some i -> i
+    | None -> fail "expected %s in trigger definition" kw
+  in
+  let create_i = must "CREATE" 0 in
+  let trigger_i = must "TRIGGER" create_i in
+  let after_i = must "AFTER" trigger_i in
+  let on_i = must "ON" after_i in
+  let do_i = must "DO" on_i in
+  let where_i = find_keyword text "WHERE" ~from:on_i in
+  let name = slice text (trigger_i + 7) after_i in
+  if name = "" || String.contains name ' ' then fail "malformed trigger name %S" name;
+  let event_str = String.uppercase_ascii (slice text (after_i + 5) on_i) in
+  let event =
+    match event_str with
+    | "UPDATE" -> Database.Update
+    | "INSERT" -> Database.Insert
+    | "DELETE" -> Database.Delete
+    | s -> fail "unknown event %S (expected UPDATE, INSERT or DELETE)" s
+  in
+  let path_end = match where_i with Some w when w < do_i -> w | _ -> do_i in
+  let path_text = slice text (on_i + 2) path_end in
+  let path =
+    try Xquery.Parser.parse_path path_text
+    with Xquery.Parser.Parse_error msg -> fail "bad trigger path: %s" msg
+  in
+  let condition =
+    match where_i with
+    | Some w when w < do_i -> (
+      let cond_text = slice text (w + 5) do_i in
+      try Some (Xquery.Parser.parse_expr cond_text)
+      with Xquery.Parser.Parse_error msg -> fail "bad trigger condition: %s" msg)
+    | _ -> None
+  in
+  let action_text = slice text (do_i + 2) (String.length text) in
+  (* ActionName(arg, arg, ...) *)
+  match String.index_opt action_text '(' with
+  | None ->
+    if action_text = "" then fail "missing trigger action";
+    { name; event; path; condition; action = action_text; args = [] }
+  | Some p ->
+    let action = String.trim (String.sub action_text 0 p) in
+    if action = "" then fail "missing action name";
+    let rest = String.sub action_text p (String.length action_text - p) in
+    if String.length rest < 2 || rest.[String.length rest - 1] <> ')' then
+      fail "malformed action argument list";
+    let inner = String.sub rest 1 (String.length rest - 2) in
+    (* split on top-level commas *)
+    let args = ref [] in
+    let depth = ref 0 and quote = ref None and start = ref 0 in
+    String.iteri
+      (fun i c ->
+        match !quote with
+        | Some q -> if c = q then quote := None
+        | None -> (
+          match c with
+          | '\'' | '"' -> quote := Some c
+          | '(' | '[' | '{' -> incr depth
+          | ')' | ']' | '}' -> decr depth
+          | ',' when !depth = 0 ->
+            args := String.sub inner !start (i - !start) :: !args;
+            start := i + 1
+          | _ -> ()))
+      inner;
+    let args =
+      if String.trim inner = "" then []
+      else
+        List.rev (String.sub inner !start (String.length inner - !start) :: !args)
+    in
+    let args =
+      List.map
+        (fun a ->
+          try Xquery.Parser.parse_expr (String.trim a)
+          with Xquery.Parser.Parse_error msg -> fail "bad action argument %S: %s" a msg)
+        args
+    in
+    { name; event; path; condition; action; args }
+
+let to_string t =
+  Printf.sprintf "CREATE TRIGGER %s AFTER %s ON %s%s DO %s(%s)" t.name
+    (Database.string_of_event t.event)
+    (Xquery.Ast.path_to_string t.path)
+    (match t.condition with
+    | Some c -> " WHERE " ^ Xquery.Ast.expr_to_string c
+    | None -> "")
+    t.action
+    (String.concat ", " (List.map Xquery.Ast.expr_to_string t.args))

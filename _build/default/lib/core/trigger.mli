@@ -1,0 +1,27 @@
+(** The XML trigger specification language (§2.2 of the paper — the subset of
+    Bonifati et al.'s syntax):
+
+    {v
+    CREATE TRIGGER Name AFTER Event ON Path [WHERE Condition] DO Action(args)
+    v}
+
+    [Event] is UPDATE, INSERT or DELETE; [Path] is an XPath expression over a
+    published view; [Condition] is a boolean XQuery expression over OLD_NODE
+    / NEW_NODE; [Action] names an external function registered with the
+    runtime, applied to XQuery expressions over the same two variables. *)
+
+type t = {
+  name : string;
+  event : Relkit.Database.event;
+  path : Xquery.Ast.path;
+  condition : Xquery.Ast.expr option;
+  action : string;
+  args : Xquery.Ast.expr list;
+}
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed trigger text. *)
+val parse : string -> t
+
+val to_string : t -> string

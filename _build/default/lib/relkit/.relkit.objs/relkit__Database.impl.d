@@ -1,0 +1,1 @@
+lib/relkit/database.ml: Array Fun Hashtbl List Printf Schema String Table Value

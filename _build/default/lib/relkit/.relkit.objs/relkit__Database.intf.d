@@ -1,0 +1,1 @@
+lib/relkit/database.mli: Schema Table Value

@@ -1,0 +1,1 @@
+lib/relkit/ra.ml: Format Hashtbl List Printf Schema String Value

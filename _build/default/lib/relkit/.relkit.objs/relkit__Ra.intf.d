@@ -1,0 +1,1 @@
+lib/relkit/ra.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/relkit/ra_eval.ml: Array Database Format Hashtbl List Option Printf Ra Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relkit/ra_eval.mli: Database Format Hashtbl Ra Value

@@ -1,0 +1,1 @@
+lib/relkit/ra_opt.ml: Hashtbl List Marshal Option Printf Ra

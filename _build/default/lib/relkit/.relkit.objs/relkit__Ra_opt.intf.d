@@ -1,0 +1,1 @@
+lib/relkit/ra_opt.mli: Ra

@@ -1,0 +1,1 @@
+lib/relkit/schema.ml: Array Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/relkit/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/relkit/sql.ml: Array Buffer Database Hashtbl List Option Printf Ra Ra_eval Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relkit/sql.mli: Database Ra Ra_eval

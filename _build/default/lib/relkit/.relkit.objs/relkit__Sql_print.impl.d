@@ -1,0 +1,1 @@
+lib/relkit/sql_print.ml: Array Database List Printf Ra String Value

@@ -1,0 +1,1 @@
+lib/relkit/sql_print.mli: Database Ra

@@ -1,0 +1,1 @@
+lib/relkit/table.ml: Array Hashtbl List Printf Schema String Value

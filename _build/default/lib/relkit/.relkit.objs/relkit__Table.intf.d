@@ -1,0 +1,1 @@
+lib/relkit/table.mli: Schema Value

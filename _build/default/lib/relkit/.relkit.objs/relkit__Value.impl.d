@@ -1,0 +1,1 @@
+lib/relkit/value.ml: Bool Buffer Float Format Hashtbl Int Printf String

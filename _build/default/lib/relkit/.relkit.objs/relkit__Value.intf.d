@@ -1,0 +1,1 @@
+lib/relkit/value.mli: Format

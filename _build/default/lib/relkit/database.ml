@@ -1,0 +1,240 @@
+type event = Insert | Update | Delete
+
+let string_of_event = function
+  | Insert -> "INSERT"
+  | Update -> "UPDATE"
+  | Delete -> "DELETE"
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  mutable triggers : trigger list;  (* in creation order *)
+  mutable firing_depth : int;
+}
+
+and trigger_ctx = {
+  db : t;
+  target : string;
+  event : event;
+  inserted : Value.t array list;
+  deleted : Value.t array list;
+}
+
+and trigger = {
+  trig_name : string;
+  trig_table : string;
+  trig_event : event;
+  body : trigger_ctx -> unit;
+  sql_text : string;
+}
+
+let max_firing_depth = 16
+
+let create () = { tables = Hashtbl.create 16; triggers = []; firing_depth = 0 }
+
+let create_table t schema =
+  let name = schema.Schema.name in
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Database.create_table: table %S already exists" name);
+  Hashtbl.add t.tables name (Table.create schema)
+
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let get_table t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> raise Not_found
+
+let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+
+let create_index t ~table ~column = Table.create_index (get_table t table) column
+
+(* --- constraint checking --- *)
+
+let check_row_valid tbl row =
+  match Schema.validate_row (Table.schema tbl) row with
+  | Ok () -> ()
+  | Error msg ->
+    invalid_arg
+      (Printf.sprintf "constraint violation in table %S: %s"
+         (Table.schema tbl).Schema.name msg)
+
+let check_foreign_keys t tbl row =
+  let schema = Table.schema tbl in
+  List.iter
+    (fun fk ->
+      let vals = List.map (fun c -> row.(Schema.col_index schema c)) fk.Schema.fk_columns in
+      if not (List.exists Value.is_null vals) then begin
+        match find_table t fk.Schema.fk_table with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "foreign key references unknown table %S" fk.Schema.fk_table)
+        | Some parent ->
+          let pschema = Table.schema parent in
+          let found =
+            if fk.Schema.fk_ref_columns = pschema.Schema.primary_key then
+              Table.find_pk parent vals <> None
+            else begin
+              match fk.Schema.fk_ref_columns, vals with
+              | [ col ], [ v ] -> Table.lookup parent ~column:col v <> []
+              | _ -> true (* composite non-PK references are not enforced *)
+            end
+          in
+          if not found then
+            invalid_arg
+              (Printf.sprintf
+                 "foreign key violation: (%s) not present in %S(%s)"
+                 (String.concat ", " (List.map Value.to_string vals))
+                 fk.Schema.fk_table
+                 (String.concat ", " fk.Schema.fk_ref_columns))
+      end)
+    schema.Schema.foreign_keys
+
+let check_uniques tbl row =
+  let schema = Table.schema tbl in
+  List.iter
+    (fun ucols ->
+      match ucols with
+      | [ col ] ->
+        let v = row.(Schema.col_index schema col) in
+        if (not (Value.is_null v)) && Table.lookup tbl ~column:col v <> [] then
+          invalid_arg
+            (Printf.sprintf "unique violation on %S.%s = %s" schema.Schema.name col
+               (Value.to_string v))
+      | _ ->
+        (* Composite uniques are checked only against the PK path; a full
+           implementation would keep a composite index.  Not needed by the
+           paper's workloads. *)
+        ())
+    schema.Schema.uniques
+
+(* --- trigger firing --- *)
+
+let fire_triggers t ~target ~event ~inserted ~deleted =
+  let to_fire =
+    List.filter (fun tr -> tr.trig_table = target && tr.trig_event = event) t.triggers
+  in
+  if to_fire <> [] then begin
+    if t.firing_depth >= max_firing_depth then
+      invalid_arg "Database: trigger recursion depth exceeded";
+    t.firing_depth <- t.firing_depth + 1;
+    let ctx = { db = t; target; event; inserted; deleted } in
+    Fun.protect
+      ~finally:(fun () -> t.firing_depth <- t.firing_depth - 1)
+      (fun () -> List.iter (fun tr -> tr.body ctx) to_fire)
+  end
+
+(* --- DML --- *)
+
+let validate_batch t tbl rows =
+  List.iter
+    (fun row ->
+      check_row_valid tbl row;
+      check_uniques tbl row;
+      check_foreign_keys t tbl row)
+    rows;
+  (* Detect duplicate PKs within the batch before mutating anything. *)
+  let seen = Hashtbl.create (List.length rows) in
+  List.iter
+    (fun row ->
+      let pk = Schema.pk_of_row (Table.schema tbl) row in
+      let key = List.map Value.to_string pk in
+      if Hashtbl.mem seen key then
+        invalid_arg "duplicate primary key within inserted batch";
+      Hashtbl.add seen key ())
+    rows
+
+let insert_no_fire t ~table rows =
+  let tbl = get_table t table in
+  validate_batch t tbl rows;
+  List.iter
+    (fun row ->
+      if Table.find_pk tbl (Schema.pk_of_row (Table.schema tbl) row) <> None then
+        invalid_arg
+          (Printf.sprintf "duplicate primary key on insert into %S" table);
+      Table.insert_exn tbl row)
+    rows
+
+let insert_rows t ~table rows =
+  insert_no_fire t ~table rows;
+  if rows <> [] then fire_triggers t ~target:table ~event:Insert ~inserted:rows ~deleted:[]
+
+let load_rows = insert_no_fire
+
+let update_rows t ~table ~where ~set =
+  let tbl = get_table t table in
+  let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
+  let pairs = List.map (fun old -> (old, set old)) victims in
+  List.iter (fun (_, row) -> check_row_valid tbl row) pairs;
+  let schema = Table.schema tbl in
+  List.iter
+    (fun (old, row) ->
+      let old_pk = Schema.pk_of_row schema old in
+      let new_pk = Schema.pk_of_row schema row in
+      if List.equal Value.equal old_pk new_pk then ignore (Table.replace_exn tbl row)
+      else begin
+        ignore (Table.delete_pk tbl old_pk);
+        Table.insert_exn tbl row
+      end;
+      check_foreign_keys t tbl row)
+    pairs;
+  if pairs <> [] then
+    fire_triggers t ~target:table ~event:Update
+      ~inserted:(List.map snd pairs)
+      ~deleted:(List.map fst pairs);
+  List.length pairs
+
+let update_pk t ~table ~pk ~set =
+  let tbl = get_table t table in
+  match Table.find_pk tbl pk with
+  | None -> false
+  | Some old ->
+    let row = set old in
+    check_row_valid tbl row;
+    let schema = Table.schema tbl in
+    let new_pk = Schema.pk_of_row schema row in
+    if List.equal Value.equal pk new_pk then ignore (Table.replace_exn tbl row)
+    else begin
+      ignore (Table.delete_pk tbl pk);
+      Table.insert_exn tbl row
+    end;
+    check_foreign_keys t tbl row;
+    fire_triggers t ~target:table ~event:Update ~inserted:[ row ] ~deleted:[ old ];
+    true
+
+let delete_rows t ~table ~where =
+  let tbl = get_table t table in
+  let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
+  let schema = Table.schema tbl in
+  List.iter (fun row -> ignore (Table.delete_pk tbl (Schema.pk_of_row schema row))) victims;
+  if victims <> [] then
+    fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:victims;
+  List.length victims
+
+let delete_pk t ~table ~pk =
+  let tbl = get_table t table in
+  match Table.delete_pk tbl pk with
+  | None -> false
+  | Some old ->
+    fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:[ old ];
+    true
+
+(* --- trigger catalog --- *)
+
+let create_trigger t trigger =
+  if List.exists (fun tr -> tr.trig_name = trigger.trig_name) t.triggers then
+    invalid_arg
+      (Printf.sprintf "Database.create_trigger: trigger %S already exists"
+         trigger.trig_name);
+  if not (Hashtbl.mem t.tables trigger.trig_table) then
+    invalid_arg
+      (Printf.sprintf "Database.create_trigger: unknown table %S" trigger.trig_table);
+  t.triggers <- t.triggers @ [ trigger ]
+
+let drop_trigger t name =
+  t.triggers <- List.filter (fun tr -> tr.trig_name <> name) t.triggers
+
+let triggers_on t ~table ~event =
+  List.filter (fun tr -> tr.trig_table = table && tr.trig_event = event) t.triggers
+
+let trigger_count t = List.length t.triggers
+let trigger_sql t = List.map (fun tr -> (tr.trig_name, tr.sql_text)) t.triggers

@@ -1,0 +1,87 @@
+(** The database: a catalog of tables, DML statements that compute transition
+    tables, and statement-level AFTER triggers (the SQL-trigger substrate of
+    the paper, §2.3).
+
+    Every DML call ([insert_rows] / [update_rows] / [delete_rows]) is one SQL
+    statement: it applies the change, then fires each AFTER trigger defined
+    on that (table, event) once, passing the [INSERTED] (Δ) and [DELETED]
+    (∇) transition tables — exactly DB2's [FOR EACH STATEMENT ... REFERENCING
+    OLD_TABLE AS DELETED, NEW_TABLE AS INSERTED] semantics. *)
+
+type t
+
+type event = Insert | Update | Delete
+
+val string_of_event : event -> string
+
+(** Context passed to a firing trigger: the post-update database plus the
+    statement's transition tables. *)
+type trigger_ctx = {
+  db : t;
+  target : string;  (** table the statement modified *)
+  event : event;
+  inserted : Value.t array list;  (** Δtable: new versions (empty on DELETE) *)
+  deleted : Value.t array list;  (** ∇table: old versions (empty on INSERT) *)
+}
+
+type trigger = {
+  trig_name : string;
+  trig_table : string;
+  trig_event : event;
+  body : trigger_ctx -> unit;
+  sql_text : string;  (** printable form of the generated trigger *)
+}
+
+val create : unit -> t
+
+(** @raise Invalid_argument on duplicate table name. *)
+val create_table : t -> Schema.t -> unit
+
+(** @raise Not_found if absent. *)
+val get_table : t -> string -> Table.t
+
+val find_table : t -> string -> Table.t option
+val table_names : t -> string list
+
+(** Secondary index management (delegates to {!Table}). *)
+val create_index : t -> table:string -> column:string -> unit
+
+(** [insert_rows db ~table rows] validates each row (types, NOT NULL, PK
+    uniqueness, FK references), inserts them, and fires AFTER INSERT
+    triggers once with Δ = [rows].
+    @raise Invalid_argument on constraint violation (the statement is not
+    applied in that case). *)
+val insert_rows : t -> table:string -> Value.t array list -> unit
+
+(** Bulk load: validates and inserts without firing triggers (used to build
+    benchmark databases). *)
+val load_rows : t -> table:string -> Value.t array list -> unit
+
+(** [update_rows db ~table ~where ~set] updates all rows satisfying [where],
+    firing AFTER UPDATE triggers once with ∇ = old versions and Δ = new
+    versions.  Returns the number of rows updated. *)
+val update_rows :
+  t ->
+  table:string ->
+  where:(Value.t array -> bool) ->
+  set:(Value.t array -> Value.t array) ->
+  int
+
+(** Keyed single-row update (fast path: no table scan).  Returns [true] if a
+    row with that primary key existed. *)
+val update_pk :
+  t -> table:string -> pk:Value.t list -> set:(Value.t array -> Value.t array) -> bool
+
+val delete_rows : t -> table:string -> where:(Value.t array -> bool) -> int
+val delete_pk : t -> table:string -> pk:Value.t list -> bool
+
+(** Trigger catalog.  Triggers fire in creation order.
+    @raise Invalid_argument on duplicate trigger name or unknown table. *)
+val create_trigger : t -> trigger -> unit
+
+val drop_trigger : t -> string -> unit
+val triggers_on : t -> table:string -> event:event -> trigger list
+val trigger_count : t -> int
+
+(** All triggers' printable SQL, for inspection. *)
+val trigger_sql : t -> (string * string) list

@@ -1,0 +1,61 @@
+(** Executor for {!Ra} plans.
+
+    Physical planning is done on the fly:
+    - equi-join conjuncts are detected and executed as hash joins;
+    - a join whose inner side is a (possibly filtered) scan of a base table
+      with a usable index — or of [Old_of] — runs as an index-nested-loop
+      join, probing per outer row;
+    - probes against [Old_of b] hit [b]'s index and patch the result with the
+      statement's Δ/∇ rows, so the pre-update state is never materialized
+      (Design decision 2 in DESIGN.md). *)
+
+type rel = {
+  cols : string array;
+  rows : Value.t array list;
+}
+
+(** Evaluation context: the (post-update) database plus the transition
+    tables of the firing statement, and any auxiliary named relations. *)
+type ctx = {
+  db : Database.t;
+  trans : (string * (Value.t array list * Value.t array list)) list;
+      (** table → (Δ rows, ∇ rows) *)
+  rels : (string * rel) list;  (** bindings for {!Ra.Rel} sources *)
+  shared_memo : (int, rel) Hashtbl.t;
+      (** per-firing cache for {!Ra.Shared} subplans; fresh in each context *)
+}
+
+val ctx_of_trigger : Database.trigger_ctx -> ctx
+
+(** Context over a quiescent database: all transition tables empty. *)
+val ctx_of_db : Database.t -> ctx
+
+(** @raise Invalid_argument on malformed plans or unknown sources. *)
+val eval : ctx -> Ra.t -> rel
+
+(** Rows of table [name] in the pre-statement state, reconstructed from the
+    current contents and the transition tables (the paper's B_old). *)
+val old_rows : ctx -> string -> Value.t array list
+
+(** The (Δ, ∇) transition rows recorded for a table (empty pair if none). *)
+val transitions : ctx -> string -> Value.t array list * Value.t array list
+
+(** Column position in a relation.  @raise Not_found if absent. *)
+val col_index : rel -> string -> int
+
+(** Rows as association lists, for tests. *)
+val rows_assoc : rel -> (string * Value.t) list list
+
+(** Deterministically sorted copy (all columns ascending), for comparisons. *)
+val sorted : rel -> rel
+
+val equal_rel : rel -> rel -> bool
+val pp_rel : Format.formatter -> rel -> unit
+
+(** Debug / test accounting of rows materialized by full source scans (index
+    probes do not count).  Tests use this to assert that affected-key
+    pushdown keeps per-update work independent of table sizes. *)
+val reset_scan_rows : unit -> unit
+
+val scan_rows_total : unit -> int
+val scan_rows_report : unit -> (string * int) list

@@ -1,0 +1,36 @@
+(** Plan rewrites used by trigger pushdown (§5.2 of the paper).
+
+    [push_semijoin] restricts a plan to the rows whose link columns appear in
+    a (small) key relation, pushing the restriction as deep as possible —
+    through selections, projections, one side of a join, grouping columns and
+    unions — so that base-table and OLD-OF scans are probed by index instead
+    of scanned.  This is the "push down the join on affected keys"
+    transformation that keeps per-update cost proportional to the number of
+    affected nodes (Figure 16, lines 15-20; Figure 23's flat scaling). *)
+
+(** [push_semijoin ~keys ~on plan] returns a plan with the same columns as
+    [plan] whose rows are those of [plan] matching some row of [keys] on the
+    [on] pairs [(plan column, keys column)].  [keys] is deduplicated
+    internally, so multiplicities of [plan] are preserved.  [Ra.Shared]
+    subplans are never rewritten (the restriction attaches above them). *)
+val push_semijoin : keys:Ra.t -> on:(string * string) list -> Ra.t -> Ra.t
+
+(** As {!push_semijoin}, but [None] when the restriction could only attach at
+    the plan's root (no progress was made).  Used by the executor's sideways
+    information passing to avoid rewriting plans it cannot improve. *)
+val push_semijoin_deep :
+  keys:Ra.t -> on:(string * string) list -> Ra.t -> Ra.t option
+
+(** [push_transition_joins plan] finds inner joins where exactly one side
+    derives from the statement's transition tables (Δ/∇ scans somewhere
+    below) and semijoin-restricts the other side by it — the paper's
+    "push down the join on affected keys" (Figure 16: ProductCount computes
+    counts only for AffectedKeys).  The transition side is wrapped in
+    {!Ra.Shared} so it is evaluated once per firing. *)
+val push_transition_joins : Ra.t -> Ra.t
+
+(** Structural common-subexpression elimination: identical subtrees
+    containing at least one join or group-by are wrapped in a single
+    {!Ra.Shared} so the engine evaluates them once per firing (the WITH
+    clauses of the generated SQL trigger). *)
+val share_common_subplans : Ra.t -> Ra.t

@@ -1,0 +1,120 @@
+type col_type = TInt | TFloat | TString | TBool
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+  nullable : bool;
+}
+
+type foreign_key = {
+  fk_columns : string list;
+  fk_table : string;
+  fk_ref_columns : string list;
+}
+
+type t = {
+  name : string;
+  columns : column list;
+  primary_key : string list;
+  uniques : string list list;
+  foreign_keys : foreign_key list;
+}
+
+let column_names t = List.map (fun c -> c.col_name) t.columns
+
+let has_column t name = List.exists (fun c -> c.col_name = name) t.columns
+
+let col_index t name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | c :: rest -> if c.col_name = name then i else go (i + 1) rest
+  in
+  go 0 t.columns
+
+let arity t = List.length t.columns
+
+let check_cols_exist t what cols =
+  List.iter
+    (fun c ->
+      if not (has_column t c) then
+        invalid_arg
+          (Printf.sprintf "Schema.make: %s references unknown column %S in table %S"
+             what c t.name))
+    cols
+
+let make ?(uniques = []) ?(foreign_keys = []) ~name ~columns ~primary_key () =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c, _) ->
+      if Hashtbl.mem seen c then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S in %S" c name);
+      Hashtbl.add seen c ())
+    columns;
+  let mk_col (col_name, col_type) =
+    (* Primary-key columns are implicitly NOT NULL. *)
+    { col_name; col_type; nullable = not (List.mem col_name primary_key) }
+  in
+  let t =
+    { name;
+      columns = List.map mk_col columns;
+      primary_key;
+      uniques;
+      foreign_keys;
+    }
+  in
+  check_cols_exist t "primary key" primary_key;
+  List.iter (check_cols_exist t "unique constraint") uniques;
+  List.iter (fun fk -> check_cols_exist t "foreign key" fk.fk_columns) foreign_keys;
+  t
+
+let string_of_col_type = function
+  | TInt -> "INT"
+  | TFloat -> "FLOAT"
+  | TString -> "VARCHAR"
+  | TBool -> "BOOLEAN"
+
+let type_matches ty (v : Value.t) =
+  match ty, v with
+  | TInt, Value.Int _ -> true
+  | TFloat, (Value.Float _ | Value.Int _) -> true
+  | TString, Value.String _ -> true
+  | TBool, Value.Bool _ -> true
+  | (TInt | TFloat | TString | TBool), _ -> false
+
+let validate_row t row =
+  if Array.length row <> arity t then
+    Error
+      (Printf.sprintf "row arity %d does not match table %S arity %d"
+         (Array.length row) t.name (arity t))
+  else begin
+    let err = ref None in
+    List.iteri
+      (fun i c ->
+        if !err = None then
+          match row.(i) with
+          | Value.Null ->
+            if not c.nullable then
+              err := Some (Printf.sprintf "NULL in non-nullable column %S" c.col_name)
+          | v ->
+            if not (type_matches c.col_type v) then
+              err :=
+                Some
+                  (Printf.sprintf "value %s has wrong type for column %S (%s)"
+                     (Value.to_string v) c.col_name
+                     (string_of_col_type c.col_type)))
+      t.columns;
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let pk_of_row t row = List.map (fun c -> row.(col_index t c)) t.primary_key
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>TABLE %s (" t.name;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,%s %s%s," c.col_name
+        (string_of_col_type c.col_type)
+        (if c.nullable then "" else " NOT NULL"))
+    t.columns;
+  Format.fprintf ppf "@,PRIMARY KEY (%s)" (String.concat ", " t.primary_key);
+  Format.fprintf ppf ")@]"

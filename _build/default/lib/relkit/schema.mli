@@ -1,0 +1,58 @@
+(** Table schemas: typed columns, primary keys, unique and foreign-key
+    constraints.
+
+    Rows are stored as [Value.t array] in schema column order; [col_index]
+    maps a column name to its array slot. *)
+
+type col_type = TInt | TFloat | TString | TBool
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+  nullable : bool;
+}
+
+type foreign_key = {
+  fk_columns : string list;  (** referencing columns in this table *)
+  fk_table : string;  (** referenced table *)
+  fk_ref_columns : string list;  (** referenced columns (usually its PK) *)
+}
+
+type t = {
+  name : string;
+  columns : column list;
+  primary_key : string list;  (** non-empty for trigger-specifiable tables *)
+  uniques : string list list;
+  foreign_keys : foreign_key list;
+}
+
+(** Build a schema.  @raise Invalid_argument if the primary key or a
+    constraint references an unknown column, or column names repeat. *)
+val make :
+  ?uniques:string list list ->
+  ?foreign_keys:foreign_key list ->
+  name:string ->
+  columns:(string * col_type) list ->
+  primary_key:string list ->
+  unit ->
+  t
+
+val column_names : t -> string list
+
+(** Position of a column in the row array.  @raise Not_found if absent. *)
+val col_index : t -> string -> int
+
+val has_column : t -> string -> bool
+val arity : t -> int
+
+(** Type name as it appears in SQL DDL ([INT], [FLOAT], …). *)
+val string_of_col_type : col_type -> string
+
+(** Checks arity, column types ([Null] only in nullable columns).
+    @return an error description on failure. *)
+val validate_row : t -> Value.t array -> (unit, string) result
+
+(** Primary-key projection of a row, in PK column order. *)
+val pk_of_row : t -> Value.t array -> Value.t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** A SQL front-end for the relational substrate: DDL, DML and a SELECT
+    subset, compiled onto {!Schema} / {!Database} / {!Ra}.
+
+    This is the surface a downstream user of `relkit` scripts against (and
+    what the CLI accepts); the trigger-translation pipeline itself constructs
+    {!Ra} plans directly.
+
+    Supported statements:
+    {v
+    CREATE TABLE t (c INT [PRIMARY KEY], d VARCHAR, …,
+                    PRIMARY KEY (c, …),
+                    FOREIGN KEY (c) REFERENCES t2 (c2))
+    CREATE INDEX ON t (c)
+    INSERT INTO t VALUES (v, …), (v, …)
+    UPDATE t SET c = expr, … [WHERE expr]
+    DELETE FROM t [WHERE expr]
+    SELECT expr [AS name], … | *
+      FROM t [alias] [, t2 [alias] …]
+      [WHERE expr]
+      [GROUP BY col, …] [HAVING expr]
+      [ORDER BY col [ASC|DESC], …]
+    v}
+
+    Expressions: column references ([c] or [alias.c]), literals, arithmetic,
+    comparisons, [AND]/[OR]/[NOT], [IS [NOT] NULL], and the aggregates
+    COUNT star, [COUNT(c)], [SUM], [MIN], [MAX], [AVG] in the SELECT list or
+    HAVING clause.  Keywords are case-insensitive. *)
+
+exception Error of string
+
+type result =
+  | Rows of Ra_eval.rel  (** SELECT *)
+  | Affected of int  (** INSERT/UPDATE/DELETE: row count *)
+  | Done  (** DDL *)
+
+(** Executes one statement (DML fires triggers as usual).
+    @raise Error on parse, planning or constraint problems. *)
+val exec : Database.t -> string -> result
+
+(** Parses and plans a SELECT without executing it. *)
+val plan_select : Database.t -> string -> Ra.t
+
+(** Executes a whole script (statements separated by [;]); returns the
+    results in order. *)
+val exec_script : Database.t -> string -> result list

@@ -1,0 +1,144 @@
+let string_of_binop = function
+  | Ra.Eq -> "="
+  | Ra.Neq -> "<>"
+  | Ra.Lt -> "<"
+  | Ra.Le -> "<="
+  | Ra.Gt -> ">"
+  | Ra.Ge -> ">="
+  | Ra.And -> "AND"
+  | Ra.Or -> "OR"
+  | Ra.Add -> "+"
+  | Ra.Sub -> "-"
+  | Ra.Mul -> "*"
+  | Ra.Div -> "/"
+  | Ra.Mod -> "%"
+
+let rec expr_to_sql = function
+  | Ra.Col c -> c
+  | Ra.Const v -> Value.to_sql_literal v
+  | Ra.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_sql a) (string_of_binop op) (expr_to_sql b)
+  | Ra.Not e -> Printf.sprintf "NOT (%s)" (expr_to_sql e)
+  | Ra.Is_null e -> Printf.sprintf "(%s IS NULL)" (expr_to_sql e)
+
+let agg_to_sql = function
+  | Ra.Count_star -> "COUNT(*)"
+  | Ra.Count e -> Printf.sprintf "COUNT(%s)" (expr_to_sql e)
+  | Ra.Sum e -> Printf.sprintf "SUM(%s)" (expr_to_sql e)
+  | Ra.Min e -> Printf.sprintf "MIN(%s)" (expr_to_sql e)
+  | Ra.Max e -> Printf.sprintf "MAX(%s)" (expr_to_sql e)
+  | Ra.Avg e -> Printf.sprintf "AVG(%s)" (expr_to_sql e)
+
+let source_to_sql = function
+  | Ra.Base t -> t
+  | Ra.Delta _ -> "INSERTED"
+  | Ra.Nabla _ -> "DELETED"
+  | Ra.Old_of t ->
+    Printf.sprintf
+      "((SELECT * FROM %s EXCEPT SELECT * FROM INSERTED) UNION ALL (SELECT * FROM DELETED))"
+      t
+  | Ra.Rel t -> t
+
+let indent s =
+  String.split_on_char '\n' s |> List.map (fun l -> "  " ^ l) |> String.concat "\n"
+
+(* Each plan node renders as a full SELECT query (wrapped as a derived table
+   when nested).  A fresh alias generator keeps derived tables distinct. *)
+let fresh_alias =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "q%d" !n
+
+(* Shared subplans print as WITH clauses collected by [plan_to_sql]. *)
+let rec to_select (plan : Ra.t) : string =
+  match plan with
+  | Ra.Shared (id, _) -> Printf.sprintf "SELECT * FROM cte%d" id
+  | Ra.Scan (src, renames) ->
+    let items =
+      List.map (fun (s, o) -> if s = o then s else Printf.sprintf "%s AS %s" s o) renames
+    in
+    Printf.sprintf "SELECT %s\nFROM %s" (String.concat ", " items) (source_to_sql src)
+  | Ra.Select (pred, input) ->
+    Printf.sprintf "SELECT *\nFROM (\n%s\n) AS %s\nWHERE %s"
+      (indent (to_select input)) (fresh_alias ()) (expr_to_sql pred)
+  | Ra.Project (defs, input) ->
+    let items = List.map (fun (o, e) -> Printf.sprintf "%s AS %s" (expr_to_sql e) o) defs in
+    Printf.sprintf "SELECT %s\nFROM (\n%s\n) AS %s" (String.concat ", " items)
+      (indent (to_select input)) (fresh_alias ())
+  | Ra.Join (kind, pred, left, right) ->
+    let la = fresh_alias () and ra = fresh_alias () in
+    let cond = expr_to_sql pred in
+    (match kind with
+    | Ra.Inner ->
+      Printf.sprintf "SELECT *\nFROM (\n%s\n) AS %s\nJOIN (\n%s\n) AS %s\nON %s"
+        (indent (to_select left)) la (indent (to_select right)) ra cond
+    | Ra.Left_outer ->
+      Printf.sprintf "SELECT *\nFROM (\n%s\n) AS %s\nLEFT OUTER JOIN (\n%s\n) AS %s\nON %s"
+        (indent (to_select left)) la (indent (to_select right)) ra cond
+    | Ra.Left_anti ->
+      Printf.sprintf
+        "SELECT *\nFROM (\n%s\n) AS %s\nWHERE NOT EXISTS (\n  SELECT 1 FROM (\n%s\n  ) AS %s WHERE %s\n)"
+        (indent (to_select left)) la (indent (indent (to_select right))) ra cond
+    | Ra.Right_anti ->
+      Printf.sprintf
+        "SELECT *\nFROM (\n%s\n) AS %s\nWHERE NOT EXISTS (\n  SELECT 1 FROM (\n%s\n  ) AS %s WHERE %s\n)"
+        (indent (to_select right)) ra (indent (indent (to_select left))) la cond)
+  | Ra.Group_by (keys, aggs, input) ->
+    let items =
+      keys @ List.map (fun (o, a) -> Printf.sprintf "%s AS %s" (agg_to_sql a) o) aggs
+    in
+    let group = if keys = [] then "" else "\nGROUP BY " ^ String.concat ", " keys in
+    Printf.sprintf "SELECT %s\nFROM (\n%s\n) AS %s%s" (String.concat ", " items)
+      (indent (to_select input)) (fresh_alias ()) group
+  | Ra.Union { all; inputs } ->
+    let sep = if all then "\nUNION ALL\n" else "\nUNION\n" in
+    String.concat sep
+      (List.map (fun i -> Printf.sprintf "(\n%s\n)" (indent (to_select i))) inputs)
+  | Ra.Distinct input ->
+    Printf.sprintf "SELECT DISTINCT *\nFROM (\n%s\n) AS %s" (indent (to_select input))
+      (fresh_alias ())
+  | Ra.Order_by (keys, input) ->
+    let items =
+      List.map (fun (c, d) -> c ^ match d with Ra.Asc -> "" | Ra.Desc -> " DESC") keys
+    in
+    Printf.sprintf "%s\nORDER BY %s" (to_select input) (String.concat ", " items)
+  | Ra.Values (cols, rows) ->
+    let row_sql row =
+      Printf.sprintf "(%s)"
+        (String.concat ", " (Array.to_list (Array.map Value.to_sql_literal row)))
+    in
+    Printf.sprintf "SELECT * FROM (VALUES %s) AS v(%s)"
+      (String.concat ", " (List.map row_sql rows))
+      (String.concat ", " cols)
+
+let rec collect_shared acc (plan : Ra.t) =
+  let go = collect_shared in
+  match plan with
+  | Ra.Shared (id, input) ->
+    let acc = go acc input in
+    if List.mem_assoc id acc then acc else acc @ [ (id, input) ]
+  | Ra.Scan _ | Ra.Values _ -> acc
+  | Ra.Select (_, i) | Ra.Project (_, i) | Ra.Group_by (_, _, i) | Ra.Distinct i
+  | Ra.Order_by (_, i) ->
+    go acc i
+  | Ra.Join (_, _, l, r) -> go (go acc l) r
+  | Ra.Union { inputs; _ } -> List.fold_left go acc inputs
+
+let plan_to_sql plan =
+  match collect_shared [] plan with
+  | [] -> to_select plan
+  | shared ->
+    let ctes =
+      List.map
+        (fun (id, body) -> Printf.sprintf "cte%d AS (\n%s\n)" id (indent (to_select body)))
+        shared
+    in
+    Printf.sprintf "WITH %s\n%s" (String.concat ",\n" ctes) (to_select plan)
+
+let trigger_to_sql ~name ~table ~event ~body =
+  Printf.sprintf
+    "CREATE TRIGGER %s\nAFTER %s ON %s\nREFERENCING OLD_TABLE AS DELETED, NEW_TABLE AS INSERTED\nFOR EACH STATEMENT\n%s"
+    name
+    (Database.string_of_event event)
+    table (plan_to_sql body)

@@ -1,0 +1,17 @@
+(** Renders {!Ra} plans as readable SQL text — the printable bodies of the
+    generated SQL triggers (cf. Figure 16 of the paper).
+
+    The output is documentation-quality SQL in the DB2 dialect the paper
+    targets: transition tables print as [INSERTED] / [DELETED], and
+    [Old_of b] prints as the paper's
+    [(SELECT * FROM b EXCEPT SELECT * FROM INSERTED) UNION (SELECT * FROM
+    DELETED)] reconstruction. *)
+
+val expr_to_sql : Ra.expr -> string
+
+(** SQL (sub)query text for a plan. *)
+val plan_to_sql : Ra.t -> string
+
+(** Full [CREATE TRIGGER] statement around a plan body. *)
+val trigger_to_sql :
+  name:string -> table:string -> event:Database.event -> body:Ra.t -> string

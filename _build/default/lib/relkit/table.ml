@@ -1,0 +1,126 @@
+module Pk = struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash pk = Hashtbl.hash (List.map Value.hash pk)
+end
+
+module Pk_table = Hashtbl.Make (Pk)
+
+module V_key = struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end
+
+module V_table = Hashtbl.Make (V_key)
+
+(* A secondary index maps a column value to the set of primary keys of rows
+   holding that value. *)
+type index = unit Pk_table.t V_table.t
+
+type t = {
+  schema : Schema.t;
+  rows : Value.t array Pk_table.t;
+  mutable indexes : (string * int * index) list;  (* (column, slot, index) *)
+}
+
+let create schema = { schema; rows = Pk_table.create 64; indexes = [] }
+let schema t = t.schema
+let row_count t = Pk_table.length t.rows
+
+let pk_of t row = Schema.pk_of_row t.schema row
+
+let index_add idx v pk =
+  let set =
+    match V_table.find_opt idx v with
+    | Some set -> set
+    | None ->
+      let set = Pk_table.create 4 in
+      V_table.add idx v set;
+      set
+  in
+  Pk_table.replace set pk ()
+
+let index_remove idx v pk =
+  match V_table.find_opt idx v with
+  | None -> ()
+  | Some set ->
+    Pk_table.remove set pk;
+    if Pk_table.length set = 0 then V_table.remove idx v
+
+let create_index t column =
+  if not (List.exists (fun (c, _, _) -> c = column) t.indexes) then begin
+    let slot = Schema.col_index t.schema column in
+    let idx : index = V_table.create 64 in
+    Pk_table.iter (fun pk row -> index_add idx row.(slot) pk) t.rows;
+    t.indexes <- (column, slot, idx) :: t.indexes
+  end
+
+let indexed_columns t = List.map (fun (c, _, _) -> c) t.indexes
+let has_index t column = List.exists (fun (c, _, _) -> c = column) t.indexes
+
+let find_pk t pk = Pk_table.find_opt t.rows pk
+
+let lookup t ~column v =
+  match List.find_opt (fun (c, _, _) -> c = column) t.indexes with
+  | Some (_, _, idx) -> (
+    match V_table.find_opt idx v with
+    | None -> []
+    | Some set ->
+      Pk_table.fold
+        (fun pk () acc ->
+          match Pk_table.find_opt t.rows pk with
+          | Some row -> row :: acc
+          | None -> acc)
+        set [])
+  | None ->
+    let slot = Schema.col_index t.schema column in
+    Pk_table.fold
+      (fun _ row acc -> if Value.equal row.(slot) v then row :: acc else acc)
+      t.rows []
+
+let iter t f = Pk_table.iter (fun _ row -> f row) t.rows
+let fold t ~init ~f = Pk_table.fold (fun _ row acc -> f acc row) t.rows init
+let to_rows t = Pk_table.fold (fun _ row acc -> row :: acc) t.rows []
+
+let index_row t op row =
+  List.iter
+    (fun (_, slot, idx) ->
+      match op with
+      | `Add -> index_add idx row.(slot) (pk_of t row)
+      | `Remove -> index_remove idx row.(slot) (pk_of t row))
+    t.indexes
+
+let insert_exn t row =
+  let pk = pk_of t row in
+  if Pk_table.mem t.rows pk then
+    invalid_arg
+      (Printf.sprintf "Table.insert: duplicate primary key (%s) in table %S"
+         (String.concat ", " (List.map Value.to_string pk))
+         t.schema.Schema.name);
+  Pk_table.replace t.rows pk row;
+  index_row t `Add row
+
+let delete_pk t pk =
+  match Pk_table.find_opt t.rows pk with
+  | None -> None
+  | Some row ->
+    Pk_table.remove t.rows pk;
+    index_row t `Remove row;
+    Some row
+
+let replace_exn t row =
+  let pk = pk_of t row in
+  match Pk_table.find_opt t.rows pk with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Table.replace: no row with primary key (%s) in table %S"
+         (String.concat ", " (List.map Value.to_string pk))
+         t.schema.Schema.name)
+  | Some old ->
+    index_row t `Remove old;
+    Pk_table.replace t.rows pk row;
+    index_row t `Add row;
+    old

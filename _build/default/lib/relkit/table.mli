@@ -1,0 +1,42 @@
+(** Mutable row store for one table: a primary-key hash map plus optional
+    secondary hash indexes on single columns.
+
+    All mutation goes through {!Database}, which enforces constraints and
+    fires triggers; [Table] only maintains storage and indexes. *)
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val row_count : t -> int
+
+(** Adds a secondary hash index on [column] (no-op if already present).
+    @raise Not_found if the column does not exist. *)
+val create_index : t -> string -> unit
+
+val indexed_columns : t -> string list
+
+(** [find_pk t pk] is the row whose primary key equals [pk], if any. *)
+val find_pk : t -> Value.t list -> Value.t array option
+
+(** [lookup t ~column v] returns all rows with [row.column = v]; uses the
+    secondary index when one exists, otherwise scans. *)
+val lookup : t -> column:string -> Value.t -> Value.t array list
+
+val has_index : t -> string -> bool
+
+(** Iterate over all rows (order unspecified). *)
+val iter : t -> (Value.t array -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> Value.t array -> 'a) -> 'a
+val to_rows : t -> Value.t array list
+
+(** Low-level mutations used by {!Database}.  [insert_exn] fails on duplicate
+    primary key; [delete_pk] returns the removed row. *)
+val insert_exn : t -> Value.t array -> unit
+
+val delete_pk : t -> Value.t list -> Value.t array option
+
+(** [replace t row] overwrites the row with the same primary key (which must
+    exist) and returns the old version. *)
+val replace_exn : t -> Value.t array -> Value.t array

@@ -1,0 +1,108 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2
+  | String _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | String _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let sql_eq a b =
+  match a, b with
+  | Null, _ | _, Null -> false
+  | _ -> equal a b
+
+let is_null = function Null -> true | Bool _ | Int _ | Float _ | String _ -> false
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Bool _ | String _ | Null -> invalid_arg "Value.to_float: not numeric"
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Bool _ | String _ | Null -> invalid_arg "Value.to_int: not numeric"
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%g" f
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | String s -> s
+  | Bool b -> if b then "true" else "false"
+
+let to_sql_literal = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | String s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let arith name int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (to_float a) (to_float b))
+  | _ -> invalid_arg (Printf.sprintf "Value.%s: not numeric" name)
+
+let add a b = arith "add" ( + ) ( +. ) a b
+let sub a b = arith "sub" ( - ) ( -. ) a b
+let mul a b = arith "mul" ( * ) ( *. ) a b
+
+let div a b =
+  match b with
+  | Int 0 -> invalid_arg "Value.div: division by zero"
+  | Float f when f = 0.0 -> invalid_arg "Value.div: division by zero"
+  | _ -> arith "div" ( / ) ( /. ) a b
+
+let modulo a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> invalid_arg "Value.modulo: division by zero"
+  | Int x, Int y -> Int (x mod y)
+  | _ -> invalid_arg "Value.modulo: not integers"
+
+let neg = function
+  | Null -> Null
+  | Int i -> Int (-i)
+  | Float f -> Float (-.f)
+  | Bool _ | String _ -> invalid_arg "Value.neg: not numeric"

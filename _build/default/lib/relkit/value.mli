@@ -1,0 +1,53 @@
+(** SQL-style atomic values stored in relational tables.
+
+    [Null] follows three-valued-logic conventions where relevant: comparisons
+    against [Null] are false, and [Null] equals no value (including itself)
+    under [sql_eq], but [compare]/[equal] give a total structural order so
+    values can key hash tables and be sorted deterministically. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+(** Total structural comparison: Null < Bool < Int < Float < String, with
+    Int/Float compared numerically against each other. *)
+val compare : t -> t -> int
+
+(** Structural equality consistent with [compare]. *)
+val equal : t -> t -> bool
+
+(** Hash consistent with [equal]. *)
+val hash : t -> int
+
+(** SQL equality: [Null] is not equal to anything; Int/Float compare
+    numerically. *)
+val sql_eq : t -> t -> bool
+
+val is_null : t -> bool
+
+(** Numeric coercion helpers.  @raise Invalid_argument on non-numeric input. *)
+val to_float : t -> float
+
+val to_int : t -> int
+
+(** [to_string] renders the value as it would appear in query output;
+    [Null] prints as ["NULL"]. *)
+val to_string : t -> string
+
+(** Renders the value as a SQL literal (strings quoted and escaped). *)
+val to_sql_literal : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Arithmetic with numeric promotion; any [Null] operand yields [Null].
+    @raise Invalid_argument on non-numeric operands or division by zero. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val modulo : t -> t -> t
+val neg : t -> t

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_parse.ml: Buffer Char List Printf String Xml

@@ -1,0 +1,1 @@
+lib/xmlkit/xpath.ml: Float List Option Printf String Xml

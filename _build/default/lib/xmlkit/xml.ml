@@ -1,0 +1,141 @@
+type t =
+  | Element of {
+      tag : string;
+      attrs : (string * string) list;
+      children : t list;
+    }
+  | Text of string
+
+let elem ?(attrs = []) tag children = Element { tag; attrs; children }
+let text s = Text s
+
+let tag = function Element { tag; _ } -> Some tag | Text _ -> None
+
+let attr node name =
+  match node with
+  | Element { attrs; _ } -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let children = function Element { children; _ } -> children | Text _ -> []
+
+let children_named node name =
+  List.filter
+    (fun c -> match c with Element { tag; _ } -> tag = name | Text _ -> false)
+    (children node)
+
+let rec descendants_named node name =
+  let self =
+    match node with Element { tag; _ } when tag = name -> [ node ] | _ -> []
+  in
+  self @ List.concat_map (fun c -> descendants_named c name) (children node)
+
+let rec text_content = function
+  | Text s -> s
+  | Element { children; _ } -> String.concat "" (List.map text_content children)
+
+let sorted_attrs attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) attrs
+
+let rec compare a b =
+  match a, b with
+  | Text x, Text y -> String.compare x y
+  | Text _, Element _ -> -1
+  | Element _, Text _ -> 1
+  | Element ea, Element eb ->
+    let c = String.compare ea.tag eb.tag in
+    if c <> 0 then c
+    else
+      let c =
+        List.compare
+          (fun (k1, v1) (k2, v2) ->
+            let c = String.compare k1 k2 in
+            if c <> 0 then c else String.compare v1 v2)
+          (sorted_attrs ea.attrs) (sorted_attrs eb.attrs)
+      in
+      if c <> 0 then c else List.compare compare ea.children eb.children
+
+let equal a b = compare a b = 0
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(canonical = false) node =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf (escape_text s)
+    | Element { tag; attrs; children } ->
+      let attrs = if canonical then sorted_attrs attrs else attrs in
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_attr v);
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter go children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      end
+  in
+  go node;
+  Buffer.contents buf
+
+let to_pretty_string node =
+  let buf = Buffer.create 256 in
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go depth = function
+    | Text s ->
+      pad depth;
+      Buffer.add_string buf (escape_text s);
+      Buffer.add_char buf '\n'
+    | Element { tag; attrs; children } ->
+      pad depth;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape_attr v)))
+        attrs;
+      (match children with
+      | [] -> Buffer.add_string buf "/>\n"
+      | [ Text s ] ->
+        Buffer.add_char buf '>';
+        Buffer.add_string buf (escape_text s);
+        Buffer.add_string buf (Printf.sprintf "</%s>\n" tag)
+      | children ->
+        Buffer.add_string buf ">\n";
+        List.iter (go (depth + 1)) children;
+        pad depth;
+        Buffer.add_string buf (Printf.sprintf "</%s>\n" tag))
+  in
+  go 0 node;
+  Buffer.contents buf
+
+let pp ppf node = Format.pp_print_string ppf (to_string ~canonical:true node)

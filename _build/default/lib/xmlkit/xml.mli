@@ -1,0 +1,41 @@
+(** XML node model used throughout the system: the values of XML-typed view
+    columns, the payloads handed to trigger actions, and the output of the
+    tagger. *)
+
+type t =
+  | Element of {
+      tag : string;
+      attrs : (string * string) list;
+      children : t list;
+    }
+  | Text of string
+
+val elem : ?attrs:(string * string) list -> string -> t list -> t
+val text : string -> t
+
+val tag : t -> string option
+val attr : t -> string -> string option
+val children : t -> t list
+
+(** Child elements with a given tag. *)
+val children_named : t -> string -> t list
+
+(** All descendant-or-self elements with a given tag, document order. *)
+val descendants_named : t -> string -> t list
+
+(** Concatenated text content of the node (the XPath string value). *)
+val text_content : t -> string
+
+(** Deep structural equality; attribute order is irrelevant. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Serialization with entity escaping; [canonical] sorts attributes so equal
+    nodes print identically. *)
+val to_string : ?canonical:bool -> t -> string
+
+(** Multi-line indented rendering for humans. *)
+val to_pretty_string : t -> string
+
+val pp : Format.formatter -> t -> unit

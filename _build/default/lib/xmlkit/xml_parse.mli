@@ -1,0 +1,16 @@
+(** A small XML parser for tests, fixtures and the CLI.
+
+    Supports elements, attributes (single or double quoted), text, the five
+    predefined entities, comments, and an optional XML declaration.  It does
+    not support namespaces, DTDs or CDATA — none are needed for the views this
+    system produces.
+
+    Whitespace-only text between elements is dropped, so parsing the output
+    of {!Xml.to_pretty_string} round-trips. *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input. *)
+val parse : string -> Xml.t
+
+val parse_opt : string -> Xml.t option

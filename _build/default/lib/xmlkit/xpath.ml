@@ -1,0 +1,331 @@
+type axis = Child | Descendant | Attribute | Self
+type node_test = Name of string | Any
+
+type path = {
+  absolute : bool;
+  steps : step list;
+}
+
+and step = {
+  axis : axis;
+  test : node_test;
+  preds : pred list;
+}
+
+and pred =
+  | Cmp of cmp * operand * operand
+  | Exists of path
+  | Position of int
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and operand = Path of path | Lit of string | Num of float
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+exception Parse_error of string
+
+(* --- parsing --- *)
+
+type lexer = {
+  input : string;
+  mutable pos : int;
+}
+
+let lfail lx msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg lx.pos))
+let lpeek lx = if lx.pos < String.length lx.input then Some lx.input.[lx.pos] else None
+
+let ladv lx = lx.pos <- lx.pos + 1
+
+let skip_ws lx =
+  while (match lpeek lx with Some (' ' | '\t' | '\n') -> true | _ -> false) do
+    ladv lx
+  done
+
+let lstarts lx s =
+  let n = String.length s in
+  lx.pos + n <= String.length lx.input && String.sub lx.input lx.pos n = s
+
+let leat lx s = if lstarts lx s then (lx.pos <- lx.pos + String.length s; true) else false
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+  | _ -> false
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let read_name lx =
+  let start = lx.pos in
+  while (match lpeek lx with Some c when is_name_char c -> true | _ -> false) do
+    ladv lx
+  done;
+  if lx.pos = start then lfail lx "expected a name";
+  String.sub lx.input start (lx.pos - start)
+
+let read_number lx =
+  let start = lx.pos in
+  while
+    match lpeek lx with Some ('0' .. '9' | '.') -> true | _ -> false
+  do
+    ladv lx
+  done;
+  float_of_string (String.sub lx.input start (lx.pos - start))
+
+let read_string_lit lx quote =
+  ladv lx;
+  let start = lx.pos in
+  while (match lpeek lx with Some c when c <> quote -> true | _ -> false) do
+    ladv lx
+  done;
+  (match lpeek lx with Some _ -> () | None -> lfail lx "unterminated string literal");
+  let s = String.sub lx.input start (lx.pos - start) in
+  ladv lx;
+  s
+
+let rec parse_path lx ~absolute_ok =
+  skip_ws lx;
+  let absolute = absolute_ok && (lstarts lx "/" || lstarts lx "//") in
+  let steps = ref [] in
+  let rec loop ~first =
+    skip_ws lx;
+    let axis =
+      if leat lx "//" then Some Descendant
+      else if leat lx "/" then Some Child
+      else if first then
+        (* A relative path may start directly with a step. *)
+        match lpeek lx with
+        | Some c when is_name_start c || c = '@' || c = '*' || c = '.' -> Some Child
+        | _ -> None
+      else None
+    in
+    match axis with
+    | None -> ()
+    | Some axis ->
+      let axis, test =
+        match lpeek lx with
+        | Some '@' ->
+          ladv lx;
+          (Attribute, Name (read_name lx))
+        | Some '*' ->
+          ladv lx;
+          (axis, Any)
+        | Some '.' ->
+          ladv lx;
+          (Self, Any)
+        | Some c when is_name_start c -> (axis, Name (read_name lx))
+        | _ -> lfail lx "expected a step"
+      in
+      let preds = ref [] in
+      skip_ws lx;
+      while lstarts lx "[" do
+        ignore (leat lx "[");
+        preds := parse_pred lx :: !preds;
+        skip_ws lx;
+        if not (leat lx "]") then lfail lx "expected ]";
+        skip_ws lx
+      done;
+      steps := { axis; test; preds = List.rev !preds } :: !steps;
+      loop ~first:false
+  in
+  (* For absolute paths the leading / or // is consumed inside the loop as the
+     first step's axis marker. *)
+  loop ~first:(not absolute);
+  { absolute; steps = List.rev !steps }
+
+and parse_pred lx =
+  let left = parse_or lx in
+  left
+
+and parse_or lx =
+  let left = parse_and lx in
+  skip_ws lx;
+  if leat lx " or " || (skip_ws lx; lstarts lx "or " && leat lx "or ") then
+    Or (left, parse_or lx)
+  else left
+
+and parse_and lx =
+  let left = parse_atom_pred lx in
+  skip_ws lx;
+  if lstarts lx "and " && leat lx "and " then And (left, parse_and lx) else left
+
+and parse_atom_pred lx =
+  skip_ws lx;
+  if lstarts lx "not(" then begin
+    ignore (leat lx "not(");
+    let inner = parse_pred lx in
+    skip_ws lx;
+    if not (leat lx ")") then lfail lx "expected )";
+    Not inner
+  end
+  else
+    match lpeek lx with
+    | Some ('0' .. '9') -> (
+      let n = read_number lx in
+      skip_ws lx;
+      match parse_cmp_op lx with
+      | Some op ->
+        let right = parse_operand lx in
+        Cmp (op, Num n, right)
+      | None -> Position (int_of_float n))
+    | _ -> (
+      let left = parse_operand lx in
+      skip_ws lx;
+      match parse_cmp_op lx with
+      | Some op ->
+        let right = parse_operand lx in
+        Cmp (op, left, right)
+      | None -> (
+        match left with
+        | Path p -> Exists p
+        | Lit _ | Num _ -> lfail lx "literal is not a predicate"))
+
+and parse_cmp_op lx =
+  skip_ws lx;
+  if leat lx "!=" then Some Neq
+  else if leat lx "<=" then Some Le
+  else if leat lx ">=" then Some Ge
+  else if leat lx "=" then Some Eq
+  else if leat lx "<" then Some Lt
+  else if leat lx ">" then Some Gt
+  else None
+
+and parse_operand lx =
+  skip_ws lx;
+  match lpeek lx with
+  | Some ('\'' | '"') ->
+    let q = Option.get (lpeek lx) in
+    Lit (read_string_lit lx q)
+  | Some ('0' .. '9') -> Num (read_number lx)
+  | _ -> Path (parse_path lx ~absolute_ok:false)
+
+let parse input =
+  let lx = { input; pos = 0 } in
+  let p = parse_path lx ~absolute_ok:true in
+  skip_ws lx;
+  if lx.pos <> String.length input then lfail lx "trailing characters";
+  if p.steps = [] then lfail lx "empty path";
+  p
+
+(* --- evaluation --- *)
+
+let test_matches test node =
+  match test, node with
+  | Any, Xml.Element _ -> true
+  | Name n, Xml.Element { tag; _ } -> tag = n
+  | _, Xml.Text _ -> false
+
+let rec descend node =
+  node :: List.concat_map descend (Xml.children node)
+
+let string_value = Xml.text_content
+
+let to_num s = float_of_string_opt (String.trim s)
+
+let cmp_strings op a b =
+  let c =
+    match to_num a, to_num b with
+    | Some x, Some y -> Float.compare x y
+    | _ -> String.compare a b
+  in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval_steps nodes steps =
+  match steps with
+  | [] -> nodes
+  | step :: rest ->
+    let selected =
+      List.concat_map
+        (fun node ->
+          match step.axis with
+          | Child -> List.filter (test_matches step.test) (Xml.children node)
+          | Descendant ->
+            List.filter (test_matches step.test)
+              (List.concat_map descend (Xml.children node))
+          | Self -> [ node ]
+          | Attribute -> (
+            match step.test with
+            | Name n -> (
+              match Xml.attr node n with Some v -> [ Xml.text v ] | None -> [])
+            | Any -> (
+              match node with
+              | Xml.Element { attrs; _ } -> List.map (fun (_, v) -> Xml.text v) attrs
+              | Xml.Text _ -> [])))
+        nodes
+    in
+    let filtered =
+      List.fold_left
+        (fun nodes pred ->
+          List.filteri (fun i node -> eval_pred node (i + 1) pred) nodes)
+        selected step.preds
+    in
+    eval_steps filtered rest
+
+and eval_pred node position = function
+  | Position n -> position = n
+  | Exists p -> eval_path node p <> []
+  | And (a, b) -> eval_pred node position a && eval_pred node position b
+  | Or (a, b) -> eval_pred node position a || eval_pred node position b
+  | Not p -> not (eval_pred node position p)
+  | Cmp (op, l, r) ->
+    let values = function
+      | Lit s -> [ s ]
+      | Num f ->
+        [ (if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f) ]
+      | Path p -> List.map string_value (eval_path node p)
+    in
+    (* XPath existential comparison semantics over node sets. *)
+    List.exists (fun a -> List.exists (fun b -> cmp_strings op a b) (values r)) (values l)
+
+and eval_path node p = eval_steps [ node ] p.steps
+
+let eval node p = eval_steps [ node ] p.steps
+let select node expr = eval node (parse expr)
+let select_strings node expr = List.map string_value (select node expr)
+
+(* --- printing --- *)
+
+let string_of_cmp = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec path_to_string p =
+  let step_str s =
+    let prefix = match s.axis with Descendant -> "//" | _ -> "/" in
+    let name =
+      match s.axis, s.test with
+      | Attribute, Name n -> "@" ^ n
+      | Attribute, Any -> "@*"
+      | Self, _ -> "."
+      | _, Name n -> n
+      | _, Any -> "*"
+    in
+    prefix ^ name ^ String.concat "" (List.map (fun pr -> "[" ^ pred_to_string pr ^ "]") s.preds)
+  in
+  let body = String.concat "" (List.map step_str p.steps) in
+  if p.absolute then body
+  else if String.length body > 0 && body.[0] = '/' then String.sub body 1 (String.length body - 1)
+  else body
+
+and pred_to_string = function
+  | Position n -> string_of_int n
+  | Exists p -> path_to_string p
+  | And (a, b) -> pred_to_string a ^ " and " ^ pred_to_string b
+  | Or (a, b) -> pred_to_string a ^ " or " ^ pred_to_string b
+  | Not p -> "not(" ^ pred_to_string p ^ ")"
+  | Cmp (op, l, r) ->
+    let operand = function
+      | Lit s -> "'" ^ s ^ "'"
+      | Num f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+      | Path p -> path_to_string p
+    in
+    operand l ^ " " ^ string_of_cmp op ^ " " ^ operand r

@@ -1,0 +1,57 @@
+(** XPath-subset evaluation over materialized XML nodes.
+
+    This is the oracle-side XPath: the MATERIALIZED baseline and the test
+    suite navigate real XML trees with it.  The production path never
+    materializes the view — trigger paths are composed with the view's XQGM
+    graph instead (see [Xquery.Compose]).
+
+    Supported, mirroring the paper's Appendix D: [child], [descendant]
+    ([//]), [attribute] ([@x]) and [self] ([.]) axes; name tests and [*];
+    predicates combining relative paths, literals, position tests and the six
+    comparison operators with [and]/[or].  Attribute results are returned as
+    synthetic text nodes carrying the attribute value. *)
+
+type axis = Child | Descendant | Attribute | Self
+
+type node_test = Name of string | Any
+
+type path = {
+  absolute : bool;
+  steps : step list;
+}
+
+and step = {
+  axis : axis;
+  test : node_test;
+  preds : pred list;
+}
+
+and pred =
+  | Cmp of cmp * operand * operand
+  | Exists of path
+  | Position of int
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and operand = Path of path | Lit of string | Num of float
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+exception Parse_error of string
+
+(** Parses expressions like [/catalog/product[@name='CRT 15']//vendor/vid].
+    @raise Parse_error on malformed input. *)
+val parse : string -> path
+
+(** Evaluates a path against a context node.  Absolute paths start at the
+    context node itself (it is the document root). *)
+val eval : Xml.t -> path -> Xml.t list
+
+(** [select node expr] parses and evaluates. *)
+val select : Xml.t -> string -> Xml.t list
+
+(** Text content of each result node. *)
+val select_strings : Xml.t -> string -> string list
+
+val path_to_string : path -> string

@@ -1,0 +1,1 @@
+lib/xqgm/eval.ml: Array Expr Format Hashtbl List Op Printf Relkit String Xmlkit Xval

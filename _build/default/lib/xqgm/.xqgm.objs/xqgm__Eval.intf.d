@@ -1,0 +1,1 @@
+lib/xqgm/eval.mli: Format Op Relkit Xval

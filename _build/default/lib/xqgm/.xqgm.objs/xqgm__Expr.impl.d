@@ -1,0 +1,1 @@
+lib/xqgm/expr.ml: List Printf Relkit String

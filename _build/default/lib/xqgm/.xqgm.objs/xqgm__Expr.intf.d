@@ -1,0 +1,1 @@
+lib/xqgm/expr.mli: Relkit

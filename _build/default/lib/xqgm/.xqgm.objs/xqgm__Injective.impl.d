@@ -1,0 +1,1 @@
+lib/xqgm/injective.ml: Expr List Op Relkit Set String

@@ -1,0 +1,1 @@
+lib/xqgm/injective.mli: Op Relkit

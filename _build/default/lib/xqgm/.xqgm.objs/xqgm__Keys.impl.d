@@ -1,0 +1,1 @@
+lib/xqgm/keys.ml: Expr List Op Printf Relkit String

@@ -1,0 +1,1 @@
+lib/xqgm/keys.mli: Op Relkit

@@ -1,0 +1,1 @@
+lib/xqgm/op.ml: Expr Hashtbl List Printf Relkit

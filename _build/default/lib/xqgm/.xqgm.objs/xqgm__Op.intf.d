@@ -1,0 +1,1 @@
+lib/xqgm/op.mli: Expr Relkit

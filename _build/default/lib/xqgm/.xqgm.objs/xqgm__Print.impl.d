@@ -1,0 +1,1 @@
+lib/xqgm/print.ml: Expr Format Hashtbl List Op Printf String

@@ -1,0 +1,1 @@
+lib/xqgm/print.mli: Format Op

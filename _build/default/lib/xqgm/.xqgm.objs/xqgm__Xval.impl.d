@@ -1,0 +1,1 @@
+lib/xqgm/xval.ml: Format Hashtbl Int List Relkit String Xmlkit

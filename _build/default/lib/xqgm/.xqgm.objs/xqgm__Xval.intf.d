@@ -1,0 +1,1 @@
+lib/xqgm/xval.mli: Format Relkit Xmlkit

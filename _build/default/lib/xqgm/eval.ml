@@ -1,0 +1,423 @@
+module Value = Relkit.Value
+module Ra = Relkit.Ra
+module Ra_eval = Relkit.Ra_eval
+module Xml = Xmlkit.Xml
+
+type xrel = {
+  cols : string array;
+  rows : Xval.t array list;
+}
+
+let col_index rel name =
+  let n = Array.length rel.cols in
+  let rec go i =
+    if i >= n then raise Not_found else if rel.cols.(i) = name then i else go (i + 1)
+  in
+  go 0
+
+let pp_xrel ppf rel =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " (Array.to_list rel.cols));
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%s@,"
+        (String.concat " | " (Array.to_list (Array.map Xval.to_string row))))
+    rel.rows;
+  Format.fprintf ppf "(%d rows)@]" (List.length rel.rows)
+
+let compare_rows a b =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Xval.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal_xrel a b =
+  Array.to_list a.cols = Array.to_list b.cols
+  && List.equal
+       (fun x y -> compare_rows x y = 0)
+       (List.sort compare_rows a.rows)
+       (List.sort compare_rows b.rows)
+
+(* --- row hashing --- *)
+
+module Xrow_key = struct
+  type t = Xval.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (Xval.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash r = Array.fold_left (fun acc v -> (acc * 31) + Xval.hash v) 7 r
+end
+
+module Xrow_tbl = Hashtbl.Make (Xrow_key)
+
+(* --- expressions --- *)
+
+let truthy = function
+  | Xval.Atom (Value.Bool b) -> b
+  | Xval.Atom Value.Null -> false
+  | Xval.Seq [] -> false
+  | v -> invalid_arg (Printf.sprintf "Xqgm.Eval: %s is not a boolean" (Xval.to_string v))
+
+let items = function Xval.Seq xs -> xs | x -> [ x ]
+
+let atom_of_item = function
+  | Xval.Atom v -> v
+  | Xval.Node n -> Value.String (Xml.text_content n)
+  | Xval.Seq _ -> assert false (* sequences are flat *)
+
+(* XQuery general comparison: existential over both operand sequences. *)
+let general_cmp op a b =
+  let holds x y =
+    let x = atom_of_item x and y = atom_of_item y in
+    if Value.is_null x || Value.is_null y then false
+    else
+      let c = Value.compare x y in
+      match op with
+      | Ra.Eq -> c = 0
+      | Ra.Neq -> c <> 0
+      | Ra.Lt -> c < 0
+      | Ra.Le -> c <= 0
+      | Ra.Gt -> c > 0
+      | Ra.Ge -> c >= 0
+      | Ra.And | Ra.Or | Ra.Add | Ra.Sub | Ra.Mul | Ra.Div | Ra.Mod ->
+        invalid_arg "general_cmp: not a comparison"
+  in
+  Xval.atom (Value.Bool (List.exists (fun x -> List.exists (holds x) (items b)) (items a)))
+
+let colmap cols =
+  let m = Hashtbl.create (Array.length cols) in
+  Array.iteri (fun i c -> Hashtbl.replace m c i) cols;
+  m
+
+let slot m c =
+  match Hashtbl.find_opt m c with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Xqgm.Eval: unknown column %S" c)
+
+let rec compile_expr m (e : Expr.t) : Xval.t array -> Xval.t =
+  match e with
+  | Expr.Col c ->
+    let i = slot m c in
+    fun row -> row.(i)
+  | Expr.Const v -> fun _ -> Xval.atom v
+  | Expr.Binop (op, a, b) -> (
+    let fa = compile_expr m a and fb = compile_expr m b in
+    match op with
+    | Ra.Eq | Ra.Neq | Ra.Lt | Ra.Le | Ra.Gt | Ra.Ge ->
+      fun row -> general_cmp op (fa row) (fb row)
+    | Ra.And -> fun row -> Xval.atom (Value.Bool (truthy (fa row) && truthy (fb row)))
+    | Ra.Or -> fun row -> Xval.atom (Value.Bool (truthy (fa row) || truthy (fb row)))
+    | Ra.Add -> fun row -> Xval.atom (Value.add (Xval.atomize (fa row)) (Xval.atomize (fb row)))
+    | Ra.Sub -> fun row -> Xval.atom (Value.sub (Xval.atomize (fa row)) (Xval.atomize (fb row)))
+    | Ra.Mul -> fun row -> Xval.atom (Value.mul (Xval.atomize (fa row)) (Xval.atomize (fb row)))
+    | Ra.Div -> fun row -> Xval.atom (Value.div (Xval.atomize (fa row)) (Xval.atomize (fb row)))
+    | Ra.Mod ->
+      fun row -> Xval.atom (Value.modulo (Xval.atomize (fa row)) (Xval.atomize (fb row))))
+  | Expr.Not e ->
+    let f = compile_expr m e in
+    fun row -> Xval.atom (Value.Bool (not (truthy (f row))))
+  | Expr.Is_null e ->
+    let f = compile_expr m e in
+    fun row ->
+      let v = f row in
+      Xval.atom (Value.Bool (match v with Xval.Atom a -> Value.is_null a | Xval.Seq [] -> true | _ -> false))
+  | Expr.Elem { tag; attrs; content } ->
+    let attr_fs = List.map (fun (k, e) -> (k, compile_expr m e)) attrs in
+    let content_fs = List.map (compile_expr m) content in
+    fun row ->
+      let attrs =
+        List.filter_map
+          (fun (k, f) ->
+            match Xval.atomize (f row) with
+            | Value.Null -> None
+            | v -> Some (k, Value.to_string v))
+          attr_fs
+      in
+      let children = List.concat_map (fun f -> Xval.to_nodes (f row)) content_fs in
+      Xval.node (Xml.elem ~attrs tag children)
+  | Expr.Node_eq (a, b) ->
+    let fa = compile_expr m a and fb = compile_expr m b in
+    fun row -> Xval.atom (Value.Bool (Xval.equal (fa row) (fb row)))
+
+let compile_pred m e =
+  let f = compile_expr m e in
+  fun row -> truthy (f row)
+
+(* --- evaluation --- *)
+
+let source_rows (ctx : Ra_eval.ctx) table (binding : Op.binding) =
+  match binding with
+  | Op.Post -> Relkit.Table.to_rows (Relkit.Database.get_table ctx.Ra_eval.db table)
+  | Op.Pre -> Ra_eval.old_rows ctx table
+  | Op.Delta -> fst (Ra_eval.transitions ctx table)
+  | Op.Nabla -> snd (Ra_eval.transitions ctx table)
+
+let eval ctx (top : Op.t) : xrel =
+  let memo : (int, xrel) Hashtbl.t = Hashtbl.create 16 in
+  let rec go (op : Op.t) : xrel =
+    match Hashtbl.find_opt memo op.Op.id with
+    | Some rel -> rel
+    | None ->
+      let rel = compute op in
+      Hashtbl.add memo op.Op.id rel;
+      rel
+  and compute op =
+    match op.Op.node with
+    | Op.Table { table; binding; cols } ->
+      let schema =
+        Relkit.Table.schema (Relkit.Database.get_table ctx.Ra_eval.db table)
+      in
+      let slots = List.map (fun (src, _) -> Relkit.Schema.col_index schema src) cols in
+      let rows =
+        List.map
+          (fun row -> Array.of_list (List.map (fun i -> Xval.atom row.(i)) slots))
+          (source_rows ctx table binding)
+      in
+      { cols = Array.of_list (List.map snd cols); rows }
+    | Op.Select { input; pred } ->
+      let rel = go input in
+      let f = compile_pred (colmap rel.cols) pred in
+      { rel with rows = List.filter f rel.rows }
+    | Op.Project { input; defs } ->
+      let rel = go input in
+      let m = colmap rel.cols in
+      let fs = List.map (fun (_, e) -> compile_expr m e) defs in
+      { cols = Array.of_list (List.map fst defs);
+        rows = List.map (fun row -> Array.of_list (List.map (fun f -> f row) fs)) rel.rows;
+      }
+    | Op.Join { kind; left; right; pred } -> eval_join kind pred (go left) (go right)
+    | Op.Group_by { input; keys; aggs; order } -> eval_group_by (go input) keys aggs order
+    | Op.Union { cols; inputs } ->
+      let rows =
+        List.concat_map
+          (fun (input, mapping) ->
+            let rel = go input in
+            let slots = List.map (fun c -> col_index rel c) mapping in
+            List.map
+              (fun row -> Array.of_list (List.map (fun i -> row.(i)) slots))
+              rel.rows)
+          inputs
+      in
+      (* Union removes duplicates (Table 1). *)
+      let seen = Xrow_tbl.create 64 in
+      let rows =
+        List.filter
+          (fun r ->
+            if Xrow_tbl.mem seen r then false
+            else begin
+              Xrow_tbl.replace seen r ();
+              true
+            end)
+          rows
+      in
+      { cols = Array.of_list cols; rows }
+  and eval_join kind pred lrel rrel =
+    let joined_cols = Array.append lrel.cols rrel.cols in
+    let m = colmap joined_cols in
+    (* split equi conjuncts for hashing *)
+    let rec conjuncts = function
+      | Expr.Binop (Ra.And, a, b) -> conjuncts a @ conjuncts b
+      | Expr.Const (Value.Bool true) -> []
+      | e -> [ e ]
+    in
+    let lset = Array.to_list lrel.cols and rset = Array.to_list rrel.cols in
+    let equi, residual =
+      List.partition_map
+        (fun e ->
+          match e with
+          | Expr.Binop (Ra.Eq, Expr.Col a, Expr.Col b)
+            when List.mem a lset && List.mem b rset ->
+            Left (a, b)
+          | Expr.Binop (Ra.Eq, Expr.Col a, Expr.Col b)
+            when List.mem b lset && List.mem a rset ->
+            Left (b, a)
+          | e -> Right e)
+        (conjuncts pred)
+    in
+    let residual_fs = List.map (compile_pred m) residual in
+    let lm = colmap lrel.cols and rm = colmap rrel.cols in
+    let l_slots = List.map (fun (a, _) -> slot lm a) equi in
+    let r_slots = List.map (fun (_, b) -> slot rm b) equi in
+    let key_of slots row = Array.of_list (List.map (fun i -> row.(i)) slots) in
+    let passes lrow rrow =
+      List.for_all2
+        (fun li ri ->
+          (* equi keys join by value equality; NULL atoms join with nothing *)
+          let a = lrow.(li) and b = rrow.(ri) in
+          (match a with Xval.Atom v when Value.is_null v -> false | _ -> true)
+          && (match b with Xval.Atom v when Value.is_null v -> false | _ -> true)
+          && Xval.equal a b)
+        l_slots r_slots
+      &&
+      let joined = Array.append lrow rrow in
+      List.for_all (fun f -> f joined) residual_fs
+    in
+    let matches_of =
+      if equi = [] then fun lrow -> List.filter (passes lrow) rrel.rows
+      else begin
+        let index : Xval.t array list ref Xrow_tbl.t = Xrow_tbl.create 64 in
+        List.iter
+          (fun rrow ->
+            let key = key_of r_slots rrow in
+            match Xrow_tbl.find_opt index key with
+            | Some cell -> cell := rrow :: !cell
+            | None -> Xrow_tbl.replace index key (ref [ rrow ]))
+          rrel.rows;
+        fun lrow ->
+          match Xrow_tbl.find_opt index (key_of l_slots lrow) with
+          | None -> []
+          | Some cell -> List.filter (passes lrow) (List.rev !cell)
+      end
+    in
+    match kind with
+    | Op.Inner ->
+      let out = ref [] in
+      List.iter
+        (fun lrow ->
+          List.iter (fun rrow -> out := Array.append lrow rrow :: !out) (matches_of lrow))
+        lrel.rows;
+      { cols = joined_cols; rows = List.rev !out }
+    | Op.Left_outer ->
+      let pad = Array.make (Array.length rrel.cols) (Xval.atom Value.Null) in
+      let out = ref [] in
+      List.iter
+        (fun lrow ->
+          match matches_of lrow with
+          | [] -> out := Array.append lrow pad :: !out
+          | ms -> List.iter (fun rrow -> out := Array.append lrow rrow :: !out) ms)
+        lrel.rows;
+      { cols = joined_cols; rows = List.rev !out }
+    | Op.Left_anti ->
+      { cols = lrel.cols; rows = List.filter (fun lrow -> matches_of lrow = []) lrel.rows }
+    | Op.Right_anti ->
+      let matched =
+        List.filter
+          (fun rrow -> not (List.exists (fun lrow -> passes lrow rrow) lrel.rows))
+          rrel.rows
+      in
+      { cols = rrel.cols; rows = matched }
+  and eval_group_by rel keys aggs order =
+    let m = colmap rel.cols in
+    let key_slots = List.map (slot m) keys in
+    let order_slots = List.map (slot m) order in
+    let groups : Xval.t array list ref Xrow_tbl.t = Xrow_tbl.create 64 in
+    let group_order = ref [] in
+    List.iter
+      (fun row ->
+        let key = Array.of_list (List.map (fun i -> row.(i)) key_slots) in
+        match Xrow_tbl.find_opt groups key with
+        | Some cell -> cell := row :: !cell
+        | None ->
+          Xrow_tbl.replace groups key (ref [ row ]);
+          group_order := key :: !group_order)
+      rel.rows;
+    let sort_rows rows =
+      if order_slots = [] then List.rev rows
+      else
+        List.sort
+          (fun a b ->
+            let rec go = function
+              | [] -> 0
+              | i :: rest ->
+                let c = Xval.compare a.(i) b.(i) in
+                if c <> 0 then c else go rest
+            in
+            go order_slots)
+          rows
+    in
+    let agg_fs =
+      List.map
+        (fun (_, a) ->
+          match a with
+          | Expr.Count -> fun rows -> Xval.atom (Value.Int (List.length rows))
+          | Expr.Sum e ->
+            let f = compile_expr m e in
+            fun rows ->
+              Xval.atom
+                (List.fold_left
+                   (fun acc row ->
+                     let v = Xval.atomize (f row) in
+                     if Value.is_null v then acc
+                     else match acc with Value.Null -> v | acc -> Value.add acc v)
+                   Value.Null rows)
+          | Expr.Min e ->
+            let f = compile_expr m e in
+            fun rows ->
+              Xval.atom
+                (List.fold_left
+                   (fun acc row ->
+                     let v = Xval.atomize (f row) in
+                     if Value.is_null v then acc
+                     else
+                       match acc with
+                       | Value.Null -> v
+                       | acc -> if Value.compare v acc < 0 then v else acc)
+                   Value.Null rows)
+          | Expr.Max e ->
+            let f = compile_expr m e in
+            fun rows ->
+              Xval.atom
+                (List.fold_left
+                   (fun acc row ->
+                     let v = Xval.atomize (f row) in
+                     if Value.is_null v then acc
+                     else
+                       match acc with
+                       | Value.Null -> v
+                       | acc -> if Value.compare v acc > 0 then v else acc)
+                   Value.Null rows)
+          | Expr.Avg e ->
+            let f = compile_expr m e in
+            fun rows ->
+              let vals =
+                List.filter_map
+                  (fun row ->
+                    let v = Xval.atomize (f row) in
+                    if Value.is_null v then None else Some (Value.to_float v))
+                  rows
+              in
+              if vals = [] then Xval.atom Value.Null
+              else
+                Xval.atom
+                  (Value.Float (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)))
+          | Expr.Xml_frag e ->
+            let f = compile_expr m e in
+            fun rows -> Xval.seq (List.map f rows))
+        aggs
+    in
+    let out_rows =
+      if keys = [] then
+        (* Scalar aggregate: one row even over empty input. *)
+        let rows = sort_rows (List.rev rel.rows) in
+        [ Array.of_list (List.map (fun f -> f rows) agg_fs) ]
+      else
+        List.rev_map
+          (fun key ->
+            let rows = sort_rows !(Xrow_tbl.find groups key) in
+            Array.append key (Array.of_list (List.map (fun f -> f rows) agg_fs)))
+          !group_order
+    in
+    { cols = Array.of_list (keys @ List.map fst aggs); rows = out_rows }
+  in
+  go top
+
+let eval_sorted ctx ~by op =
+  let rel = eval ctx op in
+  let slots = List.map (fun c -> col_index rel c) by in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | i :: rest ->
+        let c = Xval.compare a.(i) b.(i) in
+        if c <> 0 then c else go rest
+    in
+    go slots
+  in
+  { rel with rows = List.stable_sort cmp rel.rows }

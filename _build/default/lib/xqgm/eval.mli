@@ -1,0 +1,33 @@
+(** Direct evaluator for XQGM graphs — the reference semantics.
+
+    This evaluator defines what a view *means*: [R(o, D)] of the paper is
+    [eval ctx o] with [ctx] describing state [D].  The production trigger
+    path (pushdown + tagger) is differentially tested against it.
+
+    Document order within [Xml_frag] sequences is ascending order of the
+    GroupBy's [order] columns, matching the ORDER BY of the sorted
+    outer-union plans. *)
+
+type xrel = {
+  cols : string array;
+  rows : Xval.t array list;
+}
+
+(** Bindings resolve through the {!Relkit.Ra_eval.ctx}: [Post] reads current
+    table contents, [Pre] the reconstructed pre-statement contents, [Delta] /
+    [Nabla] the transition tables. *)
+val eval : Relkit.Ra_eval.ctx -> Op.t -> xrel
+
+val col_index : xrel -> string -> int
+
+(** Evaluates and sorts rows by the given columns (ascending), giving the
+    deterministic top-level order used when materializing views. *)
+val eval_sorted : Relkit.Ra_eval.ctx -> by:string list -> Op.t -> xrel
+
+(** Effective boolean value used by selection predicates: false for NULL and
+    SQL false, true for SQL true.
+    @raise Invalid_argument for non-boolean values. *)
+val truthy : Xval.t -> bool
+
+val equal_xrel : xrel -> xrel -> bool
+val pp_xrel : Format.formatter -> xrel -> unit

@@ -1,0 +1,117 @@
+module Ra = Relkit.Ra
+module Value = Relkit.Value
+
+type binop = Ra.binop
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Binop of binop * t * t
+  | Not of t
+  | Is_null of t
+  | Elem of {
+      tag : string;
+      attrs : (string * t) list;
+      content : t list;
+    }
+  | Node_eq of t * t
+
+type agg =
+  | Count
+  | Sum of t
+  | Min of t
+  | Max of t
+  | Avg of t
+  | Xml_frag of t
+
+let rec cols = function
+  | Col c -> [ c ]
+  | Const _ -> []
+  | Binop (_, a, b) -> cols a @ cols b
+  | Not e | Is_null e -> cols e
+  | Elem { attrs; content; _ } ->
+    List.concat_map (fun (_, e) -> cols e) attrs @ List.concat_map cols content
+  | Node_eq (a, b) -> cols a @ cols b
+
+let agg_cols = function
+  | Count -> []
+  | Sum e | Min e | Max e | Avg e | Xml_frag e -> cols e
+
+let rec is_scalar = function
+  | Col _ | Const _ -> true
+  | Binop (_, a, b) -> is_scalar a && is_scalar b
+  | Not e | Is_null e -> is_scalar e
+  | Elem _ -> false
+  | Node_eq _ -> false
+
+let rec map_cols f = function
+  | Col c -> Col (f c)
+  | Const v -> Const v
+  | Binop (op, a, b) -> Binop (op, map_cols f a, map_cols f b)
+  | Not e -> Not (map_cols f e)
+  | Is_null e -> Is_null (map_cols f e)
+  | Elem { tag; attrs; content } ->
+    Elem
+      { tag;
+        attrs = List.map (fun (k, e) -> (k, map_cols f e)) attrs;
+        content = List.map (map_cols f) content;
+      }
+  | Node_eq (a, b) -> Node_eq (map_cols f a, map_cols f b)
+
+let map_agg_cols f = function
+  | Count -> Count
+  | Sum e -> Sum (map_cols f e)
+  | Min e -> Min (map_cols f e)
+  | Max e -> Max (map_cols f e)
+  | Avg e -> Avg (map_cols f e)
+  | Xml_frag e -> Xml_frag (map_cols f e)
+
+let rec injectively_embedded_cols = function
+  | Col c -> [ c ]
+  | Const _ | Binop _ | Not _ | Is_null _ | Node_eq _ -> []
+  | Elem { attrs; content; _ } ->
+    List.concat_map (fun (_, e) -> injectively_embedded_cols e) attrs
+    @ List.concat_map injectively_embedded_cols content
+
+let eq a b = Binop (Ra.Eq, a, b)
+
+let and_ = function
+  | [] -> Const (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc e' -> Binop (Ra.And, acc, e')) e rest
+
+let string_of_binop = function
+  | Ra.Eq -> "="
+  | Ra.Neq -> "<>"
+  | Ra.Lt -> "<"
+  | Ra.Le -> "<="
+  | Ra.Gt -> ">"
+  | Ra.Ge -> ">="
+  | Ra.And -> "AND"
+  | Ra.Or -> "OR"
+  | Ra.Add -> "+"
+  | Ra.Sub -> "-"
+  | Ra.Mul -> "*"
+  | Ra.Div -> "/"
+  | Ra.Mod -> "%"
+
+let rec to_string = function
+  | Col c -> "$" ^ c
+  | Const v -> Value.to_sql_literal v
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (string_of_binop op) (to_string b)
+  | Not e -> "NOT " ^ to_string e
+  | Is_null e -> to_string e ^ " IS NULL"
+  | Elem { tag; attrs; content } ->
+    let attr_str =
+      String.concat "" (List.map (fun (k, e) -> Printf.sprintf " %s={%s}" k (to_string e)) attrs)
+    in
+    Printf.sprintf "<%s%s>{%s}" tag attr_str (String.concat ", " (List.map to_string content))
+  | Node_eq (a, b) -> Printf.sprintf "node-eq(%s, %s)" (to_string a) (to_string b)
+
+let agg_to_string = function
+  | Count -> "count(*)"
+  | Sum e -> Printf.sprintf "sum(%s)" (to_string e)
+  | Min e -> Printf.sprintf "min(%s)" (to_string e)
+  | Max e -> Printf.sprintf "max(%s)" (to_string e)
+  | Avg e -> Printf.sprintf "avg(%s)" (to_string e)
+  | Xml_frag e -> Printf.sprintf "aggXMLFrag(%s)" (to_string e)

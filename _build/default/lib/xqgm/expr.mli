@@ -1,0 +1,52 @@
+(** Expressions embedded in XQGM operators: scalar computation plus the XML
+    constructor and aggregate functions of the paper (§2.1). *)
+
+type binop = Relkit.Ra.binop
+
+type t =
+  | Col of string
+  | Const of Relkit.Value.t
+  | Binop of binop * t * t
+  | Not of t
+  | Is_null of t
+  | Elem of {
+      tag : string;
+      attrs : (string * t) list;  (** attribute values, atomized to strings *)
+      content : t list;  (** children; sequences splice, atoms become text *)
+    }
+  | Node_eq of t * t
+      (** deep structural equality of XML values — the tagger-level
+          comparison of Appendix E.1; never pushed down to SQL *)
+
+(** Aggregate functions usable in GroupBy operators.  [Xml_frag] is the
+    paper's aggXMLFrag: it collects one item per group row into a sequence. *)
+type agg =
+  | Count
+  | Sum of t
+  | Min of t
+  | Max of t
+  | Avg of t
+  | Xml_frag of t
+
+(** Input columns referenced (duplicates possible). *)
+val cols : t -> string list
+
+val agg_cols : agg -> string list
+
+(** [true] when the expression cannot produce an XML node (no [Elem]). *)
+val is_scalar : t -> bool
+
+(** Renames column references. *)
+val map_cols : (string -> string) -> t -> t
+
+val map_agg_cols : (string -> string) -> agg -> agg
+
+(** Columns appearing in injective positions only: directly as an output, or
+    embedded in element constructors — but not under arithmetic or
+    comparisons (Appendix F.2 of the paper). *)
+val injectively_embedded_cols : t -> string list
+
+val eq : t -> t -> t
+val and_ : t list -> t
+val to_string : t -> string
+val agg_to_string : agg -> string

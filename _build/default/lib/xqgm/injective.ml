@@ -1,0 +1,237 @@
+module S = Set.Make (String)
+
+type verdict =
+  | Injective
+  | Agg_only of string list
+  | Opaque
+
+let verdict_to_string = function
+  | Injective -> "INJECTIVE"
+  | Agg_only cols -> "AGG-ONLY(" ^ String.concat ", " cols ^ ")"
+  | Opaque -> "OPAQUE"
+
+(* Provenance-based implementation of Appendix F.2.
+
+   For each operator we compute, per output column, the set of T's *base
+   columns* carried injectively through that column ([carries]).  An operator
+   is injectivity-preserving when the union of base columns its inputs
+   carried is still carried by its outputs — this correctly treats redundant
+   carriers (a column present both standalone and inside an element
+   constructor may be dropped).
+
+   GroupBy additionally collapses rows, so base columns survive a GroupBy
+   only through aggXMLFrag outputs (one item per input row) or when *all* of
+   T's columns are grouping keys (a keyed table has no duplicate rows).
+
+   [violated] records a coverage failure that is still relationally
+   comparable (scalar aggregates, dropped columns); [opaque] records
+   T-derived data embedded non-injectively inside XML values, where only a
+   full node comparison works. *)
+type cls = {
+  carries : (string * S.t) list;  (** output column -> T base columns *)
+  xml_cols : S.t;
+  violated : bool;
+  opaque : bool;
+}
+
+let carried_by cls col =
+  match List.assoc_opt col cls.carries with Some s -> s | None -> S.empty
+
+let total cls = List.fold_left (fun acc (_, s) -> S.union acc s) S.empty cls.carries
+
+let empty_cls = { carries = []; xml_cols = S.empty; violated = false; opaque = false }
+
+let carries_of_refs cls refs =
+  List.fold_left (fun acc c -> S.union acc (carried_by cls c)) S.empty refs
+
+let rec classify ~table ~schema_of (op : Op.t) : cls =
+  match op.Op.node with
+  | Op.Table { table = t; cols; _ } ->
+    if t = table then
+      { empty_cls with carries = List.map (fun (src, out) -> (out, S.singleton src)) cols }
+    else empty_cls
+  | Op.Select { input; _ } -> classify ~table ~schema_of input
+  | Op.Project { input; defs } ->
+    let c = classify ~table ~schema_of input in
+    let out_carries = ref [] in
+    let out_xml = ref S.empty in
+    let opaque = ref c.opaque in
+    List.iter
+      (fun (o, e) ->
+        match e with
+        | Expr.Col src ->
+          out_carries := (o, carried_by c src) :: !out_carries;
+          if S.mem src c.xml_cols then out_xml := S.add o !out_xml
+        | Expr.Elem _ ->
+          let refs = Expr.cols e in
+          let inj_refs = Expr.injectively_embedded_cols e in
+          let bad = S.diff (S.of_list refs) (S.of_list inj_refs) in
+          if not (S.is_empty (S.inter (carries_of_refs c (S.elements bad)) (total c)))
+          then opaque := true;
+          if not (S.is_empty (carries_of_refs c (S.elements bad))) then opaque := true;
+          out_xml := S.add o !out_xml;
+          out_carries := (o, carries_of_refs c inj_refs) :: !out_carries
+        | e ->
+          (* scalar computation: carries nothing injectively *)
+          ignore (Expr.cols e);
+          out_carries := (o, S.empty) :: !out_carries)
+      defs;
+    let provided = List.fold_left (fun acc (_, s) -> S.union acc s) S.empty !out_carries in
+    let required = total c in
+    { carries = List.rev !out_carries;
+      xml_cols = !out_xml;
+      violated = c.violated || not (S.subset required provided);
+      opaque = !opaque;
+    }
+  | Op.Join { kind; left; right; pred } -> (
+    let l = classify ~table ~schema_of left and r = classify ~table ~schema_of right in
+    match kind with
+    | Op.Inner | Op.Left_outer ->
+      let carries = l.carries @ r.carries in
+      (* Inner-join equality predicates make equated columns interchangeable
+         carriers: after pid = v_pid, either column recovers both sources. *)
+      let carries =
+        if kind = Op.Inner then begin
+          let rec equalities = function
+            | Expr.Binop (Relkit.Ra.And, a, b) -> equalities a @ equalities b
+            | Expr.Binop (Relkit.Ra.Eq, Expr.Col a, Expr.Col b) -> [ (a, b) ]
+            | _ -> []
+          in
+          List.fold_left
+            (fun carries (a, b) ->
+              let sa =
+                match List.assoc_opt a carries with Some s -> s | None -> S.empty
+              in
+              let sb =
+                match List.assoc_opt b carries with Some s -> s | None -> S.empty
+              in
+              let merged = S.union sa sb in
+              let set col carries =
+                if List.mem_assoc col carries then
+                  List.map (fun (c, s) -> if c = col then (c, merged) else (c, s)) carries
+                else (col, merged) :: carries
+              in
+              set a (set b carries))
+            carries (equalities pred)
+        end
+        else carries
+      in
+      { carries;
+        xml_cols = S.union l.xml_cols r.xml_cols;
+        violated = l.violated || r.violated;
+        opaque = l.opaque || r.opaque;
+      }
+    | Op.Left_anti ->
+      if S.is_empty (total r) then l else { l with violated = true }
+    | Op.Right_anti -> if S.is_empty (total l) then r else { r with violated = true })
+  | Op.Group_by { input; keys; aggs; _ } ->
+    let c = classify ~table ~schema_of input in
+    let out_carries = ref [] in
+    let out_xml = ref S.empty in
+    let opaque = ref c.opaque in
+    let frag_provided = ref S.empty in
+    List.iter (fun k -> out_carries := (k, carried_by c k) :: !out_carries) keys;
+    List.iter
+      (fun (o, agg) ->
+        match agg with
+        | Expr.Xml_frag e ->
+          let refs = Expr.cols e in
+          let inj_refs = Expr.injectively_embedded_cols e in
+          let bad = S.diff (S.of_list refs) (S.of_list inj_refs) in
+          if not (S.is_empty (carries_of_refs c (S.elements bad))) then opaque := true;
+          let carried = carries_of_refs c inj_refs in
+          frag_provided := S.union carried !frag_provided;
+          out_xml := S.add o !out_xml;
+          out_carries := (o, carried) :: !out_carries
+        | Expr.Count | Expr.Sum _ | Expr.Min _ | Expr.Max _ | Expr.Avg _ ->
+          (* scalar aggregates carry nothing injectively *)
+          out_carries := (o, S.empty) :: !out_carries)
+      aggs;
+    let required = total c in
+    (* Base columns survive row collapse only inside aggXMLFrag, or when all
+       of T's columns are grouping keys (keyed rows have no duplicates). *)
+    let key_provided = carries_of_refs c keys in
+    (* Keys alone cover T only when every scanned column of T is a grouping
+       key (keyed rows have no duplicates, so the distinct set is the row
+       set).  We approximate "every scanned column" by the primary key plus
+       all carried columns. *)
+    let pk = S.of_list (schema_of table).Relkit.Schema.primary_key in
+    let covered =
+      (* Rows individually identified inside a fragment (pk carried), with
+         every remaining column either in the fragment or constant within the
+         group (a grouping key) … *)
+      (S.subset pk !frag_provided
+      && S.subset required (S.union !frag_provided key_provided))
+      (* … or the whole row visible as grouping keys. *)
+      || (S.subset pk key_provided && S.subset required key_provided)
+    in
+    { carries = List.rev !out_carries;
+      xml_cols = !out_xml;
+      violated = c.violated || not covered;
+      opaque = !opaque;
+    }
+  | Op.Union { cols = out_cols; inputs } -> (
+    match inputs with
+    | [ (input, mapping) ] ->
+      let c = classify ~table ~schema_of input in
+      { carries = List.map2 (fun out src -> (out, carried_by c src)) out_cols mapping;
+        xml_cols =
+          List.fold_left2
+            (fun acc out src -> if S.mem src c.xml_cols then S.add out acc else acc)
+            S.empty out_cols mapping;
+        violated = c.violated;
+        opaque = c.opaque;
+      }
+    | inputs ->
+      (* Multi-input unions merge tuples across branches; we conservatively
+         refuse to certify injectivity through them unless no branch touches
+         T at all. *)
+      let clss = List.map (fun (i, _) -> classify ~table ~schema_of i) inputs in
+      if List.for_all (fun c -> S.is_empty (total c)) clss then
+        { empty_cls with
+          violated = List.exists (fun c -> c.violated) clss;
+          opaque = List.exists (fun c -> c.opaque) clss;
+        }
+      else { empty_cls with violated = true })
+
+(* The Agg-only pattern of Appendix F.4: the top operator is a Project whose
+   element constructors reference only scalar input columns, each embedded
+   injectively.  Comparing those referenced columns (plus scalar outputs)
+   relationally is then equivalent to comparing the nodes. *)
+let agg_only_pattern ~table ~schema_of (op : Op.t) =
+  match op.Op.node with
+  | Op.Project { input; defs } -> (
+    let c = classify ~table ~schema_of input in
+    if c.opaque then None
+    else begin
+      let ok = ref true in
+      let compare_cols = ref S.empty in
+      List.iter
+        (fun (_, e) ->
+          match e with
+          | Expr.Col src ->
+            if S.mem src c.xml_cols then ok := false
+            else compare_cols := S.add src !compare_cols
+          | Expr.Elem _ ->
+            let refs = S.of_list (Expr.cols e) in
+            let inj_refs = S.of_list (Expr.injectively_embedded_cols e) in
+            if not (S.equal refs inj_refs) then ok := false;
+            if not (S.is_empty (S.inter refs c.xml_cols)) then ok := false;
+            compare_cols := S.union refs !compare_cols
+          | e ->
+            let refs = S.of_list (Expr.cols e) in
+            if not (S.is_empty (S.inter refs c.xml_cols)) then ok := false;
+            compare_cols := S.union refs !compare_cols)
+        defs;
+      if !ok then Some (S.elements !compare_cols) else None
+    end)
+  | _ -> None
+
+let analyze ~table ~schema_of op =
+  match classify ~table ~schema_of op with
+  | { opaque = false; violated = false; _ } -> Injective
+  | _ -> (
+    match agg_only_pattern ~table ~schema_of op with
+    | Some cols -> Agg_only cols
+    | None -> Opaque)
+  | exception Not_found -> Opaque

@@ -1,0 +1,24 @@
+(** Injectivity analysis (Appendix F of the paper).
+
+    A view graph is *injective* w.r.t. a base table T when each output tuple
+    determines the exact set of T-rows it was built from.  For injective
+    views the OLD≠NEW comparison at the top of G_affected can be dropped
+    entirely (Theorem 3); when the only non-injectivity comes from scalar
+    aggregates over T-derived columns (e.g. a min-price view), the comparison
+    can be pushed down to those aggregate columns (Appendix F.4).
+
+    The analysis implements the sufficient conditions of Appendix F.2 — it
+    can answer [Opaque] for views that are in fact injective, which only
+    costs performance, never correctness. *)
+
+type verdict =
+  | Injective
+  | Agg_only of string list
+      (** non-injective only through these (scalar, comparable) output
+          columns of the top operator — compare them instead of the nodes *)
+  | Opaque  (** fall back to full node comparison *)
+
+val analyze :
+  table:string -> schema_of:(string -> Relkit.Schema.t) -> Op.t -> verdict
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,124 @@
+exception Not_trigger_specifiable of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Not_trigger_specifiable msg)) fmt
+
+let rec canonical_key ~schema_of (op : Op.t) =
+  match op.Op.node with
+  | Op.Table { table; cols; _ } ->
+    let schema = schema_of table in
+    let pk = schema.Relkit.Schema.primary_key in
+    if pk = [] then fail "table %S has no primary key" table;
+    List.map
+      (fun k ->
+        match List.assoc_opt k cols with
+        | Some out -> out
+        | None -> fail "table scan of %S does not expose key column %S" table k)
+      pk
+  | Op.Select { input; _ } -> canonical_key ~schema_of input
+  | Op.Project { input; defs } ->
+    (* The key must be propagated as plain column references ("existing or
+       derivable" columns, Definition 1); the front-end guarantees this by
+       always passing keys through. *)
+    let input_key = canonical_key ~schema_of input in
+    List.map
+      (fun k ->
+        match
+          List.find_opt (fun (_, e) -> match e with Expr.Col c -> c = k | _ -> false) defs
+        with
+        | Some (out, _) -> out
+        | None -> fail "projection drops key column %S of its input" k)
+      input_key
+  | Op.Join { kind; left; right; pred } -> (
+    (* Key minimization: joining a GroupBy on an equality covering all its
+       grouping columns matches at most one group per outer row, so the
+       grouped side adds no key columns.  Besides producing the minimal keys
+       of the paper's Figure 5, this keeps outer-join padding (NULLs) out of
+       key columns. *)
+    let equalities =
+      let rec go = function
+        | Expr.Binop (Relkit.Ra.And, a, b) -> go a @ go b
+        | Expr.Binop (Relkit.Ra.Eq, Expr.Col a, Expr.Col b) -> [ (a, b); (b, a) ]
+        | _ -> []
+      in
+      go pred
+    in
+    let grouped_determined side other =
+      match side.Op.node with
+      | Op.Group_by { keys = gkeys; _ } ->
+        gkeys <> []
+        &&
+        let other_cols = Op.cols other in
+        List.for_all
+          (fun g ->
+            List.exists (fun (a, b) -> a = g && List.mem b other_cols) equalities)
+          gkeys
+      | _ -> false
+    in
+    match kind with
+    | Op.Inner | Op.Left_outer ->
+      let lk = canonical_key ~schema_of left in
+      if grouped_determined right left then lk
+      else if kind = Op.Inner && grouped_determined left right then
+        canonical_key ~schema_of right
+      else lk @ canonical_key ~schema_of right
+    | Op.Left_anti -> canonical_key ~schema_of left
+    | Op.Right_anti -> canonical_key ~schema_of right)
+  | Op.Group_by { keys; _ } ->
+    if keys = [] then
+      (* A scalar aggregate produces exactly one tuple; its key is empty. *)
+      []
+    else keys
+  | Op.Union { cols; inputs } ->
+    (* Key = union over inputs of the output columns their keys map to. *)
+    let out_of_input input mapping k =
+      (* mapping.(i) is the input column feeding output column i *)
+      let rec go outs maps =
+        match outs, maps with
+        | out :: outs, m :: maps -> if m = k then Some out else go outs maps
+        | _, _ -> None
+      in
+      match go cols mapping with
+      | Some out -> Some out
+      | None ->
+        fail "union input %d does not map key column %S to any output" input.Op.id k
+    in
+    let keys =
+      List.concat_map
+        (fun (input, mapping) ->
+          List.filter_map (out_of_input input mapping) (canonical_key ~schema_of input))
+        inputs
+    in
+    List.sort_uniq String.compare keys
+
+(* The unminimized variant: concatenate at joins.  Project lookups still go
+   through [canonical_key] recursion where possible; here we only need the
+   union of derivable key columns. *)
+let rec full_key ~schema_of (op : Op.t) =
+  match op.Op.node with
+  | Op.Table _ | Op.Group_by _ | Op.Union _ -> canonical_key ~schema_of op
+  | Op.Select { input; _ } -> full_key ~schema_of input
+  | Op.Project { input; defs } ->
+    let input_key = full_key ~schema_of input in
+    List.filter_map
+      (fun k ->
+        match
+          List.find_opt (fun (_, e) -> match e with Expr.Col c -> c = k | _ -> false) defs
+        with
+        | Some (out, _) -> Some out
+        | None -> None)
+      input_key
+  | Op.Join { kind; left; right; _ } -> (
+    match kind with
+    | Op.Inner | Op.Left_outer -> full_key ~schema_of left @ full_key ~schema_of right
+    | Op.Left_anti -> full_key ~schema_of left
+    | Op.Right_anti -> full_key ~schema_of right)
+
+let trigger_specifiable ~schema_of op =
+  let check acc o = match acc with
+    | Error _ -> acc
+    | Ok () -> (
+      match canonical_key ~schema_of o with
+      | (_ : string list) -> Ok ()
+      | exception Not_trigger_specifiable msg -> Error msg)
+  in
+  Op.fold op ~init:(Ok ()) ~f:check

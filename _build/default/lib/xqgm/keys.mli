@@ -1,0 +1,28 @@
+(** Canonical-key derivation for XQGM operators (Definition 1, Appendix A /
+    Table 3 of the paper).
+
+    The canonical key of an operator is the set of output columns whose
+    values uniquely identify each output tuple.  Trigger semantics
+    (Definitions 2 and 3) are phrased in terms of these keys, so a view is
+    trigger-specifiable exactly when every operator has one (Definition 4 /
+    Theorem 1). *)
+
+exception Not_trigger_specifiable of string
+
+(** [canonical_key ~schema_of op] is the key of [op]'s output, derived
+    bottom-up per Table 3.  [schema_of] resolves base-table schemas (for
+    primary keys).
+    @raise Not_trigger_specifiable when some operator lacks a key — e.g. a
+    base table without a primary key, or a projection that drops its input's
+    key columns. *)
+val canonical_key : schema_of:(string -> Relkit.Schema.t) -> Op.t -> string list
+
+(** Like {!canonical_key} but without key minimization at joins: the plain
+    concatenation of both sides' keys.  The front-end passes these columns
+    through every projection so the affected-key graphs can always follow a
+    key upward, even when the canonical key was minimized. *)
+val full_key : schema_of:(string -> Relkit.Schema.t) -> Op.t -> string list
+
+(** Checks every operator in the graph (Definition 4). *)
+val trigger_specifiable :
+  schema_of:(string -> Relkit.Schema.t) -> Op.t -> (unit, string) result

@@ -1,0 +1,176 @@
+type binding = Post | Pre | Delta | Nabla
+type join_kind = Inner | Left_outer | Left_anti | Right_anti
+
+type t = {
+  id : int;
+  node : node;
+}
+
+and node =
+  | Table of {
+      table : string;
+      binding : binding;
+      cols : (string * string) list;
+    }
+  | Select of {
+      input : t;
+      pred : Expr.t;
+    }
+  | Project of {
+      input : t;
+      defs : (string * Expr.t) list;
+    }
+  | Join of {
+      kind : join_kind;
+      left : t;
+      right : t;
+      pred : Expr.t;
+    }
+  | Group_by of {
+      input : t;
+      keys : string list;
+      aggs : (string * Expr.agg) list;
+      order : string list;
+    }
+  | Union of {
+      cols : string list;
+      inputs : (t * string list) list;
+    }
+
+let binding_to_string = function
+  | Post -> "POST"
+  | Pre -> "PRE"
+  | Delta -> "DELTA"
+  | Nabla -> "NABLA"
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let mk node = { id = next_id (); node }
+
+let rec cols op =
+  match op.node with
+  | Table t -> List.map snd t.cols
+  | Select { input; _ } -> cols input
+  | Project { defs; _ } -> List.map fst defs
+  | Join { kind; left; right; _ } -> (
+    match kind with
+    | Inner | Left_outer -> cols left @ cols right
+    | Left_anti -> cols left
+    | Right_anti -> cols right)
+  | Group_by { keys; aggs; _ } -> keys @ List.map fst aggs
+  | Union u -> u.cols
+
+let check_distinct what names =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem tbl c then
+        invalid_arg (Printf.sprintf "Xqgm.Op: duplicate column %S in %s" c what);
+      Hashtbl.add tbl c ())
+    names
+
+let check_refs what input_cols refs =
+  List.iter
+    (fun c ->
+      if not (List.mem c input_cols) then
+        invalid_arg (Printf.sprintf "Xqgm.Op: %s references unknown column %S" what c))
+    refs
+
+let table ?(binding = Post) name col_map =
+  check_distinct ("table scan of " ^ name) (List.map snd col_map);
+  mk (Table { table = name; binding; cols = col_map })
+
+let table_full ?(binding = Post) schema =
+  table ~binding schema.Relkit.Schema.name
+    (List.map (fun c -> (c, c)) (Relkit.Schema.column_names schema))
+
+let select ~pred input =
+  check_refs "selection predicate" (cols input) (Expr.cols pred);
+  mk (Select { input; pred })
+
+let project ~defs input =
+  check_distinct "projection" (List.map fst defs);
+  let input_cols = cols input in
+  List.iter (fun (_, e) -> check_refs "projection" input_cols (Expr.cols e)) defs;
+  mk (Project { input; defs })
+
+let join ?(kind = Inner) ~pred left right =
+  let lcols = cols left and rcols = cols right in
+  (match kind with
+  | Inner | Left_outer -> check_distinct "join output" (lcols @ rcols)
+  | Left_anti | Right_anti -> ());
+  check_refs "join predicate" (lcols @ rcols) (Expr.cols pred);
+  mk (Join { kind; left; right; pred })
+
+let group_by ~keys ~aggs ?(order = []) input =
+  let input_cols = cols input in
+  check_refs "grouping columns" input_cols keys;
+  check_refs "group order columns" input_cols order;
+  List.iter (fun (_, a) -> check_refs "aggregate" input_cols (Expr.agg_cols a)) aggs;
+  check_distinct "group-by output" (keys @ List.map fst aggs);
+  mk (Group_by { input; keys; aggs; order })
+
+let union ~cols:out_cols inputs =
+  check_distinct "union output" out_cols;
+  let n = List.length out_cols in
+  List.iter
+    (fun (input, mapping) ->
+      if List.length mapping <> n then
+        invalid_arg "Xqgm.Op: union mapping arity mismatch";
+      check_refs "union mapping" (cols input) mapping)
+    inputs;
+  if inputs = [] then invalid_arg "Xqgm.Op: empty union";
+  mk (Union { cols = out_cols; inputs })
+
+let rec to_old ~table:target op =
+  match op.node with
+  | Table { table; binding; cols } ->
+    if table = target && binding = Post then mk (Table { table; binding = Pre; cols })
+    else op
+  | Select { input; pred } -> mk (Select { input = to_old ~table:target input; pred })
+  | Project { input; defs } -> mk (Project { input = to_old ~table:target input; defs })
+  | Join { kind; left; right; pred } ->
+    mk
+      (Join
+         { kind;
+           left = to_old ~table:target left;
+           right = to_old ~table:target right;
+           pred;
+         })
+  | Group_by { input; keys; aggs; order } ->
+    mk (Group_by { input = to_old ~table:target input; keys; aggs; order })
+  | Union { cols; inputs } ->
+    mk
+      (Union
+         { cols;
+           inputs = List.map (fun (i, m) -> (to_old ~table:target i, m)) inputs;
+         })
+
+let fold op ~init ~f =
+  let seen = Hashtbl.create 16 in
+  let rec go acc op =
+    if Hashtbl.mem seen op.id then acc
+    else begin
+      Hashtbl.add seen op.id ();
+      let acc =
+        match op.node with
+        | Table _ -> acc
+        | Select { input; _ } | Project { input; _ } | Group_by { input; _ } -> go acc input
+        | Join { left; right; _ } -> go (go acc left) right
+        | Union { inputs; _ } -> List.fold_left (fun acc (i, _) -> go acc i) acc inputs
+      in
+      f acc op
+    end
+  in
+  go init op
+
+let scanned_tables op =
+  fold op ~init:[] ~f:(fun acc o ->
+      match o.node with
+      | Table { table; binding; _ } ->
+        if List.mem (table, binding) acc then acc else (table, binding) :: acc
+      | _ -> acc)

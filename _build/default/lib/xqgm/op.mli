@@ -1,0 +1,89 @@
+(** XQGM operator graphs (Table 1 of the paper).
+
+    Every operator produces a bag of tuples whose columns hold {!Xval.t}
+    values.  Construction goes through the smart constructors below, which
+    validate column references and assign unique operator ids (used for
+    sharing-aware traversal and memoized evaluation).
+
+    [Unnest] is intentionally absent: for XML views of relational data it can
+    always be composed away (Theorem 1 / Appendix B of the paper), and the
+    front-end never produces it. *)
+
+type binding =
+  | Post  (** current (post-statement) table contents *)
+  | Pre  (** pre-statement contents — B_old *)
+  | Delta  (** Δtable transition rows *)
+  | Nabla  (** ∇table transition rows *)
+
+type join_kind = Inner | Left_outer | Left_anti | Right_anti
+
+type t = private {
+  id : int;
+  node : node;
+}
+
+and node =
+  | Table of {
+      table : string;
+      binding : binding;
+      cols : (string * string) list;  (** (table column, output column) *)
+    }
+  | Select of {
+      input : t;
+      pred : Expr.t;
+    }
+  | Project of {
+      input : t;
+      defs : (string * Expr.t) list;  (** (output column, expression) *)
+    }
+  | Join of {
+      kind : join_kind;
+      left : t;
+      right : t;
+      pred : Expr.t;
+    }
+  | Group_by of {
+      input : t;
+      keys : string list;  (** grouping columns, propagated to the output *)
+      aggs : (string * Expr.agg) list;
+      order : string list;
+          (** input columns ordering rows within each group — determines the
+              document order of [Xml_frag] sequences *)
+    }
+  | Union of {
+      cols : string list;  (** output columns *)
+      inputs : (t * string list) list;
+          (** each input with, for every output column, the input column it
+              maps from (the paper's M mapping, Appendix A) *)
+    }
+
+(** Output column names, in order. *)
+val cols : t -> string list
+
+(** Smart constructors.  @raise Invalid_argument on unknown column
+    references, duplicate output columns, or (for joins) overlapping input
+    column sets. *)
+
+val table : ?binding:binding -> string -> (string * string) list -> t
+
+(** [table_full schema] scans all columns with identity naming. *)
+val table_full : ?binding:binding -> Relkit.Schema.t -> t
+
+val select : pred:Expr.t -> t -> t
+val project : defs:(string * Expr.t) list -> t -> t
+val join : ?kind:join_kind -> pred:Expr.t -> t -> t -> t
+val group_by : keys:string list -> aggs:(string * Expr.agg) list -> ?order:string list -> t -> t
+val union : cols:string list -> (t * string list) list -> t
+
+(** [to_old ~table g] is G_old: [g] with every [Post] scan of [table]
+    replaced by a [Pre] scan (§4.2). *)
+val to_old : table:string -> t -> t
+
+(** All (table, binding) pairs scanned anywhere in the graph. *)
+val scanned_tables : t -> (string * binding) list
+
+(** Bottom-up fold over distinct operators (each shared operator visited
+    once). *)
+val fold : t -> init:'a -> f:('a -> t -> 'a) -> 'a
+
+val binding_to_string : binding -> string

@@ -1,0 +1,47 @@
+let rec pp_op seen ppf (op : Op.t) =
+  if Hashtbl.mem seen op.Op.id then Format.fprintf ppf "(see #%d)" op.Op.id
+  else begin
+    Hashtbl.add seen op.Op.id ();
+    match op.Op.node with
+    | Op.Table { table; binding; cols } ->
+      let show (s, o) = if s = o then s else s ^ " AS " ^ o in
+      Format.fprintf ppf "#%d Table %s[%s] (%s)" op.Op.id table
+        (Op.binding_to_string binding)
+        (String.concat ", " (List.map show cols))
+    | Op.Select { input; pred } ->
+      Format.fprintf ppf "@[<v 2>#%d Select %s@,%a@]" op.Op.id (Expr.to_string pred)
+        (pp_op seen) input
+    | Op.Project { input; defs } ->
+      let show (o, e) = Printf.sprintf "%s := %s" o (Expr.to_string e) in
+      Format.fprintf ppf "@[<v 2>#%d Project [%s]@,%a@]" op.Op.id
+        (String.concat "; " (List.map show defs))
+        (pp_op seen) input
+    | Op.Join { kind; left; right; pred } ->
+      let kname =
+        match kind with
+        | Op.Inner -> "Join"
+        | Op.Left_outer -> "LeftOuterJoin"
+        | Op.Left_anti -> "LeftAntiJoin"
+        | Op.Right_anti -> "RightAntiJoin"
+      in
+      Format.fprintf ppf "@[<v 2>#%d %s %s@,%a@,%a@]" op.Op.id kname (Expr.to_string pred)
+        (pp_op seen) left (pp_op seen) right
+    | Op.Group_by { input; keys; aggs; order } ->
+      let show (o, a) = Printf.sprintf "%s := %s" o (Expr.agg_to_string a) in
+      Format.fprintf ppf "@[<v 2>#%d GroupBy keys [%s] aggs [%s]%s@,%a@]" op.Op.id
+        (String.concat ", " keys)
+        (String.concat "; " (List.map show aggs))
+        (if order = [] then "" else " order [" ^ String.concat ", " order ^ "]")
+        (pp_op seen) input
+    | Op.Union { cols; inputs } ->
+      Format.fprintf ppf "@[<v 2>#%d Union -> [%s]" op.Op.id (String.concat ", " cols);
+      List.iter
+        (fun (i, mapping) ->
+          Format.fprintf ppf "@,@[<v 2>via [%s]@,%a@]" (String.concat ", " mapping)
+            (pp_op seen) i)
+        inputs;
+      Format.fprintf ppf "@]"
+  end
+
+let pp ppf op = pp_op (Hashtbl.create 16) ppf op
+let to_string op = Format.asprintf "%a" pp op

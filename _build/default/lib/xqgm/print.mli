@@ -1,0 +1,6 @@
+(** Pretty-printing of XQGM graphs, in the boxes-and-arrows spirit of the
+    paper's Figure 5 (rendered as an indented tree; shared operators print
+    once and are referenced by id afterwards). *)
+
+val pp : Format.formatter -> Op.t -> unit
+val to_string : Op.t -> string

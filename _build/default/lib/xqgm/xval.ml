@@ -1,0 +1,58 @@
+module Value = Relkit.Value
+module Xml = Xmlkit.Xml
+
+type t =
+  | Atom of Value.t
+  | Node of Xml.t
+  | Seq of t list
+
+let atom v = Atom v
+let node n = Node n
+
+let seq items =
+  let flat = List.concat_map (function Seq xs -> xs | x -> [ x ]) items in
+  match flat with [ x ] -> x | xs -> Seq xs
+
+let empty = Seq []
+
+let rank = function Atom _ -> 0 | Node _ -> 1 | Seq _ -> 2
+
+let rec compare a b =
+  match a, b with
+  | Atom x, Atom y -> Value.compare x y
+  | Node x, Node y -> Xml.compare x y
+  | Seq x, Seq y -> List.compare compare x y
+  | (Atom _ | Node _ | Seq _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Atom v -> Value.hash v
+  | Node n -> Hashtbl.hash (Xml.to_string ~canonical:true n)
+  | Seq xs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 13 xs
+
+let rec to_nodes = function
+  | Atom Value.Null -> []
+  | Atom v -> [ Xml.text (Value.to_string v) ]
+  | Node n -> [ n ]
+  | Seq xs -> List.concat_map to_nodes xs
+
+let atomize = function
+  | Atom v -> v
+  | Node n -> Value.String (Xml.text_content n)
+  | Seq [] -> Value.Null
+  | Seq [ x ] -> (
+    match x with
+    | Atom v -> v
+    | Node n -> Value.String (Xml.text_content n)
+    | Seq _ -> assert false (* sequences are flat *))
+  | Seq _ -> invalid_arg "Xval.atomize: sequence of more than one item"
+
+let item_count = function Seq xs -> List.length xs | Atom _ | Node _ -> 1
+
+let rec to_string = function
+  | Atom v -> Value.to_string v
+  | Node n -> Xml.to_string ~canonical:true n
+  | Seq xs -> "(" ^ String.concat ", " (List.map to_string xs) ^ ")"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

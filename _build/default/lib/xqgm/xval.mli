@@ -1,0 +1,35 @@
+(** Values flowing through XQGM operators: atomic SQL values, XML nodes, or
+    ordered sequences of either (the result of aggXMLFrag). *)
+
+type t =
+  | Atom of Relkit.Value.t
+  | Node of Xmlkit.Xml.t
+  | Seq of t list  (** flat: never contains a nested [Seq] *)
+
+val atom : Relkit.Value.t -> t
+val node : Xmlkit.Xml.t -> t
+
+(** Builds a flattened sequence. *)
+val seq : t list -> t
+
+val empty : t
+
+(** Total order: atoms first (by {!Relkit.Value.compare}), then nodes, then
+    sequences, lexicographically. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Flattens to a list of XML nodes; atoms become text nodes (the XQuery
+    atomization inverse used by element constructors). *)
+val to_nodes : t -> Xmlkit.Xml.t list
+
+(** The atomic value of a singleton, atomizing nodes to their string value.
+    [Seq []] atomizes to NULL; longer sequences raise.
+    @raise Invalid_argument on a non-singleton sequence. *)
+val atomize : t -> Relkit.Value.t
+
+val item_count : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xquery/compile.ml: Array Ast List Option Parser Printf Relkit Xqgm

@@ -1,0 +1,1 @@
+lib/xquery/compile.mli: Ast Relkit Xmlkit Xqgm

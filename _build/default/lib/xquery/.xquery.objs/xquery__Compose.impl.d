@@ -1,0 +1,1 @@
+lib/xquery/compose.ml: Ast Compile Float List Printf Relkit String Xmlkit Xqgm

@@ -1,0 +1,1 @@
+lib/xquery/compose.mli: Ast Compile Relkit Xmlkit Xqgm

@@ -1,0 +1,127 @@
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div | Mod
+type axis = Child | Descendant | Attribute | Self
+
+type expr =
+  | Lit of Relkit.Value.t
+  | Path of path
+  | Flwor of {
+      clauses : clause list;
+      where : expr option;
+      return : expr;
+    }
+  | Elem of {
+      tag : string;
+      attrs : (string * expr) list;
+      content : content list;
+    }
+  | Cmp of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Call of string * expr list
+  | Quantified of {
+      universal : bool;
+      var : string;
+      source : expr;
+      satisfies : expr;
+    }
+
+and clause =
+  | For of string * expr
+  | Let of string * expr
+
+and content =
+  | C_text of string
+  | C_elem of expr
+  | C_enclosed of expr
+
+and path = {
+  root : root;
+  steps : step list;
+}
+
+and root =
+  | R_view of string
+  | R_var of string
+
+and step = {
+  axis : axis;
+  name : string;
+  predicate : expr option;
+}
+
+let string_of_cmp = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let string_of_arith = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+
+let rec expr_to_string = function
+  | Lit v -> Relkit.Value.to_sql_literal v
+  | Path p -> path_to_string p
+  | Flwor { clauses; where; return } ->
+    let clause_str = function
+      | For (v, e) -> Printf.sprintf "for $%s in %s" v (expr_to_string e)
+      | Let (v, e) -> Printf.sprintf "let $%s := %s" v (expr_to_string e)
+    in
+    Printf.sprintf "%s%s return %s"
+      (String.concat " " (List.map clause_str clauses))
+      (match where with Some w -> " where " ^ expr_to_string w | None -> "")
+      (expr_to_string return)
+  | Elem { tag; attrs; content } ->
+    let attr_str =
+      String.concat ""
+        (List.map (fun (k, e) -> Printf.sprintf " %s=\"{%s}\"" k (expr_to_string e)) attrs)
+    in
+    let content_str = function
+      | C_text t -> t
+      | C_elem e -> expr_to_string e
+      | C_enclosed e -> "{" ^ expr_to_string e ^ "}"
+    in
+    Printf.sprintf "<%s%s>%s</%s>" tag attr_str
+      (String.concat "" (List.map content_str content))
+      tag
+  | Cmp (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (string_of_cmp op) (expr_to_string b)
+  | Arith (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (string_of_arith op) (expr_to_string b)
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (expr_to_string a) (expr_to_string b)
+  | Not e -> Printf.sprintf "not(%s)" (expr_to_string e)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Quantified { universal; var; source; satisfies } ->
+    Printf.sprintf "%s $%s in %s satisfies %s"
+      (if universal then "every" else "some")
+      var (expr_to_string source) (expr_to_string satisfies)
+
+and path_to_string { root; steps } =
+  let root_str =
+    match root with
+    | R_view v -> Printf.sprintf "view(\"%s\")" v
+    | R_var "." -> "."
+    | R_var v -> "$" ^ v
+  in
+  let step_str s =
+    let sep = match s.axis with Descendant -> "//" | _ -> "/" in
+    let name =
+      match s.axis with
+      | Attribute -> "@" ^ s.name
+      | Self -> "."
+      | _ -> s.name
+    in
+    sep ^ name
+    ^ match s.predicate with Some p -> "[" ^ expr_to_string p ^ "]" | None -> ""
+  in
+  root_str ^ String.concat "" (List.map step_str steps)

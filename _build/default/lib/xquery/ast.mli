@@ -1,0 +1,67 @@
+(** Abstract syntax for the supported XQuery subset (Appendix D of the
+    paper): FLWOR expressions, element constructors, paths with
+    child/descendant/attribute/self axes over the default view or bound
+    variables, comparisons, arithmetic, boolean connectives, aggregate and
+    sequence functions, and quantified expressions.  No parent/sibling axes,
+    no type expressions, no user-defined functions. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type arith = Add | Sub | Mul | Div | Mod
+
+type axis = Child | Descendant | Attribute | Self
+
+type expr =
+  | Lit of Relkit.Value.t
+  | Path of path
+  | Flwor of {
+      clauses : clause list;
+      where : expr option;
+      return : expr;
+    }
+  | Elem of {
+      tag : string;
+      attrs : (string * expr) list;
+      content : content list;
+    }
+  | Cmp of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Call of string * expr list
+      (** count, sum, min, max, avg, distinct, exists — checked at compile
+          time *)
+  | Quantified of {
+      universal : bool;  (** [every]; false = [some] *)
+      var : string;
+      source : expr;
+      satisfies : expr;
+    }
+
+and clause =
+  | For of string * expr  (** for $x in e *)
+  | Let of string * expr  (** let $x := e *)
+
+and content =
+  | C_text of string
+  | C_elem of expr  (** a nested element constructor *)
+  | C_enclosed of expr  (** { e } *)
+
+and path = {
+  root : root;
+  steps : step list;
+}
+
+and root =
+  | R_view of string  (** view("name") *)
+  | R_var of string  (** $x; the context item [.] is the variable ["."] *)
+
+and step = {
+  axis : axis;
+  name : string;  (** "*" for the wildcard test *)
+  predicate : expr option;
+}
+
+val expr_to_string : expr -> string
+val path_to_string : path -> string

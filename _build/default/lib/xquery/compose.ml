@@ -1,0 +1,362 @@
+module Op = Xqgm.Op
+module Expr = Xqgm.Expr
+module Value = Relkit.Value
+module Xml = Xmlkit.Xml
+
+exception Compose_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Compose_error msg)) fmt
+
+type monitored = {
+  m_op : Xqgm.Op.t;
+  m_node_col : string;
+  m_key : string list;
+  m_tree : Compile.view_tree;
+}
+
+(* predicate over a level's own fields, e.g. product[@name = 'CRT 15'] *)
+let rec compile_level_pred (tree : Compile.view_tree) (e : Ast.expr) : Expr.t =
+  let field name =
+    match List.assoc_opt name tree.Compile.fields with
+    | Some col -> Expr.Col col
+    | None -> fail "element %S exposes no field %S" tree.Compile.elem_tag name
+  in
+  match e with
+  | Ast.Lit v -> Expr.Const v
+  | Ast.Cmp (op, a, b) ->
+    Expr.Binop (Compile.cmp_op op, compile_level_pred tree a, compile_level_pred tree b)
+  | Ast.Arith (op, a, b) ->
+    Expr.Binop (Compile.arith_op op, compile_level_pred tree a, compile_level_pred tree b)
+  | Ast.And (a, b) ->
+    Expr.Binop (Relkit.Ra.And, compile_level_pred tree a, compile_level_pred tree b)
+  | Ast.Or (a, b) ->
+    Expr.Binop (Relkit.Ra.Or, compile_level_pred tree a, compile_level_pred tree b)
+  | Ast.Not e -> Expr.Not (compile_level_pred tree e)
+  | Ast.Path { root = Ast.R_var "."; steps = [ { Ast.axis = Ast.Attribute; name; _ } ] } ->
+    field ("@" ^ name)
+  | Ast.Path { root = Ast.R_var "."; steps = [ { Ast.name; predicate = None; _ } ] } ->
+    field name
+  | Ast.Call ("count", [ Ast.Path { root = Ast.R_var "."; steps = [ { Ast.name; _ } ] } ]) ->
+    field ("count(" ^ name ^ ")")
+  | e -> fail "unsupported path predicate %s" (Ast.expr_to_string e)
+
+let compose_path (view : Compile.view) (path : Ast.path) : monitored =
+  (match path.Ast.root with
+  | Ast.R_view v when v = view.Compile.view_name -> ()
+  | Ast.R_view v -> fail "path is over view %S, not %S" v view.Compile.view_name
+  | Ast.R_var _ -> fail "a trigger path must be rooted at view(...)");
+  let rec walk ~first (trees : Compile.view_tree list) steps =
+    match steps with
+    | [] -> fail "empty trigger path"
+    | step :: rest ->
+      let matches t = t.Compile.elem_tag = step.Ast.name || step.Ast.name = "*" in
+      let candidates =
+        match step.Ast.axis with
+        | Ast.Child ->
+          (* the paper writes view('catalog')/product: the first step selects
+             among the document element's children, or the document element
+             itself *)
+          let kids = List.concat_map (fun t -> t.Compile.children) trees in
+          if first then List.filter matches (trees @ kids) else List.filter matches kids
+        | Ast.Descendant ->
+          let rec descend t =
+            (if matches t then [ t ] else []) @ List.concat_map descend t.Compile.children
+          in
+          List.concat_map descend trees
+        | Ast.Self -> trees
+        | Ast.Attribute -> fail "a trigger path cannot end on an attribute"
+      in
+      (match candidates with
+      | [] -> fail "no element %S along the trigger path" step.Ast.name
+      | _ :: _ :: _ -> fail "ambiguous trigger path at %S" step.Ast.name
+      | [ tree ] ->
+        if rest <> [] then begin
+          if step.Ast.predicate <> None then
+            fail "predicates are only supported on the final path step";
+          walk ~first:false [ tree ] rest
+        end
+        else begin
+          let op =
+            match step.Ast.predicate with
+            | None -> tree.Compile.op
+            | Some p -> Op.select ~pred:(compile_level_pred tree p) tree.Compile.op
+          in
+          { m_op = op;
+            m_node_col = tree.Compile.node_col;
+            m_key = tree.Compile.key;
+            m_tree = tree;
+          }
+        end)
+  in
+  walk ~first:true [ view.Compile.tree ] path.Ast.steps
+
+(* --- conditions over OLD_NODE / NEW_NODE --- *)
+
+let node_side = function
+  | "OLD_NODE" -> Some "old$"
+  | "NEW_NODE" -> Some "new$"
+  | _ -> None
+
+let compile_condition (m : monitored) (e : Ast.expr) : Expr.t option =
+  let field name =
+    match List.assoc_opt name m.m_tree.Compile.fields with
+    | Some col -> col
+    | None -> raise Exit
+  in
+  let rec go = function
+    | Ast.Lit v -> Expr.Const v
+    | Ast.Cmp (op, a, b) -> Expr.Binop (Compile.cmp_op op, go a, go b)
+    | Ast.Arith (op, a, b) -> Expr.Binop (Compile.arith_op op, go a, go b)
+    | Ast.And (a, b) -> Expr.Binop (Relkit.Ra.And, go a, go b)
+    | Ast.Or (a, b) -> Expr.Binop (Relkit.Ra.Or, go a, go b)
+    | Ast.Not e -> Expr.Not (go e)
+    | Ast.Path { root = Ast.R_var v; steps } -> (
+      match node_side v, steps with
+      | Some pfx, [ { Ast.axis = Ast.Attribute; name; _ } ] ->
+        Expr.Col (pfx ^ field ("@" ^ name))
+      | Some pfx, [ { Ast.axis = Ast.Child | Ast.Self; name; predicate = None } ] ->
+        Expr.Col (pfx ^ field name)
+      | _ -> raise Exit)
+    | Ast.Call
+        ("count", [ Ast.Path { root = Ast.R_var v; steps = [ { Ast.name; predicate = None; _ } ] } ])
+      -> (
+      match node_side v with
+      | Some pfx -> Expr.Col (pfx ^ field ("count(" ^ name ^ ")"))
+      | None -> raise Exit)
+    | _ -> raise Exit
+  in
+  match go e with expr -> Some expr | exception Exit -> None
+
+(* --- nested-count conditions (§5.1) --- *)
+
+type nested_count = {
+  nc_side : [ `Old | `New ];
+  nc_child : Compile.view_tree;
+  nc_link : string list;
+  nc_inner : Expr.t;
+  nc_cmp : Relkit.Ra.binop;
+  nc_rhs : Expr.t;
+}
+
+let rec conjuncts = function
+  | Ast.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let recombine = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc c -> Ast.And (acc, c)) e rest)
+
+let compile_nested_count (m : monitored) (e : Ast.expr) =
+  let try_conjunct = function
+    | Ast.Cmp
+        ( op,
+          Ast.Call
+            ( "count",
+              [ Ast.Path
+                  { root = Ast.R_var v;
+                    steps = [ { Ast.axis = Ast.Child; name = tag; predicate = Some p } ];
+                  }
+              ] ),
+          rhs ) -> (
+      match node_side v with
+      | None -> None
+      | Some _ -> (
+        let side = if v = "OLD_NODE" then `Old else `New in
+        match
+          List.find_opt
+            (fun (t : Compile.view_tree) -> t.Compile.elem_tag = tag)
+            m.m_tree.Compile.children
+        with
+        | Some child when child.Compile.corr <> [] -> (
+          match compile_level_pred child p, rhs with
+          | inner, Ast.Lit value ->
+            Some
+              { nc_side = side;
+                nc_child = child;
+                nc_link = child.Compile.corr;
+                nc_inner = inner;
+                nc_cmp = Compile.cmp_op op;
+                nc_rhs = Expr.Const value;
+              }
+          | _, _ -> None
+          | exception Compose_error _ -> None)
+        | _ -> None))
+    | _ -> None
+  in
+  let rec split seen = function
+    | [] -> None
+    | c :: rest -> (
+      match try_conjunct c with
+      | Some nc -> Some (nc, recombine (List.rev seen @ rest))
+      | None -> split (c :: seen) rest)
+  in
+  split [] (conjuncts e)
+
+(* --- middleware fallback over materialized nodes --- *)
+
+let xpath_cmp : Ast.cmp -> Xmlkit.Xpath.cmp = function
+  | Ast.Eq -> Xmlkit.Xpath.Eq
+  | Ast.Neq -> Xmlkit.Xpath.Neq
+  | Ast.Lt -> Xmlkit.Xpath.Lt
+  | Ast.Le -> Xmlkit.Xpath.Le
+  | Ast.Gt -> Xmlkit.Xpath.Gt
+  | Ast.Ge -> Xmlkit.Xpath.Ge
+
+let rec to_xpath_steps steps =
+  List.map
+    (fun (s : Ast.step) ->
+      let axis =
+        match s.Ast.axis with
+        | Ast.Child -> Xmlkit.Xpath.Child
+        | Ast.Descendant -> Xmlkit.Xpath.Descendant
+        | Ast.Attribute -> Xmlkit.Xpath.Attribute
+        | Ast.Self -> Xmlkit.Xpath.Self
+      in
+      let preds =
+        match s.Ast.predicate with
+        | None -> []
+        | Some p -> [ to_xpath_pred p ]
+      in
+      { Xmlkit.Xpath.axis;
+        test = (if s.Ast.name = "*" then Xmlkit.Xpath.Any else Xmlkit.Xpath.Name s.Ast.name);
+        preds;
+      })
+    steps
+
+and to_xpath_pred = function
+  | Ast.And (a, b) -> Xmlkit.Xpath.And (to_xpath_pred a, to_xpath_pred b)
+  | Ast.Or (a, b) -> Xmlkit.Xpath.Or (to_xpath_pred a, to_xpath_pred b)
+  | Ast.Not e -> Xmlkit.Xpath.Not (to_xpath_pred e)
+  | Ast.Cmp (op, a, b) -> Xmlkit.Xpath.Cmp (xpath_cmp op, to_xpath_operand a, to_xpath_operand b)
+  | Ast.Path p -> Xmlkit.Xpath.Exists (to_xpath_relative p)
+  | e -> fail "unsupported path predicate %s in fallback condition" (Ast.expr_to_string e)
+
+and to_xpath_operand = function
+  | Ast.Lit (Value.Int i) -> Xmlkit.Xpath.Num (float_of_int i)
+  | Ast.Lit (Value.Float f) -> Xmlkit.Xpath.Num f
+  | Ast.Lit v -> Xmlkit.Xpath.Lit (Value.to_string v)
+  | Ast.Path p -> Xmlkit.Xpath.Path (to_xpath_relative p)
+  | e -> fail "unsupported predicate operand %s in fallback condition" (Ast.expr_to_string e)
+
+and to_xpath_relative (p : Ast.path) =
+  match p.Ast.root with
+  | Ast.R_var "." -> { Xmlkit.Xpath.absolute = false; steps = to_xpath_steps p.Ast.steps }
+  | _ -> fail "predicate paths must be relative to the context item"
+
+
+let condition_fallback (e : Ast.expr) ~old_node ~new_node : bool =
+  (* [bindings] carries quantifier variables, bound to nodes *)
+  let node_of bindings = function
+    | "OLD_NODE" -> old_node
+    | "NEW_NODE" -> new_node
+    | v -> (
+      match List.assoc_opt v bindings with
+      | Some n -> Some n
+      | None -> fail "unbound variable $%s in a trigger condition" v)
+  in
+  let nodes_of_path bindings (p : Ast.path) =
+    match p.Ast.root with
+    | Ast.R_var v -> (
+      match node_of bindings v with
+      | None -> []
+      | Some node ->
+        if p.Ast.steps = [] then [ node ]
+        else
+          let xp = { Xmlkit.Xpath.absolute = false; steps = to_xpath_steps p.Ast.steps } in
+          Xmlkit.Xpath.eval node xp)
+    | Ast.R_view _ -> fail "view paths are not allowed in trigger conditions"
+  in
+  let strings_of_path bindings p = List.map Xml.text_content (nodes_of_path bindings p) in
+  let num s = float_of_string_opt (String.trim s) in
+  let cmp_strings op a b =
+    let c =
+      match num a, num b with
+      | Some x, Some y -> Float.compare x y
+      | _ -> String.compare a b
+    in
+    match (op : Ast.cmp) with
+    | Ast.Eq -> c = 0
+    | Ast.Neq -> c <> 0
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0
+  in
+  let values bindings = function
+    | Ast.Lit v -> [ Value.to_string v ]
+    | Ast.Path p -> strings_of_path bindings p
+    | Ast.Call ("count", [ Ast.Path p ]) ->
+      [ string_of_int (List.length (strings_of_path bindings p)) ]
+    | Ast.Call (("sum" | "min" | "max" | "avg") as fn, [ Ast.Path p ]) -> (
+      let nums = List.filter_map num (strings_of_path bindings p) in
+      match nums with
+      | [] -> []
+      | _ ->
+        let v =
+          match fn with
+          | "sum" -> List.fold_left ( +. ) 0.0 nums
+          | "min" -> List.fold_left Float.min Float.infinity nums
+          | "max" -> List.fold_left Float.max Float.neg_infinity nums
+          | "avg" -> List.fold_left ( +. ) 0.0 nums /. float_of_int (List.length nums)
+          | _ -> assert false
+        in
+        [ string_of_float v ])
+    | Ast.Arith _ -> fail "arithmetic over node values is not supported in fallback conditions"
+    | e -> fail "unsupported condition operand %s" (Ast.expr_to_string e)
+  in
+  let rec go bindings = function
+    | Ast.And (a, b) -> go bindings a && go bindings b
+    | Ast.Or (a, b) -> go bindings a || go bindings b
+    | Ast.Not e -> not (go bindings e)
+    | Ast.Cmp (op, a, b) ->
+      List.exists
+        (fun x -> List.exists (cmp_strings op x) (values bindings b))
+        (values bindings a)
+    | Ast.Call ("exists", [ Ast.Path p ]) -> strings_of_path bindings p <> []
+    | Ast.Lit (Value.Bool b) -> b
+    | Ast.Quantified { universal; var; source = Ast.Path p; satisfies } ->
+      let nodes = nodes_of_path bindings p in
+      let holds n = go ((var, n) :: bindings) satisfies in
+      if universal then List.for_all holds nodes else List.exists holds nodes
+    | e -> fail "unsupported condition %s" (Ast.expr_to_string e)
+  in
+  go [] e
+
+let validate_fallback (e : Ast.expr) : (unit, string) result =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let path_ok bound (p : Ast.path) =
+    (match p.Ast.root with
+    | Ast.R_var ("OLD_NODE" | "NEW_NODE") -> Ok ()
+    | Ast.R_var v when List.mem v bound -> Ok ()
+    | Ast.R_var v -> err "unbound variable $%s" v
+    | Ast.R_view _ -> err "view paths are not allowed in trigger conditions")
+    |> fun r ->
+    match r with
+    | Error _ as e -> e
+    | Ok () -> (
+      match to_xpath_steps p.Ast.steps with
+      | (_ : Xmlkit.Xpath.step list) -> Ok ()
+      | exception Compose_error m -> Error m)
+  in
+  let rec operand_ok bound = function
+    | Ast.Lit _ -> Ok ()
+    | Ast.Path p -> path_ok bound p
+    | Ast.Call (("count" | "sum" | "min" | "max" | "avg"), [ Ast.Path p ]) -> path_ok bound p
+    | e -> err "unsupported condition operand %s" (Ast.expr_to_string e)
+  and go bound = function
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+      let* () = go bound a in
+      go bound b
+    | Ast.Not e -> go bound e
+    | Ast.Cmp (_, a, b) ->
+      let* () = operand_ok bound a in
+      operand_ok bound b
+    | Ast.Call ("exists", [ Ast.Path p ]) -> path_ok bound p
+    | Ast.Lit (Value.Bool _) -> Ok ()
+    | Ast.Quantified { var; source = Ast.Path p; satisfies; _ } ->
+      let* () = path_ok bound p in
+      go (var :: bound) satisfies
+    | e -> err "unsupported condition %s" (Ast.expr_to_string e)
+  in
+  go [] e

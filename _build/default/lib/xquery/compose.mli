@@ -1,0 +1,64 @@
+(** View composition (§3.3 of the paper): composing a trigger's Path with the
+    view definition yields the Path graph — the XQGM subgraph producing
+    exactly the monitored nodes (Figure 5A) — and composing the trigger's
+    Condition against that level yields a relational predicate when possible.
+
+    Composition walks the {!Compile.view_tree} by element tag (child and
+    descendant axes); path predicates translate to selections over the
+    level's provenance columns. *)
+
+exception Compose_error of string
+
+(** The monitored level: its operator, node column, canonical key, and the
+    provenance used to compile conditions. *)
+type monitored = {
+  m_op : Xqgm.Op.t;
+  m_node_col : string;
+  m_key : string list;
+  m_tree : Compile.view_tree;
+}
+
+(** [compose_path view path] resolves e.g. [view("catalog")/product].
+    @raise Compose_error when no element level matches or a predicate cannot
+    be translated. *)
+val compose_path : Compile.view -> Ast.path -> monitored
+
+(** Compiles a trigger Condition into a predicate over the affected-node
+    graph's columns: references through OLD_NODE map to ["old$" ^ column],
+    through NEW_NODE to ["new$" ^ column].  Supported references: attributes,
+    simple child elements, and [count(NODE/childtag)] when the view exposes
+    that count.  Returns [None] when the condition needs the middleware
+    fallback (XPath over the tagged nodes). *)
+val compile_condition : monitored -> Ast.expr -> Xqgm.Expr.t option
+
+(** A condition of the paper's §5.1 nested form
+    [count(NODE/child[field cmp c1]) cmp c2]: grouping must evaluate the
+    inner selection per constants-table row, which the affected-node graph
+    realizes by joining a per-(node, constants) count subquery (Figure 15's
+    correlated graph, decorrelated by adding the constants key to the
+    grouping columns). *)
+type nested_count = {
+  nc_side : [ `Old | `New ];
+  nc_child : Compile.view_tree;
+  nc_link : string list;  (** correlation columns, same names in both levels *)
+  nc_inner : Xqgm.Expr.t;  (** inner selection, over the child level's columns *)
+  nc_cmp : Relkit.Ra.binop;
+  nc_rhs : Xqgm.Expr.t;
+}
+
+(** Splits one nested-count conjunct off a condition; returns it together
+    with the remaining conjuncts (if any).  [None] when the condition has no
+    such conjunct or the pattern cannot be translated. *)
+val compile_nested_count :
+  monitored -> Ast.expr -> (nested_count * Ast.expr option) option
+
+(** Middleware fallback: evaluate a condition over materialized nodes.
+    Supports comparisons, boolean connectives, aggregates over paths,
+    [exists], and quantified expressions. *)
+val condition_fallback :
+  Ast.expr -> old_node:Xmlkit.Xml.t option -> new_node:Xmlkit.Xml.t option -> bool
+
+(** Static check that {!condition_fallback} can evaluate a condition, so
+    unsupported constructs are rejected at trigger-creation time rather than
+    at firing time. *)
+val validate_fallback : Ast.expr -> (unit, string) result

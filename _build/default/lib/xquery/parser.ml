@@ -1,0 +1,516 @@
+module Value = Relkit.Value
+
+exception Parse_error of string
+
+type state = {
+  input : string;
+  mutable pos : int;
+}
+
+let fail st fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let around =
+        let a = max 0 (st.pos - 15) in
+        let b = min (String.length st.input) (st.pos + 15) in
+        String.sub st.input a (b - a)
+      in
+      raise (Parse_error (Printf.sprintf "%s at offset %d (near %S)" msg st.pos around)))
+    fmt
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.input then Some st.input.[st.pos + 1] else None
+
+let advance st = st.pos <- st.pos + 1
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let rec skip_ws st =
+  (match peek st with
+  | Some c when is_space c ->
+    advance st;
+    skip_ws st
+  | _ -> ());
+  (* XQuery comments: (: … :) *)
+  if
+    st.pos + 1 < String.length st.input
+    && st.input.[st.pos] = '('
+    && st.input.[st.pos + 1] = ':'
+  then begin
+    let rec close () =
+      if st.pos + 1 >= String.length st.input then fail st "unterminated comment"
+      else if st.input.[st.pos] = ':' && st.input.[st.pos + 1] = ')' then begin
+        advance st;
+        advance st
+      end
+      else begin
+        advance st;
+        close ()
+      end
+    in
+    advance st;
+    advance st;
+    close ();
+    skip_ws st
+  end
+
+let starts_with st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let eat st s =
+  if starts_with st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let expect st s = if not (eat st s) then fail st "expected %S" s
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+  | _ -> false
+
+let is_word_char = is_name_char
+
+let read_name st =
+  skip_ws st;
+  (match peek st with
+  | Some c when is_name_start c -> ()
+  | _ -> fail st "expected a name");
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* keyword match at a word boundary *)
+let eat_kw st kw =
+  skip_ws st;
+  let n = String.length kw in
+  if
+    starts_with st kw
+    && (st.pos + n >= String.length st.input || not (is_name_char st.input.[st.pos + n]))
+  then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let read_string_lit st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st;
+      q
+    | _ -> fail st "expected a string literal"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some c when c = quote ->
+      advance st;
+      (* doubled quote escapes itself *)
+      if peek st = Some quote then begin
+        Buffer.add_char buf quote;
+        advance st;
+        go ()
+      end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_number st =
+  let start = st.pos in
+  let seen_dot = ref false in
+  while
+    match peek st with
+    | Some '0' .. '9' -> true
+    | Some '.' when not !seen_dot && (match peek2 st with Some '0' .. '9' -> true | _ -> false)
+      ->
+      seen_dot := true;
+      true
+    | _ -> false
+  do
+    advance st
+  done;
+  let s = String.sub st.input start (st.pos - start) in
+  if s = "" then fail st "expected a number";
+  if !seen_dot then Value.Float (float_of_string s) else Value.Int (int_of_string s)
+
+(* keyword lookahead without consuming *)
+let next_kw st kw =
+  skip_ws st;
+  let n = String.length kw in
+  starts_with st kw
+  && (st.pos + n >= String.length st.input || not (is_name_char st.input.[st.pos + n]))
+
+(* --- expression grammar --- *)
+
+(* FLWOR and quantified expressions bind loosest and may appear in any
+   expression position, so every entry point dispatches on their keywords. *)
+let rec parse_expr st : Ast.expr =
+  skip_ws st;
+  if next_kw st "for" || next_kw st "let" then parse_flwor st
+  else if next_kw st "some" then begin
+    ignore (eat_kw st "some");
+    parse_quantified st ~universal:false
+  end
+  else if next_kw st "every" then begin
+    ignore (eat_kw st "every");
+    parse_quantified st ~universal:true
+  end
+  else parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if eat_kw st "or" then Ast.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_cmp st in
+  if eat_kw st "and" then Ast.And (left, parse_and st) else left
+
+and parse_cmp st =
+  let left = parse_add st in
+  skip_ws st;
+  let op =
+    if eat st "!=" then Some Ast.Neq
+    else if eat st "<=" then Some Ast.Le
+    else if eat st ">=" then Some Ast.Ge
+    else if eat st "=" then Some Ast.Eq
+    else if starts_with st "</" then None
+    else if eat st "<" then Some Ast.Lt
+    else if eat st ">" then Some Ast.Gt
+    else None
+  in
+  match op with Some op -> Ast.Cmp (op, left, parse_add st) | None -> left
+
+and parse_add st =
+  let left = parse_mul st in
+  let rec go acc =
+    skip_ws st;
+    if eat st "+" then go (Ast.Arith (Ast.Add, acc, parse_mul st))
+    else if starts_with st "->" then acc
+    else if eat st "-" then go (Ast.Arith (Ast.Sub, acc, parse_mul st))
+    else acc
+  in
+  go left
+
+and parse_mul st =
+  let left = parse_unary st in
+  let rec go acc =
+    skip_ws st;
+    if eat st "*" then go (Ast.Arith (Ast.Mul, acc, parse_unary st))
+    else if eat_kw st "div" then go (Ast.Arith (Ast.Div, acc, parse_unary st))
+    else if eat_kw st "mod" then go (Ast.Arith (Ast.Mod, acc, parse_unary st))
+    else acc
+  in
+  go left
+
+and parse_unary st =
+  skip_ws st;
+  if eat st "-" then Ast.Arith (Ast.Sub, Ast.Lit (Value.Int 0), parse_unary st)
+  else parse_postfix st
+
+and parse_postfix st =
+  let prim = parse_primary st in
+  skip_ws st;
+  if starts_with st "/" then begin
+    let root =
+      match prim with
+      | Ast.Path p when p.Ast.steps = [] -> p.Ast.root
+      | Ast.Path _ -> fail st "unexpected steps"
+      | _ -> fail st "path steps may only follow a variable or view(...)"
+    in
+    Ast.Path { root; steps = parse_steps st }
+  end
+  else prim
+
+and parse_steps st =
+  let steps = ref [] in
+  let rec go () =
+    skip_ws st;
+    let axis =
+      if eat st "//" then Some Ast.Descendant
+      else if starts_with st "/" && not (starts_with st "/>") then begin
+        ignore (eat st "/");
+        Some Ast.Child
+      end
+      else None
+    in
+    match axis with
+    | None -> ()
+    | Some axis ->
+      skip_ws st;
+      let axis, name =
+        match peek st with
+        | Some '@' ->
+          advance st;
+          (Ast.Attribute, read_name st)
+        | Some '*' ->
+          advance st;
+          (axis, "*")
+        | Some '.' ->
+          advance st;
+          (Ast.Self, ".")
+        | _ -> (axis, read_name st)
+      in
+      let predicate =
+        skip_ws st;
+        if eat st "[" then begin
+          let p = parse_expr st in
+          skip_ws st;
+          expect st "]";
+          Some p
+        end
+        else None
+      in
+      steps := { Ast.axis; name; predicate } :: !steps;
+      go ()
+  in
+  go ();
+  List.rev !steps
+
+and parse_primary st : Ast.expr =
+  skip_ws st;
+  match peek st with
+  | Some '(' ->
+    advance st;
+    let e = parse_expr st in
+    skip_ws st;
+    expect st ")";
+    e
+  | Some ('"' | '\'') -> Ast.Lit (Value.String (read_string_lit st))
+  | Some '0' .. '9' -> Ast.Lit (read_number st)
+  | Some '$' ->
+    advance st;
+    let v = read_name st in
+    Ast.Path { root = Ast.R_var v; steps = [] }
+  | Some '.' when peek2 st <> Some '.' ->
+    advance st;
+    Ast.Path { root = Ast.R_var "."; steps = [] }
+  | Some '<' -> parse_element st
+  | Some '@' ->
+    advance st;
+    let name = read_name st in
+    Ast.Path
+      { root = Ast.R_var ".";
+        steps = [ { Ast.axis = Ast.Attribute; name; predicate = None } ];
+      }
+  | Some c when is_name_start c -> parse_word st
+  | _ -> fail st "expected an expression"
+
+and parse_word st =
+  begin
+    let name = read_name st in
+    match name with
+    | "view" ->
+      skip_ws st;
+      expect st "(";
+      skip_ws st;
+      let v = read_string_lit st in
+      skip_ws st;
+      expect st ")";
+      Ast.Path { root = Ast.R_view v; steps = [] }
+    | "not" ->
+      skip_ws st;
+      expect st "(";
+      let e = parse_expr st in
+      skip_ws st;
+      expect st ")";
+      Ast.Not e
+    | "count" | "sum" | "min" | "max" | "avg" | "distinct" | "exists" ->
+      skip_ws st;
+      expect st "(";
+      let args = parse_args st in
+      Ast.Call (name, args)
+    | "OLD_NODE" | "NEW_NODE" -> Ast.Path { root = Ast.R_var name; steps = [] }
+    | _ ->
+      (* a bare name is a child step relative to the context item *)
+      Ast.Path
+        { root = Ast.R_var ".";
+          steps = [ { Ast.axis = Ast.Child; name; predicate = None } ];
+        }
+  end
+
+and parse_args st =
+  skip_ws st;
+  if eat st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      skip_ws st;
+      if eat st "," then go (e :: acc)
+      else begin
+        expect st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_flwor st : Ast.expr =
+  let clauses = ref [] in
+  let rec read_clauses () =
+    skip_ws st;
+    if eat_kw st "for" then begin
+      let rec vars () =
+        skip_ws st;
+        expect st "$";
+        let v = read_name st in
+        if not (eat_kw st "in") then fail st "expected 'in'";
+        let e = parse_expr st in
+        clauses := Ast.For (v, e) :: !clauses;
+        skip_ws st;
+        if eat st "," then vars ()
+      in
+      vars ();
+      read_clauses ()
+    end
+    else if eat_kw st "let" then begin
+      let rec vars () =
+        skip_ws st;
+        expect st "$";
+        let v = read_name st in
+        skip_ws st;
+        expect st ":=";
+        let e = parse_expr st in
+        clauses := Ast.Let (v, e) :: !clauses;
+        skip_ws st;
+        if eat st "," then vars ()
+      in
+      vars ();
+      read_clauses ()
+    end
+  in
+  read_clauses ();
+  if !clauses = [] then fail st "expected for/let";
+  let where = if eat_kw st "where" then Some (parse_expr st) else None in
+  if not (eat_kw st "return") then fail st "expected 'return'";
+  let return = parse_expr st in
+  Ast.Flwor { clauses = List.rev !clauses; where; return }
+
+and parse_quantified st ~universal =
+  skip_ws st;
+  expect st "$";
+  let var = read_name st in
+  if not (eat_kw st "in") then fail st "expected 'in'";
+  let source = parse_expr st in
+  if not (eat_kw st "satisfies") then fail st "expected 'satisfies'";
+  let satisfies = parse_expr st in
+  Ast.Quantified { universal; var; source; satisfies }
+
+and parse_element st : Ast.expr =
+  expect st "<";
+  let tag = read_name st in
+  (* attributes *)
+  let attrs = ref [] in
+  let rec read_attrs () =
+    skip_ws st;
+    match peek st with
+    | Some ('>' | '/') -> ()
+    | Some c when is_name_start c ->
+      let name = read_name st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let quote =
+        match peek st with
+        | Some (('"' | '\'') as q) ->
+          advance st;
+          q
+        | _ -> fail st "expected a quoted attribute value"
+      in
+      (* value: either a single {expr} or literal text *)
+      skip_ws st;
+      let value =
+        if eat st "{" then begin
+          let e = parse_expr st in
+          skip_ws st;
+          expect st "}";
+          e
+        end
+        else begin
+          let buf = Buffer.create 8 in
+          while (match peek st with Some c when c <> quote -> true | _ -> false) do
+            Buffer.add_char buf (Option.get (peek st));
+            advance st
+          done;
+          Ast.Lit (Value.String (Buffer.contents buf))
+        end
+      in
+      skip_ws st;
+      (match peek st with
+      | Some c when c = quote -> advance st
+      | _ -> fail st "unterminated attribute value");
+      attrs := (name, value) :: !attrs;
+      read_attrs ()
+    | _ -> fail st "malformed start tag"
+  in
+  read_attrs ();
+  skip_ws st;
+  if eat st "/>" then Ast.Elem { tag; attrs = List.rev !attrs; content = [] }
+  else begin
+    expect st ">";
+    let content = ref [] in
+    let rec read_content () =
+      if starts_with st "</" then begin
+        ignore (eat st "</");
+        let close = read_name st in
+        if close <> tag then fail st "mismatched closing tag </%s> for <%s>" close tag;
+        skip_ws st;
+        expect st ">"
+      end
+      else
+        match peek st with
+        | None -> fail st "unterminated element <%s>" tag
+        | Some '<' ->
+          content := Ast.C_elem (parse_element st) :: !content;
+          read_content ()
+        | Some '{' ->
+          advance st;
+          let e = parse_expr st in
+          skip_ws st;
+          expect st "}";
+          content := Ast.C_enclosed e :: !content;
+          read_content ()
+        | Some _ ->
+          let buf = Buffer.create 16 in
+          while
+            match peek st with
+            | Some ('<' | '{') | None -> false
+            | Some c ->
+              Buffer.add_char buf c;
+              advance st;
+              ignore c;
+              true
+          do
+            ()
+          done;
+          let text = Buffer.contents buf in
+          if String.trim text <> "" then content := Ast.C_text text :: !content;
+          read_content ()
+    in
+    read_content ();
+    Ast.Elem { tag; attrs = List.rev !attrs; content = List.rev !content }
+  end
+
+let parse_expr input =
+  let st = { input; pos = 0 } in
+  let e = parse_expr st in
+  skip_ws st;
+  if st.pos <> String.length input then fail st "trailing input";
+  e
+
+let parse_path input =
+  match parse_expr input with
+  | Ast.Path ({ root = Ast.R_view _; _ } as p) -> p
+  | _ -> raise (Parse_error "a trigger path must be rooted at view(\"…\")")

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the XQuery subset of {!Ast} (Appendix D of
+    the paper).  Element constructors are parsed in place (the lexical level
+    switches inside [<tag>…</tag>]), so view definitions can be written
+    exactly as in Figure 3. *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input or unsupported syntax. *)
+val parse_expr : string -> Ast.expr
+
+(** Parses a trigger Path: a path rooted at [view("…")].
+    @raise Parse_error if the input is not such a path. *)
+val parse_path : string -> Ast.path
+
+(** Character class used for keyword boundaries (shared with the trigger
+    parser). *)
+val is_word_char : char -> bool

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Database Expr Op Relkit Schema Table Value Xqgm

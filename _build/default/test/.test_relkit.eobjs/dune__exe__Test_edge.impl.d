@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Database List Option Ra_eval Relkit Schema Sql Table Trigview Value Xmlkit Xquery

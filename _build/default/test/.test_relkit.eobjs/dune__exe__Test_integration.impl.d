@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Database List Option Printf QCheck QCheck_alcotest Ra_eval Relkit Schema String Table Trigview Value Xmlkit Xquery

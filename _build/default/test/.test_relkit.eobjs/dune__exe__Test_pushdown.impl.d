@@ -1,0 +1,1 @@
+test/test_pushdown.ml: Alcotest Array Database Eval Expr Fixtures List Op Option Printf QCheck QCheck_alcotest Ra Ra_eval Ra_opt Relkit String Table Trigview Value Xqgm

@@ -1,0 +1,1 @@
+test/test_raopt.ml: Alcotest Array Database List Option Printf QCheck QCheck_alcotest Ra Ra_eval Ra_opt Relkit Schema Table Value

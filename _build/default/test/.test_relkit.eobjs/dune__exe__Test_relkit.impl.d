@@ -1,0 +1,1 @@
+test/test_relkit.ml: Alcotest Array Database List Printf QCheck QCheck_alcotest Ra Ra_eval Relkit Result Schema Sql_print String Table Value

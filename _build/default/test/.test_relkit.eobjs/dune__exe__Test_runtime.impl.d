@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Database Fixtures List Option Printf Relkit Schema String Trigview Value Xmlkit

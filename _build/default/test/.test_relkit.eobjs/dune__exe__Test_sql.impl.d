@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Database List Ra_eval Relkit Sql Table Value

@@ -1,0 +1,1 @@
+test/test_trigview.ml: Alcotest Array Database Eval Expr Fixtures Injective List Op Option Printf QCheck QCheck_alcotest Ra_eval Relkit Table Trigview Value Xmlkit Xqgm Xval

@@ -1,0 +1,1 @@
+test/test_xmlkit.ml: Alcotest List QCheck QCheck_alcotest String Xml Xml_parse Xmlkit Xpath

@@ -1,0 +1,1 @@
+test/test_xqgm.ml: Alcotest Array Database Eval Expr Fixtures Injective Keys List Op Print QCheck QCheck_alcotest Ra_eval Relkit Result Schema String Table Value Xmlkit Xqgm Xval

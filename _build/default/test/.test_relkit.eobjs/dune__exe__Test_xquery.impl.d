@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Database Eval Expr Fixtures Keys List Option Ra_eval Relkit Result String Trigview Xmlkit Xqgm Xquery Xval

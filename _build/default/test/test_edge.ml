@@ -1,0 +1,326 @@
+(* Edge cases across the stack: parser corners, multi-fragment views, scalar
+   lets, multiple views per manager, and key-changing updates. *)
+
+open Relkit
+
+let schema_of db name = Table.schema (Database.get_table db name)
+
+(* --- xquery parser corners --- *)
+
+let test_parser_literals_and_ops () =
+  let p = Xquery.Parser.parse_expr in
+  (match p "'it''s'" with
+  | Xquery.Ast.Lit (Value.String "it's") -> ()
+  | e -> Alcotest.failf "doubled quote: %s" (Xquery.Ast.expr_to_string e));
+  (match p "10 div 2 mod 3" with
+  | Xquery.Ast.Arith (Xquery.Ast.Mod, Xquery.Ast.Arith (Xquery.Ast.Div, _, _), _) -> ()
+  | e -> Alcotest.failf "div/mod: %s" (Xquery.Ast.expr_to_string e));
+  (match p "-5 + 2" with
+  | Xquery.Ast.Arith (Xquery.Ast.Add, Xquery.Ast.Arith (Xquery.Ast.Sub, _, _), _) -> ()
+  | e -> Alcotest.failf "unary minus: %s" (Xquery.Ast.expr_to_string e));
+  match p "3.25" with
+  | Xquery.Ast.Lit (Value.Float 3.25) -> ()
+  | e -> Alcotest.failf "float: %s" (Xquery.Ast.expr_to_string e)
+
+let test_parser_element_corners () =
+  let p = Xquery.Parser.parse_expr in
+  (match p "<a x=\"1\" y=\"{$v}\"/>" with
+  | Xquery.Ast.Elem { attrs = [ (_, Xquery.Ast.Lit _); (_, Xquery.Ast.Path _) ]; content = []; _ }
+    ->
+    ()
+  | e -> Alcotest.failf "attrs: %s" (Xquery.Ast.expr_to_string e));
+  match p "<a>text {1 + 2} more<b/></a>" with
+  | Xquery.Ast.Elem { content; _ } ->
+    Alcotest.(check int) "mixed content" 4 (List.length content)
+  | e -> Alcotest.failf "content: %s" (Xquery.Ast.expr_to_string e)
+
+let test_parser_flwor_nested_in_paren () =
+  match
+    Xquery.Parser.parse_expr
+      "(for $x in view(\"d\")/t/row return <r>{$x/a}</r>)"
+  with
+  | Xquery.Ast.Flwor _ -> ()
+  | e -> Alcotest.failf "parenthesized flwor: %s" (Xquery.Ast.expr_to_string e)
+
+(* --- multi-fragment and scalar-let views --- *)
+
+let mk_school_db () =
+  let db = Database.create () in
+  Database.create_table db
+    (Schema.make ~name:"school"
+       ~columns:[ ("sid", Schema.TString); ("sname", Schema.TString) ]
+       ~primary_key:[ "sid" ] ());
+  Database.create_table db
+    (Schema.make ~name:"teacher"
+       ~columns:[ ("tid", Schema.TString); ("sid", Schema.TString) ]
+       ~primary_key:[ "tid" ] ());
+  Database.create_table db
+    (Schema.make ~name:"student"
+       ~columns:[ ("uid", Schema.TString); ("sid", Schema.TString); ("gpa", Schema.TFloat) ]
+       ~primary_key:[ "uid" ] ());
+  Database.create_index db ~table:"teacher" ~column:"sid";
+  Database.create_index db ~table:"student" ~column:"sid";
+  Database.insert_rows db ~table:"school"
+    [ [| Value.String "S1"; Value.String "north" |];
+      [| Value.String "S2"; Value.String "south" |];
+    ];
+  Database.insert_rows db ~table:"teacher"
+    [ [| Value.String "T1"; Value.String "S1" |];
+      [| Value.String "T2"; Value.String "S1" |];
+      [| Value.String "T3"; Value.String "S2" |];
+    ];
+  Database.insert_rows db ~table:"student"
+    [ [| Value.String "U1"; Value.String "S1"; Value.Float 3.2 |];
+      [| Value.String "U2"; Value.String "S1"; Value.Float 3.8 |];
+      [| Value.String "U3"; Value.String "S2"; Value.Float 2.9 |];
+    ];
+  db
+
+(* two independent correlated sequences, both iterated under one parent *)
+let two_frag_view =
+  {|<schools>
+    {for $s in view("default")/school/row
+     let $ts := view("default")/teacher/row[./sid = $s/sid]
+     let $us := view("default")/student/row[./sid = $s/sid]
+     return <school name="{$s/sname}">
+       <staff>{for $t in $ts return <teacher>{$t/tid}</teacher>}</staff>
+       <body>{for $u in $us return <student>{$u/uid}</student>}</body>
+     </school>}
+  </schools>|}
+
+let test_view_with_two_fragments () =
+  let db = mk_school_db () in
+  let view =
+    Xquery.Compile.view_of_string ~schema_of:(schema_of db) ~name:"schools" two_frag_view
+  in
+  let doc = Xquery.Compile.materialize (Ra_eval.ctx_of_db db) view in
+  let schools = Xmlkit.Xml.children_named doc "school" in
+  Alcotest.(check int) "two schools" 2 (List.length schools);
+  let north = List.hd schools in
+  Alcotest.(check int) "two teachers" 2
+    (List.length (Xmlkit.Xpath.select north "/staff/teacher"));
+  Alcotest.(check int) "two students" 2
+    (List.length (Xmlkit.Xpath.select north "/body/student"))
+
+let test_two_fragment_triggers_end_to_end () =
+  let db = mk_school_db () in
+  let mgr = Trigview.Runtime.create ~strategy:Trigview.Runtime.Grouped db in
+  Trigview.Runtime.define_view mgr ~name:"schools" two_frag_view;
+  let log = ref [] in
+  Trigview.Runtime.register_action mgr ~name:"rec" (fun fi ->
+      log := fi.Trigview.Runtime.fi_event :: !log);
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER t AFTER UPDATE ON view('schools')/school DO rec(NEW_NODE)";
+  (* a change on either branch updates the school node *)
+  Database.insert_rows db ~table:"teacher"
+    [ [| Value.String "T4"; Value.String "S2" |] ];
+  Alcotest.(check int) "teacher branch" 1 (List.length !log);
+  (* gpa is not shown by this view: updating it must NOT fire *)
+  ignore
+    (Database.update_pk db ~table:"student" ~pk:[ Value.String "U3" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 3.0 |]));
+  Alcotest.(check int) "invisible column suppressed" 1 (List.length !log);
+  (* a student moving schools changes both school nodes *)
+  ignore
+    (Database.update_pk db ~table:"student" ~pk:[ Value.String "U3" ]
+       ~set:(fun r -> [| r.(0); Value.String "S1"; r.(2) |]));
+  Alcotest.(check int) "student branch" 3 (List.length !log)
+
+let test_scalar_let_and_avg () =
+  let db = mk_school_db () in
+  let text =
+    {|<report>
+      {for $s in view("default")/school/row
+       let $us := view("default")/student/row[./sid = $s/sid]
+       let $bar := 3
+       where avg($us/gpa) >= $bar
+       return <school>{$s/sname}</school>}
+    </report>|}
+  in
+  let view = Xquery.Compile.view_of_string ~schema_of:(schema_of db) ~name:"r" text in
+  let doc = Xquery.Compile.materialize (Ra_eval.ctx_of_db db) view in
+  Alcotest.(check (list string)) "only north averages >= 3" [ "north" ]
+    (List.map Xmlkit.Xml.text_content (Xmlkit.Xml.children_named doc "school"))
+
+let test_exists_condition () =
+  let db = mk_school_db () in
+  let text =
+    {|<staffed>
+      {for $s in view("default")/school/row
+       let $ts := view("default")/teacher/row[./sid = $s/sid]
+       where exists($ts)
+       return <school>{$s/sname}</school>}
+    </staffed>|}
+  in
+  ignore (Database.delete_pk db ~table:"teacher" ~pk:[ Value.String "T3" ]);
+  let view = Xquery.Compile.view_of_string ~schema_of:(schema_of db) ~name:"r" text in
+  let doc = Xquery.Compile.materialize (Ra_eval.ctx_of_db db) view in
+  Alcotest.(check (list string)) "south has no teachers left" [ "north" ]
+    (List.map Xmlkit.Xml.text_content (Xmlkit.Xml.children_named doc "school"))
+
+(* --- multiple views per manager --- *)
+
+let test_two_views_one_manager () =
+  let db = mk_school_db () in
+  let mgr = Trigview.Runtime.create db in
+  Trigview.Runtime.define_view mgr ~name:"schools" two_frag_view;
+  Trigview.Runtime.define_view mgr ~name:"roster"
+    {|<roster>{for $u in view("default")/student/row
+               return <student id="{$u/uid}"><gpa>{$u/gpa}</gpa></student>}</roster>|};
+  let log = ref [] in
+  Trigview.Runtime.register_action mgr ~name:"rec" (fun fi ->
+      log := fi.Trigview.Runtime.fi_trigger :: !log);
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER a AFTER UPDATE ON view('schools')/school DO rec(NEW_NODE)";
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER b AFTER UPDATE ON view('roster')/student DO rec(NEW_NODE)";
+  (* gpa is visible only in the roster view *)
+  ignore
+    (Database.update_pk db ~table:"student" ~pk:[ Value.String "U1" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 3.5 |]));
+  Alcotest.(check (list string)) "roster fires" [ "b" ] (List.sort compare !log);
+  (* a school move is visible in the schools view *)
+  ignore
+    (Database.update_pk db ~table:"student" ~pk:[ Value.String "U1" ]
+       ~set:(fun r -> [| r.(0); Value.String "S2"; r.(2) |]));
+  Alcotest.(check (list string)) "both views have fired" [ "a"; "b" ]
+    (List.sort_uniq compare !log)
+
+(* --- key-changing updates --- *)
+
+let test_primary_key_update () =
+  (* a statement that rewrites a primary key looks like delete+insert of the
+     row; the view machinery must survive it *)
+  let db = mk_school_db () in
+  let mgr = Trigview.Runtime.create db in
+  Trigview.Runtime.define_view mgr ~name:"roster"
+    {|<roster>{for $u in view("default")/student/row
+               return <student id="{$u/uid}"><gpa>{$u/gpa}</gpa></student>}</roster>|};
+  let log = ref [] in
+  Trigview.Runtime.register_action mgr ~name:"rec" (fun fi ->
+      log :=
+        ( Database.string_of_event fi.Trigview.Runtime.fi_event,
+          match fi.Trigview.Runtime.fi_new, fi.Trigview.Runtime.fi_old with
+          | Some n, _ | None, Some n -> Option.value ~default:"?" (Xmlkit.Xml.attr n "id")
+          | _ -> "?" )
+        :: !log);
+  List.iter
+    (Trigview.Runtime.create_trigger mgr)
+    [ "CREATE TRIGGER i AFTER INSERT ON view('roster')/student DO rec(NEW_NODE)";
+      "CREATE TRIGGER d AFTER DELETE ON view('roster')/student DO rec(OLD_NODE)";
+    ];
+  ignore
+    (Database.update_pk db ~table:"student" ~pk:[ Value.String "U1" ]
+       ~set:(fun r -> [| Value.String "U9"; r.(1); r.(2) |]));
+  Alcotest.(check (list (pair string string)))
+    "key change = delete + insert at the view level"
+    [ ("DELETE", "U1"); ("INSERT", "U9") ]
+    (List.sort compare !log)
+
+(* --- quantified trigger conditions through the middleware fallback --- *)
+
+let test_quantified_trigger_condition () =
+  let db = mk_school_db () in
+  let mgr = Trigview.Runtime.create db in
+  Trigview.Runtime.define_view mgr ~name:"roster2"
+    {|<roster>{for $s in view("default")/school/row
+               let $us := view("default")/student/row[./sid = $s/sid]
+               where count($us) >= 1
+               return <school name="{$s/sname}">
+                 {for $u in $us return <student><gpa>{$u/gpa}</gpa></student>}
+               </school>}</roster>|};
+  let log = ref [] in
+  Trigview.Runtime.register_action mgr ~name:"rec" (fun fi ->
+      log := fi.Trigview.Runtime.fi_trigger :: !log);
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER honor AFTER UPDATE ON view('roster2')/school WHERE every $u in NEW_NODE/student satisfies $u/gpa >= 3 DO rec(NEW_NODE)";
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER risk AFTER UPDATE ON view('roster2')/school WHERE some $u in NEW_NODE/student satisfies $u/gpa < 3 DO rec(NEW_NODE)";
+  (* north (3.2, 3.8): raising one gpa keeps every >= 3 true, some < 3 false *)
+  ignore
+    (Database.update_pk db ~table:"student" ~pk:[ Value.String "U1" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 3.4 |]));
+  Alcotest.(check (list string)) "only the universal one" [ "honor" ] !log;
+  log := [];
+  (* south (2.9): any change keeps some < 3 true, every >= 3 false *)
+  ignore
+    (Database.update_pk db ~table:"student" ~pk:[ Value.String "U3" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 2.5 |]));
+  Alcotest.(check (list string)) "only the existential one" [ "risk" ] !log
+
+let test_fallback_validation_at_creation () =
+  let db = mk_school_db () in
+  let mgr = Trigview.Runtime.create db in
+  Trigview.Runtime.register_action mgr ~name:"rec" (fun _ -> ());
+  Trigview.Runtime.define_view mgr ~name:"roster3"
+    {|<roster>{for $u in view("default")/student/row
+               return <student id="{$u/uid}"><gpa>{$u/gpa}</gpa></student>}</roster>|};
+  (* simple arithmetic over an exposed field compiles relationally... *)
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER ok AFTER UPDATE ON view('roster3')/student WHERE NEW_NODE/gpa + 1 > 4 DO rec(NEW_NODE)";
+  (* ...but arithmetic over an aggregate is neither relational nor evaluable
+     by the fallback: it must be rejected when the trigger is created, not
+     when it first fires *)
+  match
+    Trigview.Runtime.create_trigger mgr
+      "CREATE TRIGGER bad AFTER UPDATE ON view('roster3')/student WHERE sum(NEW_NODE/gpa) + 1 > 4 DO rec(NEW_NODE)"
+  with
+  | exception Trigview.Runtime.Error _ -> ()
+  | () -> Alcotest.fail "expected creation-time rejection"
+
+(* --- relkit odds and ends --- *)
+
+let test_value_edges () =
+  Alcotest.(check bool) "mod" true (Value.equal (Value.modulo (Value.Int 7) (Value.Int 3)) (Value.Int 1));
+  Alcotest.(check bool) "neg" true (Value.equal (Value.neg (Value.Float 2.5)) (Value.Float (-2.5)));
+  Alcotest.(check string) "bool literal" "TRUE" (Value.to_sql_literal (Value.Bool true));
+  Alcotest.check_raises "neg of string" (Invalid_argument "Value.neg: not numeric") (fun () ->
+      ignore (Value.neg (Value.String "x")))
+
+let test_sql_order_by_multiple () =
+  let db = mk_school_db () in
+  let rel =
+    match Sql.exec db "SELECT sid, uid FROM student ORDER BY sid DESC, uid ASC" with
+    | Sql.Rows r -> r
+    | _ -> Alcotest.fail "rows"
+  in
+  let firsts = List.map (fun r -> Value.to_string r.(0)) rel.Ra_eval.rows in
+  Alcotest.(check (list string)) "sid desc" [ "S2"; "S1"; "S1" ] firsts
+
+let test_sql_projection_arith () =
+  let db = mk_school_db () in
+  let rel =
+    match Sql.exec db "SELECT uid, gpa * 10 AS scaled FROM student WHERE uid = 'U2'" with
+    | Sql.Rows r -> r
+    | _ -> Alcotest.fail "rows"
+  in
+  Alcotest.(check string) "scaled" "38.0"
+    (Value.to_string (List.hd rel.Ra_eval.rows).(1))
+
+let () =
+  Alcotest.run "edges"
+    [ ( "xquery parser",
+        [ Alcotest.test_case "literals and operators" `Quick test_parser_literals_and_ops;
+          Alcotest.test_case "element corners" `Quick test_parser_element_corners;
+          Alcotest.test_case "parenthesized flwor" `Quick test_parser_flwor_nested_in_paren;
+        ] );
+      ( "views",
+        [ Alcotest.test_case "two fragments" `Quick test_view_with_two_fragments;
+          Alcotest.test_case "two fragments + triggers" `Quick
+            test_two_fragment_triggers_end_to_end;
+          Alcotest.test_case "scalar let + avg" `Quick test_scalar_let_and_avg;
+          Alcotest.test_case "exists condition" `Quick test_exists_condition;
+        ] );
+      ( "runtime",
+        [ Alcotest.test_case "two views, one manager" `Quick test_two_views_one_manager;
+          Alcotest.test_case "primary-key update" `Quick test_primary_key_update;
+          Alcotest.test_case "quantified conditions" `Quick test_quantified_trigger_condition;
+          Alcotest.test_case "fallback validated at creation" `Quick
+            test_fallback_validation_at_creation;
+        ] );
+      ( "relkit",
+        [ Alcotest.test_case "value edges" `Quick test_value_edges;
+          Alcotest.test_case "sql order by multiple" `Quick test_sql_order_by_multiple;
+          Alcotest.test_case "sql arithmetic projection" `Quick test_sql_projection_arith;
+        ] );
+    ]

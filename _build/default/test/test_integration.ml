@@ -1,0 +1,425 @@
+(* Integration tests over a three-level hierarchy (region > store > sale)
+   compiled from XQuery text — the shape of the paper's benchmark views.
+
+   The heavyweight checks here:
+   - every strategy's end-to-end firings agree with a recompute-and-diff
+     oracle over random DML streams touching all three tables;
+   - the generated plans never fall back to full table scans per update
+     (the property behind Figure 23's flat curves), enforced through the
+     executor's scan accounting. *)
+
+open Relkit
+
+let region_schema =
+  Schema.make ~name:"region"
+    ~columns:[ ("rid", Schema.TString); ("rname", Schema.TString) ]
+    ~primary_key:[ "rid" ] ()
+
+let store_schema =
+  Schema.make ~name:"store"
+    ~columns:[ ("sid", Schema.TString); ("rid", Schema.TString); ("city", Schema.TString) ]
+    ~primary_key:[ "sid" ]
+    ~foreign_keys:
+      [ { Schema.fk_columns = [ "rid" ]; fk_table = "region"; fk_ref_columns = [ "rid" ] } ]
+    ()
+
+let sale_schema =
+  Schema.make ~name:"sale"
+    ~columns:
+      [ ("saleid", Schema.TString); ("sid", Schema.TString); ("amount", Schema.TFloat) ]
+    ~primary_key:[ "saleid" ]
+    ~foreign_keys:
+      [ { Schema.fk_columns = [ "sid" ]; fk_table = "store"; fk_ref_columns = [ "sid" ] } ]
+    ()
+
+let view_text =
+  {|<report>
+    {for $r in view("default")/region/row
+     let $stores := view("default")/store/row[./rid = $r/rid]
+     return <region name="{$r/rname}">
+       {for $s in $stores
+        let $sales := view("default")/sale/row[./sid = $s/sid]
+        where count($sales) >= 1
+        return <store city="{$s/city}">
+          {for $x in $sales return <sale><amt>{$x/amount}</amt></sale>}
+        </store>}
+     </region>}
+  </report>|}
+
+let mk_db () =
+  let db = Database.create () in
+  List.iter (Database.create_table db) [ region_schema; store_schema; sale_schema ];
+  Database.create_index db ~table:"store" ~column:"rid";
+  Database.create_index db ~table:"sale" ~column:"sid";
+  Database.insert_rows db ~table:"region"
+    [ [| Value.String "R1"; Value.String "north" |];
+      [| Value.String "R2"; Value.String "south" |];
+    ];
+  Database.insert_rows db ~table:"store"
+    [ [| Value.String "S1"; Value.String "R1"; Value.String "oslo" |];
+      [| Value.String "S2"; Value.String "R1"; Value.String "kiruna" |];
+      [| Value.String "S3"; Value.String "R2"; Value.String "porto" |];
+    ];
+  Database.insert_rows db ~table:"sale"
+    [ [| Value.String "L1"; Value.String "S1"; Value.Float 10.0 |];
+      [| Value.String "L2"; Value.String "S1"; Value.Float 20.0 |];
+      [| Value.String "L3"; Value.String "S2"; Value.Float 30.0 |];
+      [| Value.String "L4"; Value.String "S3"; Value.Float 40.0 |];
+    ];
+  db
+
+let schema_of db name = Table.schema (Database.get_table db name)
+
+(* materialize the region level as (name, canonical node text) pairs *)
+let snapshot db =
+  let view = Xquery.Compile.view_of_string ~schema_of:(schema_of db) ~name:"report" view_text in
+  let doc = Xquery.Compile.materialize (Ra_eval.ctx_of_db db) view in
+  List.map
+    (fun r ->
+      ( Option.value ~default:"?" (Xmlkit.Xml.attr r "name"),
+        Xmlkit.Xml.to_string ~canonical:true r ))
+    (Xmlkit.Xml.children_named doc "region")
+
+type change = {
+  c_event : Database.event;
+  c_key : string;
+}
+
+let oracle_changes before after =
+  List.filter_map
+    (fun (k, old_s) ->
+      match List.assoc_opt k after with
+      | Some new_s when new_s <> old_s -> Some { c_event = Database.Update; c_key = k }
+      | Some _ -> None
+      | None -> Some { c_event = Database.Delete; c_key = k })
+    before
+  @ List.filter_map
+      (fun (k, _) ->
+        if List.mem_assoc k before then None
+        else Some { c_event = Database.Insert; c_key = k })
+      after
+
+let setup strategy =
+  let db = mk_db () in
+  let mgr = Trigview.Runtime.create ~strategy db in
+  Trigview.Runtime.define_view mgr ~name:"report" view_text;
+  let log = ref [] in
+  Trigview.Runtime.register_action mgr ~name:"rec" (fun fi ->
+      let key =
+        match fi.Trigview.Runtime.fi_new, fi.Trigview.Runtime.fi_old with
+        | Some n, _ | None, Some n -> Option.value ~default:"?" (Xmlkit.Xml.attr n "name")
+        | None, None -> "?"
+      in
+      log := { c_event = fi.Trigview.Runtime.fi_event; c_key = key } :: !log);
+  List.iter
+    (Trigview.Runtime.create_trigger mgr)
+    [ "CREATE TRIGGER u AFTER UPDATE ON view('report')/region DO rec(NEW_NODE)";
+      "CREATE TRIGGER i AFTER INSERT ON view('report')/region DO rec(NEW_NODE)";
+      "CREATE TRIGGER d AFTER DELETE ON view('report')/region DO rec(OLD_NODE)";
+    ];
+  (db, mgr, log)
+
+let strategies =
+  [ Trigview.Runtime.Ungrouped; Trigview.Runtime.Grouped; Trigview.Runtime.Grouped_agg;
+    Trigview.Runtime.Materialized;
+  ]
+
+(* --- deterministic multi-table scenarios, all strategies --- *)
+
+let check_scenario ?(oracle = true) name dml expected_sorted =
+  List.iter
+    (fun strategy ->
+      let db, _mgr, log = setup strategy in
+      let before = snapshot db in
+      dml db;
+      let after = snapshot db in
+      let oracle_changes_sorted =
+        List.sort compare
+          (List.map
+             (fun c -> (Database.string_of_event c.c_event, c.c_key))
+             (oracle_changes before after))
+      in
+      let got =
+        List.sort compare
+          (List.map (fun c -> (Database.string_of_event c.c_event, c.c_key)) !log)
+      in
+      (* the whole-scenario diff only matches the per-statement firings when
+         the scenario is a single statement *)
+      if oracle then
+        Alcotest.(check (list (pair string string)))
+          (Printf.sprintf "%s [%s] vs oracle" name
+             (Trigview.Runtime.strategy_to_string strategy))
+          oracle_changes_sorted got;
+      (match expected_sorted with
+      | Some expected ->
+        Alcotest.(check (list (pair string string)))
+          (Printf.sprintf "%s [%s] expectation" name
+             (Trigview.Runtime.strategy_to_string strategy))
+          expected got
+      | None -> ()))
+    strategies
+
+let test_leaf_update () =
+  check_scenario "leaf update"
+    (fun db ->
+      ignore
+        (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
+           ~set:(fun r -> [| r.(0); r.(1); Value.Float 11.0 |])))
+    (Some [ ("UPDATE", "north") ])
+
+let test_middle_insert () =
+  check_scenario "store insert (no sales yet: invisible)"
+    (fun db ->
+      Database.insert_rows db ~table:"store"
+        [ [| Value.String "S4"; Value.String "R2"; Value.String "faro" |] ])
+    (Some [])
+
+let test_middle_level_appears () =
+  check_scenario ~oracle:false "a store becomes visible when its first sale lands"
+    (fun db ->
+      Database.insert_rows db ~table:"store"
+        [ [| Value.String "S4"; Value.String "R2"; Value.String "faro" |] ];
+      Database.insert_rows db ~table:"sale"
+        [ [| Value.String "L9"; Value.String "S4"; Value.Float 5.0 |] ])
+    (Some [ ("UPDATE", "south") ])
+
+let test_region_insert_and_delete () =
+  check_scenario "region insert (empty region still appears)"
+    (fun db ->
+      Database.insert_rows db ~table:"region"
+        [ [| Value.String "R3"; Value.String "east" |] ])
+    (Some [ ("INSERT", "east") ]);
+  (* a cascade is three statements: the sale deletion empties the region
+     (an UPDATE of its node), the store deletion changes nothing visible,
+     and the region deletion removes the node *)
+  check_scenario ~oracle:false "cascade delete of a region"
+    (fun db ->
+      ignore (Database.delete_rows db ~table:"sale" ~where:(fun r -> Value.equal r.(1) (Value.String "S3")));
+      ignore (Database.delete_rows db ~table:"store" ~where:(fun r -> Value.equal r.(1) (Value.String "R2")));
+      ignore (Database.delete_pk db ~table:"region" ~pk:[ Value.String "R2" ]))
+    (Some [ ("DELETE", "south"); ("UPDATE", "south") ])
+
+let test_store_moves_regions () =
+  check_scenario "a store moves between regions (both nodes update)"
+    (fun db ->
+      ignore
+        (Database.update_pk db ~table:"store" ~pk:[ Value.String "S2" ]
+           ~set:(fun r -> [| r.(0); Value.String "R2"; r.(2) |])))
+    (Some [ ("UPDATE", "north"); ("UPDATE", "south") ])
+
+let test_multi_statement_sequence () =
+  check_scenario "mixed statement on sales"
+    (fun db ->
+      ignore
+        (Database.update_rows db ~table:"sale"
+           ~where:(fun r -> Value.equal r.(1) (Value.String "S1"))
+           ~set:(fun r -> [| r.(0); r.(1); Value.add r.(2) (Value.Float 1.0) |])))
+    (Some [ ("UPDATE", "north") ])
+
+(* --- random DML property across strategies --- *)
+
+type op =
+  | Upd_sale of int * float
+  | Ins_sale of int * int * float
+  | Del_sale of int
+  | Move_store of int * int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [ map2 (fun i a -> Upd_sale (i, float_of_int a)) (int_range 0 50) (int_range 1 99);
+        map3 (fun n s a -> Ins_sale (n, s, float_of_int a)) (int_range 100 140) (int_range 0 3)
+          (int_range 1 99);
+        map (fun i -> Del_sale i) (int_range 0 50);
+        map2 (fun s r -> Move_store (s, r)) (int_range 0 3) (int_range 0 2);
+      ])
+
+let apply_op db op =
+  let nth_sale i =
+    let rows = Table.to_rows (Database.get_table db "sale") in
+    match rows with [] -> None | _ -> Some (List.nth rows (i mod List.length rows))
+  in
+  match op with
+  | Upd_sale (i, amount) ->
+    Option.iter
+      (fun row ->
+        ignore
+          (Database.update_rows db ~table:"sale"
+             ~where:(fun r -> r == row)
+             ~set:(fun r -> [| r.(0); r.(1); Value.Float amount |])))
+      (nth_sale i)
+  | Ins_sale (n, s, amount) ->
+    let saleid = Printf.sprintf "N%d" n in
+    let sid = Printf.sprintf "S%d" (1 + (s mod 3)) in
+    if Table.find_pk (Database.get_table db "sale") [ Value.String saleid ] = None then
+      Database.insert_rows db ~table:"sale"
+        [ [| Value.String saleid; Value.String sid; Value.Float amount |] ]
+  | Del_sale i ->
+    Option.iter
+      (fun row ->
+        ignore (Database.delete_rows db ~table:"sale" ~where:(fun r -> r == row)))
+      (nth_sale i)
+  | Move_store (s, r) ->
+    let sid = Printf.sprintf "S%d" (1 + (s mod 3)) in
+    let rid = Printf.sprintf "R%d" (1 + (r mod 2)) in
+    ignore
+      (Database.update_pk db ~table:"store" ~pk:[ Value.String sid ]
+         ~set:(fun row -> [| row.(0); Value.String rid; row.(2) |]))
+
+let prop_all_strategies_match_oracle =
+  QCheck.Test.make ~name:"all strategies = oracle over random DML" ~count:25
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 8) op_gen)) (fun ops ->
+      List.for_all
+        (fun strategy ->
+          let db, _mgr, log = setup strategy in
+          let ok = ref true in
+          List.iter
+            (fun op ->
+              log := [];
+              let before = snapshot db in
+              apply_op db op;
+              let after = snapshot db in
+              let oracle =
+                List.sort compare
+                  (List.map
+                     (fun c -> (Database.string_of_event c.c_event, c.c_key))
+                     (oracle_changes before after))
+              in
+              let got =
+                List.sort compare
+                  (List.map
+                     (fun c -> (Database.string_of_event c.c_event, c.c_key))
+                     !log)
+              in
+              if oracle <> got then ok := false)
+            ops;
+          !ok)
+        [ Trigview.Runtime.Ungrouped; Trigview.Runtime.Grouped; Trigview.Runtime.Grouped_agg ])
+
+(* --- no-full-scan regression (the Figure 23 property) --- *)
+
+let test_no_full_scans_per_update () =
+  List.iter
+    (fun strategy ->
+      let db, _mgr, _log = setup strategy in
+      (* enlarge the leaf table so a full scan is unmistakable *)
+      Database.load_rows db ~table:"sale"
+        (List.init 2000 (fun i ->
+             [| Value.String (Printf.sprintf "BULK%d" i);
+                Value.String "S3";
+                Value.Float (float_of_int (i mod 90));
+             |]));
+      (* warm up, then account *)
+      ignore
+        (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
+           ~set:(fun r -> [| r.(0); r.(1); Value.Float 12.0 |]));
+      Ra_eval.reset_scan_rows ();
+      ignore
+        (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
+           ~set:(fun r -> [| r.(0); r.(1); Value.Float 13.0 |]));
+      let leaf_scans =
+        List.fold_left
+          (fun acc (k, n) -> if k = "scan:sale" || k = "oldof:sale" then acc + n else acc)
+          0
+          (Ra_eval.scan_rows_report ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "[%s] no full leaf scans (saw %d rows)"
+           (Trigview.Runtime.strategy_to_string strategy)
+           leaf_scans)
+        true (leaf_scans < 200))
+    [ Trigview.Runtime.Ungrouped; Trigview.Runtime.Grouped; Trigview.Runtime.Grouped_agg ]
+
+let test_grouped_agg_avoids_oldof_entirely () =
+  let db, _mgr, _log = setup Trigview.Runtime.Grouped_agg in
+  ignore
+    (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 12.0 |]));
+  Ra_eval.reset_scan_rows ();
+  ignore
+    (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 13.0 |]));
+  let oldof =
+    List.fold_left
+      (fun acc (k, n) ->
+        if String.length k >= 6 && String.sub k 0 6 = "oldof:" then acc + n else acc)
+      0
+      (Ra_eval.scan_rows_report ())
+  in
+  Alcotest.(check int) "no OLD-OF materialization under GROUPED-AGG" 0 oldof
+
+(* --- incremental view maintenance (the paper's §8 future work) --- *)
+
+let recomputed_nodes db =
+  let view = Xquery.Compile.view_of_string ~schema_of:(schema_of db) ~name:"report" view_text in
+  let doc = Xquery.Compile.materialize (Ra_eval.ctx_of_db db) view in
+  List.sort Xmlkit.Xml.compare (Xmlkit.Xml.children_named doc "region")
+
+let test_maintain_matches_recomputation () =
+  let db, mgr, _log = setup Trigview.Runtime.Grouped_agg in
+  let maintained = Trigview.Maintain.attach mgr ~path:"view('report')/region" in
+  let check what =
+    let a = Trigview.Maintain.current maintained in
+    let b = recomputed_nodes db in
+    if not (List.equal Xmlkit.Xml.equal a b) then
+      Alcotest.failf "maintained copy diverged after %s" what
+  in
+  check "attach";
+  ignore
+    (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 99.0 |]));
+  check "leaf update";
+  Database.insert_rows db ~table:"region" [ [| Value.String "R3"; Value.String "east" |] ];
+  check "region insert";
+  Database.insert_rows db ~table:"sale"
+    [ [| Value.String "L7"; Value.String "S3"; Value.Float 1.0 |] ];
+  check "sale insert";
+  ignore (Database.delete_pk db ~table:"region" ~pk:[ Value.String "R3" ]);
+  check "region delete";
+  Alcotest.(check bool) "deltas were applied incrementally" true
+    (Trigview.Maintain.deltas_applied maintained >= 4);
+  (* after detach the copy freezes *)
+  Trigview.Maintain.detach maintained;
+  ignore
+    (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 5.0 |]));
+  Alcotest.(check bool) "frozen after detach" false
+    (List.equal Xmlkit.Xml.equal (Trigview.Maintain.current maintained) (recomputed_nodes db))
+
+let prop_maintain_matches_recomputation =
+  QCheck.Test.make ~name:"incremental maintenance = recomputation over random DML" ~count:25
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 10) op_gen)) (fun ops ->
+      let db, mgr, _log = setup Trigview.Runtime.Grouped_agg in
+      let maintained = Trigview.Maintain.attach mgr ~path:"view('report')/region" in
+      List.for_all
+        (fun op ->
+          apply_op db op;
+          List.equal Xmlkit.Xml.equal
+            (Trigview.Maintain.current maintained)
+            (recomputed_nodes db))
+        ops)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_all_strategies_match_oracle; prop_maintain_matches_recomputation ]
+
+let () =
+  Alcotest.run "trigview-integration"
+    [ ( "scenarios",
+        [ Alcotest.test_case "leaf update" `Quick test_leaf_update;
+          Alcotest.test_case "invisible store insert" `Quick test_middle_insert;
+          Alcotest.test_case "store becomes visible" `Quick test_middle_level_appears;
+          Alcotest.test_case "region insert/delete" `Quick test_region_insert_and_delete;
+          Alcotest.test_case "store moves regions" `Quick test_store_moves_regions;
+          Alcotest.test_case "multi-row statement" `Quick test_multi_statement_sequence;
+        ] );
+      ( "incremental maintenance",
+        [ Alcotest.test_case "matches recomputation" `Quick test_maintain_matches_recomputation ]
+      );
+      ( "performance properties",
+        [ Alcotest.test_case "no full scans per update" `Quick test_no_full_scans_per_update;
+          Alcotest.test_case "GROUPED-AGG avoids OLD-OF" `Quick
+            test_grouped_agg_avoids_oldof_entirely;
+        ] );
+      ("properties", qcheck_tests);
+    ]
