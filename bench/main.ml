@@ -191,6 +191,83 @@ let ablation ~full =
         { Runtime.push_affected_keys = false; share_subplans = false } );
     ]
 
+(* --- recovery_time: durability overhead is not a paper figure, but the
+   north star (production service) needs restart cost to be predictable:
+   recovery wall-clock must scale with the WAL tail, not the database --- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let recovery_dir name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "trigview_recovery_%d_%s" (Unix.getpid ()) name)
+
+(* Build a durable instance, run [before] updates, checkpoint, run [after]
+   updates, tear the runtime down, and measure (a) raw database recovery and
+   (b) a full [Runtime.reopen] including view/trigger re-arming. *)
+let recovery_point p ~dir ~before ~after =
+  rm_rf dir;
+  let built = Workloadlib.Workload.build p in
+  let mgr = mgr_of Runtime.Grouped_agg built in
+  Workloadlib.Workload.install_triggers mgr p
+    ~target_name:built.Workloadlib.Workload.top_names.(0);
+  Runtime.attach_durability ~policy:Durability.Wal.Never mgr ~data_dir:dir;
+  for step = 0 to before - 1 do
+    Workloadlib.Workload.update_leaf built ~top_index:0 ~step
+  done;
+  if before > 0 then Runtime.checkpoint mgr;
+  for step = before to before + after - 1 do
+    Workloadlib.Workload.update_leaf built ~top_index:0 ~step
+  done;
+  Runtime.detach_durability mgr;  (* closes + syncs the WAL: the "crash" *)
+  let wal_kb = float_of_int (Durability.Wal.total_bytes dir) /. 1024.0 in
+  let t0 = Unix.gettimeofday () in
+  ignore (Durability.Recovery.recover ~data_dir:dir ());
+  let t1 = Unix.gettimeofday () in
+  let r = Runtime.reopen ~actions:[ ("record", fun _ -> ()) ] ~data_dir:dir () in
+  let t2 = Unix.gettimeofday () in
+  Runtime.detach_durability r.Runtime.runtime;
+  rm_rf dir;
+  (wal_kb, (t1 -. t0) *. 1000.0, (t2 -. t1) *. 1000.0)
+
+let recovery_time ~full =
+  let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
+  let p =
+    { base with
+      Workloadlib.Workload.leaf_tuples = (if full then 32_000 else 4_000);
+      num_triggers = (if full then 1_000 else 100);
+      num_satisfied = 10;
+    }
+  in
+  print_header "recovery_time: WAL tail length vs recovery wall-clock"
+    [ "updates"; "wal KB"; "recover ms"; "reopen ms" ];
+  List.iter
+    (fun n ->
+      let wal_kb, rec_ms, reopen_ms =
+        recovery_point p ~dir:(recovery_dir (Printf.sprintf "wal%d" n)) ~before:0
+          ~after:n
+      in
+      print_row (string_of_int n) [ wal_kb; rec_ms; reopen_ms ])
+    (if full then [ 0; 1_000; 10_000; 40_000 ] else [ 0; 250; 1_000; 4_000 ]);
+  let total = if full then 20_000 else 2_000 in
+  print_header
+    (Printf.sprintf
+       "recovery_time: snapshot age (updates since checkpoint, %d total)" total)
+    [ "age"; "wal KB"; "recover ms"; "reopen ms" ];
+  List.iter
+    (fun age ->
+      let wal_kb, rec_ms, reopen_ms =
+        recovery_point p ~dir:(recovery_dir (Printf.sprintf "age%d" age))
+          ~before:(total - age) ~after:age
+      in
+      print_row (string_of_int age) [ wal_kb; rec_ms; reopen_ms ])
+    (if full then [ 0; 2_000; 10_000; 20_000 ] else [ 0; 200; 1_000; 2_000 ])
+
 (* --- bechamel micro-benchmarks: one Test.make per figure --- *)
 
 let bechamel_suite () =
@@ -250,7 +327,7 @@ let () =
         args
     with
     | Some s -> String.split_on_char ',' s
-    | None -> [ "17"; "18"; "22"; "23"; "24"; "compile"; "ablation" ]
+    | None -> [ "17"; "18"; "22"; "23"; "24"; "compile"; "ablation"; "recovery" ]
   in
   Printf.printf
     "Triggers over XML Views of Relational Data — benchmark harness (%s mode)\n"
@@ -267,6 +344,7 @@ let () =
         | "24" -> fig24 ~full
         | "compile" -> compile_time ~full
         | "ablation" -> ablation ~full
+        | "recovery" -> recovery_time ~full
         | other -> Printf.printf "unknown figure %S\n" other)
       figs;
   Printf.printf "\n(total action dispatches across all sweeps: %d)\n" !dispatched

@@ -66,21 +66,53 @@ let help_text =
   remove VID PID              remove a vendor offer
   product PID NAME MFR        add a product
   stats                       runtime statistics
+  checkpoint                  snapshot the database and truncate the WAL
   quit                        exit|}
 
-let run strategy script =
-  let db = make_db () in
-  let mgr = Runtime.create ~strategy db in
-  Runtime.define_view mgr ~name:"catalog" catalog_view;
-  Runtime.register_action mgr ~name:"notify" (fun fi ->
-      Printf.printf "! %s fired (%s)\n" fi.Runtime.fi_trigger
-        (Database.string_of_event fi.Runtime.fi_event);
+let notify_action fi =
+  Printf.printf "! %s fired (%s)\n" fi.Runtime.fi_trigger
+    (Database.string_of_event fi.Runtime.fi_event);
+  Option.iter
+    (fun n -> Printf.printf "  OLD: %s\n" (Xmlkit.Xml.to_string n))
+    fi.Runtime.fi_old;
+  Option.iter
+    (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
+    fi.Runtime.fi_new
+
+let run strategy script data_dir =
+  let mgr =
+    match data_dir with
+    | Some dir when Durability.Recovery.has_state ~data_dir:dir ->
+      (* a previous session left durable state: crash-recover it *)
+      let r =
+        Runtime.reopen ~strategy ~actions:[ ("notify", notify_action) ]
+          ~data_dir:dir ()
+      in
+      Printf.printf
+        "recovered %s: %d WAL record(s) replayed%s, %d view(s) and %d trigger(s) re-armed\n"
+        dir r.Runtime.recovery.Durability.Recovery.wal_applied
+        (match r.Runtime.recovery.Durability.Recovery.wal_status with
+        | Durability.Wal.Clean -> ""
+        | Durability.Wal.Torn { reason; _ } ->
+          Printf.sprintf " (torn tail dropped: %s)" reason)
+        r.Runtime.rearmed_views r.Runtime.rearmed_triggers;
+      List.iter
+        (fun e -> Printf.printf "recovery warning: %s\n" e)
+        (r.Runtime.recovery.Durability.Recovery.errors @ r.Runtime.rearm_errors);
+      r.Runtime.runtime
+    | _ ->
+      let db = make_db () in
+      let mgr = Runtime.create ~strategy db in
+      Runtime.define_view mgr ~name:"catalog" catalog_view;
+      Runtime.register_action mgr ~name:"notify" notify_action;
       Option.iter
-        (fun n -> Printf.printf "  OLD: %s\n" (Xmlkit.Xml.to_string n))
-        fi.Runtime.fi_old;
-      Option.iter
-        (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
-        fi.Runtime.fi_new);
+        (fun dir ->
+          Runtime.attach_durability mgr ~data_dir:dir;
+          Printf.printf "durability attached at %s\n" dir)
+        data_dir;
+      mgr
+  in
+  let db = Runtime.database mgr in
   let schema_of name = Table.schema (Database.get_table db name) in
   let view = Xquery.Compile.view_of_string ~schema_of ~name:"catalog" catalog_view in
   let interactive = script = None in
@@ -139,6 +171,12 @@ let run strategy script =
            let s = Runtime.stats mgr in
            Printf.printf "SQL firings %d, pairs computed %d, actions dispatched %d\n"
              s.Runtime.sql_firings s.Runtime.rows_computed s.Runtime.actions_dispatched
+         | [ "checkpoint" ] ->
+           if Runtime.durability_attached mgr then begin
+             Runtime.checkpoint mgr;
+             Printf.printf "checkpoint written; WAL truncated\n"
+           end
+           else Printf.printf "no durability attached (start with --data-dir DIR)\n"
          | first :: _
            when List.mem
                   (String.uppercase_ascii first)
@@ -165,6 +203,8 @@ let run strategy script =
       loop ()
   in
   (try loop () with Exit -> ());
+  (* orderly shutdown: make everything appended so far durable *)
+  Runtime.durability_sync mgr;
   if not interactive then close_in input
 
 open Cmdliner
@@ -184,9 +224,19 @@ let strategy_arg =
 let script_arg =
   Arg.(value & opt (some file) None & info [ "script" ] ~doc:"Read commands from $(docv).")
 
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ]
+        ~doc:
+          "Durability directory: WAL segments and snapshots are kept in \
+           $(docv).  If it already holds state from a previous session, the \
+           database, views and XML triggers are crash-recovered from it.")
+
 let cmd =
   Cmd.v
     (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
-    Term.(const run $ strategy_arg $ script_arg)
+    Term.(const run $ strategy_arg $ script_arg $ data_dir_arg)
 
 let () = exit (Cmd.eval cmd)

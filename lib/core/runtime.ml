@@ -97,6 +97,11 @@ and t = {
   counters : stats;
   mutable next_group : int;
   template_cache : (string, template_plans) Hashtbl.t;
+  (* logical DDL in creation order (newest first): view definitions and XML
+     trigger DDL text.  This — not the compiled plans — is what durability
+     persists; recovery re-compiles and re-arms from it. *)
+  mutable ddl_log : (string * string * string) list;  (* kind, name, payload *)
+  mutable store : Durability.Store.t option;
 }
 
 (* Compiled plan templates, shared across groups of this manager with the
@@ -122,7 +127,32 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
     counters = { sql_firings = 0; rows_computed = 0; actions_dispatched = 0 };
     next_group = 0;
     template_cache = Hashtbl.create 16;
+    ddl_log = [];
+    store = None;
   }
+
+(* Tables owned by the runtime itself (trigger-grouping constants tables).
+   They are regenerated when triggers are re-armed, so durability excludes
+   them from both the WAL and snapshots. *)
+let is_system_table name = String.length name >= 10 && String.sub name 0 10 = "trigconsts"
+
+let record_ddl t ~kind ~name ~payload =
+  t.ddl_log <- (kind, name, payload) :: t.ddl_log;
+  match t.store with
+  | Some s -> Durability.Store.log_meta s ~kind ~name ~payload
+  | None -> ()
+
+(* The current logical catalog: the DDL log with dropped triggers compacted
+   away.  This is the meta a checkpoint embeds in its snapshot. *)
+let current_meta t =
+  List.rev
+    (List.fold_left
+       (fun acc (kind, name, payload) ->
+         match kind with
+         | "drop_xmltrigger" ->
+           List.filter (fun (k, n, _) -> not (k = "xmltrigger" && n = name)) acc
+         | _ -> (kind, name, payload) :: acc)
+       [] (List.rev t.ddl_log))
 
 let database t = t.db
 let strategy t = t.strat
@@ -141,7 +171,9 @@ let schema_of t name =
 let define_view t ~name text =
   if List.mem_assoc name t.views then fail "view %S already exists" name;
   match Compile.view_of_string ~schema_of:(schema_of t) ~name text with
-  | view -> t.views <- (name, view) :: t.views
+  | view ->
+    t.views <- (name, view) :: t.views;
+    record_ddl t ~kind:"view" ~name ~payload:text
   | exception Compile.Unsupported msg -> fail "cannot compile view %S: %s" name msg
   | exception Xquery.Parser.Parse_error msg -> fail "cannot parse view %S: %s" name msg
   | exception Xqgm.Keys.Not_trigger_specifiable msg ->
@@ -729,7 +761,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
 
 (* --- create_trigger: the full pipeline --- *)
 
-let create_trigger t text =
+let create_trigger_internal t text =
   let tr = try Trigger.parse text with Trigger.Parse_error msg -> fail "%s" msg in
   if List.mem_assoc tr.Trigger.name t.trigger_index then
     fail "trigger %S already exists" tr.Trigger.name;
@@ -925,12 +957,21 @@ let create_trigger t text =
     group.g_members <-
       (new_ids, member :: existing) :: List.remove_assoc old_ids group.g_members;
     t.trigger_index <- (tr.Trigger.name, group) :: t.trigger_index
-  end
+  end;
+  tr.Trigger.name
+
+let create_trigger t text =
+  (* The constants-table DDL/DML below is system state: recovery re-arms
+     triggers from the logged DDL text, which recreates it, so it must not
+     also be replayed from the WAL. *)
+  let name = Database.without_logging t.db (fun () -> create_trigger_internal t text) in
+  record_ddl t ~kind:"xmltrigger" ~name ~payload:text
 
 let drop_trigger t name =
   match List.assoc_opt name t.trigger_index with
   | None -> ()
   | Some group ->
+    record_ddl t ~kind:"drop_xmltrigger" ~name ~payload:"";
     t.trigger_index <- List.remove_assoc name t.trigger_index;
     group.g_members <-
       List.filter_map
@@ -963,6 +1004,81 @@ let drop_trigger t name =
                  (Database.string_of_event ev)))
           [ Database.Insert; Database.Update; Database.Delete ])
       (Database.table_names t.db)
+
+(* --- durability: WAL + snapshots + crash recovery --- *)
+
+let checkpoint t =
+  match t.store with
+  | None -> fail "no durability attached (use attach_durability or reopen)"
+  | Some s -> ignore (Durability.Store.checkpoint s t.db ~meta:(current_meta t))
+
+(* Attach a durability store: every subsequent DML/DDL statement is logged
+   to the WAL in [data_dir], and an immediate checkpoint captures the
+   current database and catalog as the recovery baseline. *)
+let attach_durability ?segment_limit ?policy t ~data_dir =
+  if t.store <> None then fail "durability already attached";
+  let store =
+    Durability.Store.attach ?segment_limit ?policy ~is_system_table ~data_dir t.db
+  in
+  t.store <- Some store;
+  checkpoint t
+
+let detach_durability t =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    Durability.Store.detach s t.db;
+    t.store <- None
+
+let durability_attached t = t.store <> None
+let durability_sync t = Option.iter Durability.Store.sync t.store
+
+type reopened = {
+  runtime : t;
+  recovery : Durability.Recovery.outcome;
+  rearmed_views : int;
+  rearmed_triggers : int;
+  rearm_errors : string list;  (* triggers/views that failed to re-arm *)
+}
+
+(* Rebuild a runtime from [data_dir] after a crash: recover the database
+   (snapshot + WAL tail, triggers suppressed during replay), re-compile the
+   published views, re-compile and re-arm every XML trigger from its logged
+   DDL text, then re-attach durability (with a fresh checkpoint, so the
+   recovery just performed is itself durable).
+
+   [actions] must supply every action function the recovered triggers name —
+   OCaml closures cannot be persisted.  A trigger whose action (or view) is
+   missing is reported in [rearm_errors] rather than aborting recovery. *)
+let reopen ?(strategy = Grouped_agg) ?tuning ?segment_limit ?policy
+    ?(actions = []) ~data_dir () =
+  let recovery = Durability.Recovery.recover ~data_dir () in
+  let t = create ~strategy ?tuning recovery.Durability.Recovery.db in
+  List.iter (fun (name, action) -> register_action t ~name action) actions;
+  let views = ref 0 and triggers = ref 0 and errors = ref [] in
+  List.iter
+    (fun (kind, name, payload) ->
+      match kind with
+      | "view" -> (
+        match define_view t ~name payload with
+        | () -> incr views
+        | exception Error msg ->
+          errors := Printf.sprintf "view %S: %s" name msg :: !errors)
+      | "xmltrigger" -> (
+        match create_trigger t payload with
+        | () -> incr triggers
+        | exception Error msg ->
+          errors := Printf.sprintf "trigger %S: %s" name msg :: !errors)
+      | "drop_xmltrigger" -> drop_trigger t name
+      | _ -> ())
+    recovery.Durability.Recovery.meta;
+  attach_durability ?segment_limit ?policy t ~data_dir;
+  { runtime = t;
+    recovery;
+    rearmed_views = !views;
+    rearmed_triggers = !triggers;
+    rearm_errors = List.rev !errors;
+  }
 
 let view_nodes t ~path =
   let path =

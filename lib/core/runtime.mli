@@ -87,3 +87,62 @@ val reset_stats : t -> unit
     {!Maintain} for initial population, and handy for debugging).
     @raise Error on unknown views or non-composable paths. *)
 val view_nodes : t -> path:string -> Xmlkit.Xml.t list
+
+(** {2 Durability: WAL + snapshots + crash recovery}
+
+    With durability attached, every committed DML/DDL statement is appended
+    to a write-ahead log under [data_dir], and every view definition and XML
+    trigger DDL is logged as a meta record.  After a crash, {!reopen}
+    restores the database from the latest snapshot plus the WAL tail and
+    re-compiles / re-arms all views and XML triggers, so the next statement
+    fires exactly the actions an uncrashed instance would have fired.
+
+    Tables named [trigconsts*] (the runtime's trigger-grouping constants
+    tables) are system state: excluded from the log and snapshots, they are
+    regenerated when triggers are re-armed. *)
+
+(** Attaches a durability store rooted at [data_dir] and takes an immediate
+    checkpoint of the current database and catalog.
+    @raise Error if one is already attached. *)
+val attach_durability :
+  ?segment_limit:int ->
+  ?policy:Durability.Wal.sync_policy ->
+  t ->
+  data_dir:string ->
+  unit
+
+(** Atomic snapshot (write-temp-then-rename) of the database plus the
+    logical catalog; truncates the WAL.  @raise Error if not attached. *)
+val checkpoint : t -> unit
+
+val detach_durability : t -> unit
+val durability_attached : t -> bool
+
+(** Forces an fsync of the WAL regardless of the sync policy. *)
+val durability_sync : t -> unit
+
+type reopened = {
+  runtime : t;
+  recovery : Durability.Recovery.outcome;
+  rearmed_views : int;
+  rearmed_triggers : int;
+  rearm_errors : string list;
+      (** views/triggers whose re-compilation failed (e.g. an action
+          function missing from [actions]); recovery itself still succeeds *)
+}
+
+(** Rebuilds a runtime from [data_dir]: latest valid snapshot, then the WAL
+    tail replayed through the normal DML path with triggers suppressed
+    (stopping cleanly at a torn tail), then views and XML triggers re-armed
+    from their logged DDL.  [actions] must name every action function the
+    recovered triggers use — closures cannot be persisted.  Durability is
+    re-attached and a fresh checkpoint taken before returning. *)
+val reopen :
+  ?strategy:strategy ->
+  ?tuning:tuning ->
+  ?segment_limit:int ->
+  ?policy:Durability.Wal.sync_policy ->
+  ?actions:(string * action) list ->
+  data_dir:string ->
+  unit ->
+  reopened

@@ -5,10 +5,28 @@ let string_of_event = function
   | Update -> "UPDATE"
   | Delete -> "DELETE"
 
+(* A committed statement, with full row images: replaying a change log
+   through the DML path regenerates identical transition tables.  This is
+   the unit a durability layer (see lib/relkit/durability) appends to its
+   write-ahead log. *)
+type change =
+  | Ch_insert of { table : string; rows : Value.t array list }
+  | Ch_update of {
+      table : string;
+      before : Value.t array list;
+      after : Value.t array list;  (* pairwise with [before] *)
+    }
+  | Ch_delete of { table : string; rows : Value.t array list }
+  | Ch_create_table of Schema.t
+  | Ch_create_index of { table : string; column : string }
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   mutable triggers : trigger list;  (* in creation order *)
   mutable firing_depth : int;
+  mutable on_change : (change -> unit) option;
+  mutable change_paused : bool;
+  mutable triggers_suppressed : bool;
 }
 
 and trigger_ctx = {
@@ -29,13 +47,46 @@ and trigger = {
 
 let max_firing_depth = 16
 
-let create () = { tables = Hashtbl.create 16; triggers = []; firing_depth = 0 }
+let create () =
+  { tables = Hashtbl.create 16;
+    triggers = [];
+    firing_depth = 0;
+    on_change = None;
+    change_paused = false;
+    triggers_suppressed = false;
+  }
+
+(* --- durability hook --- *)
+
+let attach_durability t f = t.on_change <- Some f
+let detach_durability t = t.on_change <- None
+
+let notify t ch =
+  if not t.change_paused then Option.iter (fun f -> f ch) t.on_change
+
+(* Run [f] without reporting its statements to the durability hook.  Used for
+   system state that is regenerated from logical DDL on recovery (e.g. the
+   runtime's trigger-constants tables). *)
+let without_logging t f =
+  let saved = t.change_paused in
+  t.change_paused <- true;
+  Fun.protect ~finally:(fun () -> t.change_paused <- saved) f
+
+(* Run [f] without firing any AFTER triggers.  Used by crash recovery: the
+   log already contains the full effects of every statement, including those
+   issued by trigger bodies, so replaying with triggers armed would apply
+   cascaded effects twice. *)
+let with_triggers_suppressed t f =
+  let saved = t.triggers_suppressed in
+  t.triggers_suppressed <- true;
+  Fun.protect ~finally:(fun () -> t.triggers_suppressed <- saved) f
 
 let create_table t schema =
   let name = schema.Schema.name in
   if Hashtbl.mem t.tables name then
     invalid_arg (Printf.sprintf "Database.create_table: table %S already exists" name);
-  Hashtbl.add t.tables name (Table.create schema)
+  Hashtbl.add t.tables name (Table.create schema);
+  notify t (Ch_create_table schema)
 
 let find_table t name = Hashtbl.find_opt t.tables name
 
@@ -46,7 +97,9 @@ let get_table t name =
 
 let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
 
-let create_index t ~table ~column = Table.create_index (get_table t table) column
+let create_index t ~table ~column =
+  Table.create_index (get_table t table) column;
+  notify t (Ch_create_index { table; column })
 
 (* --- constraint checking --- *)
 
@@ -110,6 +163,8 @@ let check_uniques tbl row =
 (* --- trigger firing --- *)
 
 let fire_triggers t ~target ~event ~inserted ~deleted =
+  if t.triggers_suppressed then ()
+  else
   let to_fire =
     List.filter (fun tr -> tr.trig_table = target && tr.trig_event = event) t.triggers
   in
@@ -152,7 +207,8 @@ let insert_no_fire t ~table rows =
         invalid_arg
           (Printf.sprintf "duplicate primary key on insert into %S" table);
       Table.insert_exn tbl row)
-    rows
+    rows;
+  if rows <> [] then notify t (Ch_insert { table; rows })
 
 let insert_rows t ~table rows =
   insert_no_fire t ~table rows;
@@ -177,10 +233,14 @@ let update_rows t ~table ~where ~set =
       end;
       check_foreign_keys t tbl row)
     pairs;
-  if pairs <> [] then
+  if pairs <> [] then begin
+    notify t
+      (Ch_update
+         { table; before = List.map fst pairs; after = List.map snd pairs });
     fire_triggers t ~target:table ~event:Update
       ~inserted:(List.map snd pairs)
-      ~deleted:(List.map fst pairs);
+      ~deleted:(List.map fst pairs)
+  end;
   List.length pairs
 
 let update_pk t ~table ~pk ~set =
@@ -198,6 +258,7 @@ let update_pk t ~table ~pk ~set =
       Table.insert_exn tbl row
     end;
     check_foreign_keys t tbl row;
+    notify t (Ch_update { table; before = [ old ]; after = [ row ] });
     fire_triggers t ~target:table ~event:Update ~inserted:[ row ] ~deleted:[ old ];
     true
 
@@ -206,8 +267,10 @@ let delete_rows t ~table ~where =
   let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
   let schema = Table.schema tbl in
   List.iter (fun row -> ignore (Table.delete_pk tbl (Schema.pk_of_row schema row))) victims;
-  if victims <> [] then
-    fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:victims;
+  if victims <> [] then begin
+    notify t (Ch_delete { table; rows = victims });
+    fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:victims
+  end;
   List.length victims
 
 let delete_pk t ~table ~pk =
@@ -215,6 +278,7 @@ let delete_pk t ~table ~pk =
   match Table.delete_pk tbl pk with
   | None -> false
   | Some old ->
+    notify t (Ch_delete { table; rows = [ old ] });
     fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:[ old ];
     true
 

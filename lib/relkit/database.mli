@@ -32,7 +32,40 @@ type trigger = {
   sql_text : string;  (** printable form of the generated trigger *)
 }
 
+(** A committed statement with full row images ([before]/[after] are
+    pairwise), as reported to the durability hook.  Replaying a change
+    stream through the DML path regenerates identical transition tables. *)
+type change =
+  | Ch_insert of { table : string; rows : Value.t array list }
+  | Ch_update of {
+      table : string;
+      before : Value.t array list;
+      after : Value.t array list;
+    }
+  | Ch_delete of { table : string; rows : Value.t array list }
+  | Ch_create_table of Schema.t
+  | Ch_create_index of { table : string; column : string }
+
 val create : unit -> t
+
+(** [attach_durability db f] calls [f] after every committed DML/DDL
+    statement (insert/update/delete with full row images, table and index
+    creation).  One observer at a time; see [lib/relkit/durability] for the
+    WAL-backed implementation. *)
+val attach_durability : t -> (change -> unit) -> unit
+
+val detach_durability : t -> unit
+
+(** [without_logging db f] runs [f] with the durability hook muted: its
+    statements are system state regenerated from logical DDL on recovery
+    (e.g. the runtime's trigger-constants tables). *)
+val without_logging : t -> (unit -> 'a) -> 'a
+
+(** [with_triggers_suppressed db f] runs [f] without firing AFTER triggers.
+    Crash recovery replays a log that already contains the full effects of
+    every statement — including those issued by trigger bodies — so replay
+    must not fire them again. *)
+val with_triggers_suppressed : t -> (unit -> 'a) -> 'a
 
 (** @raise Invalid_argument on duplicate table name. *)
 val create_table : t -> Schema.t -> unit

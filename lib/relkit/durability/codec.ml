@@ -1,0 +1,294 @@
+(* Length-prefixed, CRC32-checksummed binary codec for relkit values, rows,
+   schemas and DML statements.
+
+   Every WAL record and snapshot body is an [encode_stmt]-style payload
+   framed as [u32 length][u32 crc32][payload]; the framing itself lives in
+   Wal/Snapshot, this module owns the payload bytes.  Statements carry full
+   row images (old and new), so replaying a log through the normal
+   [Database] DML path regenerates identical transition tables — which is
+   what lets recovered SQL triggers observe the same deltas they would have
+   seen live. *)
+
+module Value = Relkit.Value
+module Schema = Relkit.Schema
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+(* --- CRC-32 (IEEE 802.3, the zlib polynomial) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+(* --- statements --- *)
+
+type stmt =
+  | Insert of { table : string; rows : Value.t array list }
+  | Update of {
+      table : string;
+      before : Value.t array list;
+      after : Value.t array list;
+    }
+  | Delete of { table : string; rows : Value.t array list }
+  | Create_table of Schema.t
+  | Create_index of { table : string; column : string }
+  | Meta of { kind : string; name : string; payload : string }
+      (* logical DDL owned by layers above relkit: published view
+         definitions, XML trigger DDL text, trigger drops.  Recovery hands
+         these back verbatim so the runtime can re-compile and re-arm. *)
+
+let stmt_of_change : Relkit.Database.change -> stmt = function
+  | Relkit.Database.Ch_insert { table; rows } -> Insert { table; rows }
+  | Relkit.Database.Ch_update { table; before; after } ->
+    Update { table; before; after }
+  | Relkit.Database.Ch_delete { table; rows } -> Delete { table; rows }
+  | Relkit.Database.Ch_create_table schema -> Create_table schema
+  | Relkit.Database.Ch_create_index { table; column } ->
+    Create_index { table; column }
+
+(* --- encoding --- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  if v < 0 || v > 0xffffffff then corrupt "u32 out of range: %d" v;
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let put_i64 buf v = Buffer.add_int64_le buf v
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_string_list buf l =
+  put_u32 buf (List.length l);
+  List.iter (put_string buf) l
+
+let put_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> put_u8 buf 0
+  | Value.Int i ->
+    put_u8 buf 1;
+    put_i64 buf (Int64.of_int i)
+  | Value.Float f ->
+    put_u8 buf 2;
+    put_i64 buf (Int64.bits_of_float f)
+  | Value.String s ->
+    put_u8 buf 3;
+    put_string buf s
+  | Value.Bool false -> put_u8 buf 4
+  | Value.Bool true -> put_u8 buf 5
+
+let put_row buf row =
+  put_u32 buf (Array.length row);
+  Array.iter (put_value buf) row
+
+let put_rows buf rows =
+  put_u32 buf (List.length rows);
+  List.iter (put_row buf) rows
+
+let col_type_tag = function
+  | Schema.TInt -> 0
+  | Schema.TFloat -> 1
+  | Schema.TString -> 2
+  | Schema.TBool -> 3
+
+let put_schema buf (s : Schema.t) =
+  put_string buf s.Schema.name;
+  put_u32 buf (List.length s.Schema.columns);
+  List.iter
+    (fun c ->
+      put_string buf c.Schema.col_name;
+      put_u8 buf (col_type_tag c.Schema.col_type);
+      put_u8 buf (if c.Schema.nullable then 1 else 0))
+    s.Schema.columns;
+  put_string_list buf s.Schema.primary_key;
+  put_u32 buf (List.length s.Schema.uniques);
+  List.iter (put_string_list buf) s.Schema.uniques;
+  put_u32 buf (List.length s.Schema.foreign_keys);
+  List.iter
+    (fun fk ->
+      put_string_list buf fk.Schema.fk_columns;
+      put_string buf fk.Schema.fk_table;
+      put_string_list buf fk.Schema.fk_ref_columns)
+    s.Schema.foreign_keys
+
+let put_stmt buf = function
+  | Insert { table; rows } ->
+    put_u8 buf 1;
+    put_string buf table;
+    put_rows buf rows
+  | Update { table; before; after } ->
+    put_u8 buf 2;
+    put_string buf table;
+    put_rows buf before;
+    put_rows buf after
+  | Delete { table; rows } ->
+    put_u8 buf 3;
+    put_string buf table;
+    put_rows buf rows
+  | Create_table schema ->
+    put_u8 buf 4;
+    put_schema buf schema
+  | Create_index { table; column } ->
+    put_u8 buf 5;
+    put_string buf table;
+    put_string buf column
+  | Meta { kind; name; payload } ->
+    put_u8 buf 6;
+    put_string buf kind;
+    put_string buf name;
+    put_string buf payload
+
+let encode_stmt stmt =
+  let buf = Buffer.create 256 in
+  put_stmt buf stmt;
+  Buffer.contents buf
+
+(* --- decoding --- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let cursor ?(pos = 0) src = { src; pos }
+let at_end c = c.pos >= String.length c.src
+
+let need c n =
+  if c.pos + n > String.length c.src then
+    corrupt "truncated payload: need %d bytes at offset %d (have %d)" n c.pos
+      (String.length c.src)
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let b i = Char.code c.src.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.src.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let get_string c =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_list c f =
+  let n = get_u32 c in
+  List.init n (fun _ -> f c)
+
+let get_string_list c = get_list c get_string
+
+let get_value c : Value.t =
+  match get_u8 c with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (Int64.to_int (get_i64 c))
+  | 2 -> Value.Float (Int64.float_of_bits (get_i64 c))
+  | 3 -> Value.String (get_string c)
+  | 4 -> Value.Bool false
+  | 5 -> Value.Bool true
+  | tag -> corrupt "unknown value tag %d" tag
+
+let get_row c =
+  let n = get_u32 c in
+  Array.init n (fun _ -> get_value c)
+
+let get_rows c = get_list c get_row
+
+let get_col_type c =
+  match get_u8 c with
+  | 0 -> Schema.TInt
+  | 1 -> Schema.TFloat
+  | 2 -> Schema.TString
+  | 3 -> Schema.TBool
+  | tag -> corrupt "unknown column-type tag %d" tag
+
+let get_schema c : Schema.t =
+  let name = get_string c in
+  let columns =
+    get_list c (fun c ->
+        let col_name = get_string c in
+        let col_type = get_col_type c in
+        let nullable = get_u8 c <> 0 in
+        { Schema.col_name; col_type; nullable })
+  in
+  let primary_key = get_string_list c in
+  let uniques = get_list c get_string_list in
+  let foreign_keys =
+    get_list c (fun c ->
+        let fk_columns = get_string_list c in
+        let fk_table = get_string c in
+        let fk_ref_columns = get_string_list c in
+        { Schema.fk_columns; fk_table; fk_ref_columns })
+  in
+  { Schema.name; columns; primary_key; uniques; foreign_keys }
+
+let get_stmt c =
+  match get_u8 c with
+  | 1 ->
+    let table = get_string c in
+    let rows = get_rows c in
+    Insert { table; rows }
+  | 2 ->
+    let table = get_string c in
+    let before = get_rows c in
+    let after = get_rows c in
+    if List.length before <> List.length after then
+      corrupt "update record: %d before rows vs %d after rows"
+        (List.length before) (List.length after);
+    Update { table; before; after }
+  | 3 ->
+    let table = get_string c in
+    let rows = get_rows c in
+    Delete { table; rows }
+  | 4 -> Create_table (get_schema c)
+  | 5 ->
+    let table = get_string c in
+    let column = get_string c in
+    Create_index { table; column }
+  | 6 ->
+    let kind = get_string c in
+    let name = get_string c in
+    let payload = get_string c in
+    Meta { kind; name; payload }
+  | tag -> corrupt "unknown statement tag %d" tag
+
+let decode_stmt s =
+  let c = cursor s in
+  let stmt = get_stmt c in
+  if not (at_end c) then
+    corrupt "trailing garbage after statement (%d of %d bytes consumed)" c.pos
+      (String.length s);
+  stmt

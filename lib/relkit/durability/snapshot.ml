@@ -1,0 +1,153 @@
+(* Full-database checkpoints.
+
+   A snapshot file [snapshot-%012d.snap] holds every user table (schema,
+   secondary-index columns, rows), the logical DDL meta records needed to
+   re-arm the XML trigger runtime (view definitions, trigger DDL text), and
+   the index of the first WAL segment whose records postdate the snapshot.
+
+   Writes are atomic: the body goes to a [.tmp] file which is fsynced and
+   then renamed into place, so a crash mid-checkpoint leaves the previous
+   snapshot untouched.  [latest] verifies the checksum and falls back to the
+   previous snapshot if the newest one does not validate. *)
+
+module Database = Relkit.Database
+module Table = Relkit.Table
+
+let magic = "TVSNAP1\n"
+
+type contents = {
+  tables :
+    (Relkit.Schema.t * string list (* indexed columns *) * Relkit.Value.t array list)
+    list;
+  meta : (string * string * string) list;  (* (kind, name, payload), in order *)
+  wal_start : int;  (* replay WAL segments >= this index on recovery *)
+}
+
+let snapshot_name id = Printf.sprintf "snapshot-%012d.snap" id
+let snapshot_path dir id = Filename.concat dir (snapshot_name id)
+
+let id_of_file name =
+  try Scanf.sscanf name "snapshot-%12d.snap%!" (fun i -> Some i) with _ -> None
+
+let ids dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map id_of_file
+    |> List.sort compare
+
+(* --- capture --- *)
+
+let capture db ~exclude ~meta ~wal_start =
+  let tables =
+    Database.table_names db
+    |> List.filter (fun name -> not (exclude name))
+    |> List.sort compare
+    |> List.map (fun name ->
+           let tbl = Database.get_table db name in
+           (Table.schema tbl, Table.indexed_columns tbl, Table.to_rows tbl))
+  in
+  { tables; meta; wal_start }
+
+(* --- encoding --- *)
+
+let encode contents =
+  let buf = Buffer.create 4096 in
+  Codec.put_u32 buf contents.wal_start;
+  Codec.put_u32 buf (List.length contents.tables);
+  List.iter
+    (fun (schema, indexed, rows) ->
+      Codec.put_schema buf schema;
+      Codec.put_string_list buf indexed;
+      Codec.put_rows buf rows)
+    contents.tables;
+  Codec.put_u32 buf (List.length contents.meta);
+  List.iter
+    (fun (kind, name, payload) ->
+      Codec.put_string buf kind;
+      Codec.put_string buf name;
+      Codec.put_string buf payload)
+    contents.meta;
+  Buffer.contents buf
+
+let decode payload =
+  let c = Codec.cursor payload in
+  let wal_start = Codec.get_u32 c in
+  let tables =
+    Codec.get_list c (fun c ->
+        let schema = Codec.get_schema c in
+        let indexed = Codec.get_string_list c in
+        let rows = Codec.get_rows c in
+        (schema, indexed, rows))
+  in
+  let meta =
+    Codec.get_list c (fun c ->
+        let kind = Codec.get_string c in
+        let name = Codec.get_string c in
+        let payload = Codec.get_string c in
+        (kind, name, payload))
+  in
+  { tables; meta; wal_start }
+
+(* --- file I/O --- *)
+
+let write ~dir ~id contents =
+  Wal.mkdirs dir;
+  let payload = encode contents in
+  let path = snapshot_path dir id in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      let buf = Buffer.create 8 in
+      Codec.put_u32 buf (String.length payload);
+      Codec.put_u32 buf (Codec.crc32 payload);
+      Buffer.output_buffer oc buf;
+      output_string oc payload;
+      Wal.fsync_oc oc);
+  Sys.rename tmp path;
+  Wal.fsync_dir dir;
+  path
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let contents = really_input_string ic size in
+      let mlen = String.length magic in
+      if size < mlen + 8 then Codec.corrupt "snapshot too short (%d bytes)" size;
+      if String.sub contents 0 mlen <> magic then
+        Codec.corrupt "bad snapshot magic";
+      let c = Codec.cursor ~pos:mlen contents in
+      let len = Codec.get_u32 c in
+      let crc = Codec.get_u32 c in
+      if mlen + 8 + len <> size then
+        Codec.corrupt "snapshot length mismatch: header says %d, file has %d" len
+          (size - mlen - 8);
+      let payload = String.sub contents (mlen + 8) len in
+      if Codec.crc32 payload <> crc then Codec.corrupt "snapshot checksum mismatch";
+      decode payload)
+
+(* Newest snapshot that validates; a corrupt newest falls back to older. *)
+let latest dir =
+  let rec go = function
+    | [] -> None
+    | id :: rest -> (
+      match load (snapshot_path dir id) with
+      | contents -> Some (id, contents)
+      | exception (Codec.Corrupt _ | Sys_error _) -> go rest)
+  in
+  go (List.rev (ids dir))
+
+(* Keep the newest [keep] snapshots, delete the rest. *)
+let prune dir ~keep =
+  let all = List.rev (ids dir) in
+  List.iteri
+    (fun i id ->
+      if i >= keep then
+        try Sys.remove (snapshot_path dir id) with Sys_error _ -> ())
+    all

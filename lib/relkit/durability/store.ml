@@ -1,0 +1,69 @@
+(* The durability facade a database (or the trigview runtime) attaches to.
+
+   [attach ~data_dir db] opens a WAL in [data_dir] and hooks
+   [Database.attach_durability] so every committed DML/DDL statement is
+   encoded and appended.  Tables matching [is_system_table] are skipped:
+   they are regenerated from logical DDL meta records (e.g. the runtime's
+   trigger-constants tables) and must not be double-applied on recovery.
+
+   [checkpoint] takes an atomic snapshot of the database plus the caller's
+   current logical DDL, then truncates the WAL.  The rotation happens
+   *before* the snapshot is written and old segments are removed only
+   *after* the snapshot is durable, so a crash at any point leaves a
+   recoverable (snapshot, WAL-tail) pair. *)
+
+module Database = Relkit.Database
+
+type t = {
+  data_dir : string;
+  wal : Wal.t;
+  is_system_table : string -> bool;
+  mutable detached : bool;
+}
+
+let default_is_system_table _ = false
+
+let change_is_system is_system = function
+  | Database.Ch_insert { table; _ }
+  | Database.Ch_update { table; _ }
+  | Database.Ch_delete { table; _ }
+  | Database.Ch_create_index { table; _ } -> is_system table
+  | Database.Ch_create_table schema -> is_system schema.Relkit.Schema.name
+
+let attach ?segment_limit ?policy ?(is_system_table = default_is_system_table)
+    ~data_dir db =
+  let wal = Wal.open_log ?segment_limit ?policy data_dir in
+  let store = { data_dir; wal; is_system_table; detached = false } in
+  Database.attach_durability db (fun change ->
+      if not (store.detached || change_is_system is_system_table change) then
+        Wal.append wal (Codec.stmt_of_change change));
+  store
+
+(* Logical DDL owned by the layer above (view definitions, XML trigger DDL).
+   Recovery returns these verbatim for the runtime to re-compile. *)
+let log_meta t ~kind ~name ~payload =
+  if not t.detached then Wal.append t.wal (Codec.Meta { kind; name; payload })
+
+let sync t = Wal.sync t.wal
+let wal_bytes t = Wal.total_bytes t.data_dir
+let wal_records t = Wal.appended_records t.wal
+let data_dir t = t.data_dir
+
+let checkpoint t db ~meta =
+  (* 1. rotate: records from here on belong to the new snapshot's tail *)
+  let wal_start = Wal.rotate t.wal in
+  (* 2. durable snapshot of everything before the rotation *)
+  let contents = Snapshot.capture db ~exclude:t.is_system_table ~meta ~wal_start in
+  let id = match Snapshot.ids t.data_dir with [] -> 1 | ids -> List.fold_left max 0 ids + 1 in
+  let path = Snapshot.write ~dir:t.data_dir ~id contents in
+  (* 3. only now is the old tail dead *)
+  Wal.remove_segments_below t.data_dir wal_start;
+  Snapshot.prune t.data_dir ~keep:2;
+  path
+
+let detach t db =
+  if not t.detached then begin
+    t.detached <- true;
+    Database.detach_durability db;
+    Wal.close t.wal
+  end

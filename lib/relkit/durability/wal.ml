@@ -1,0 +1,212 @@
+(* Append-only segmented write-ahead log.
+
+   A log directory holds segment files [wal-%08d.log]; each record is framed
+   as [u32 payload-length][u32 crc32][payload] where the payload is a
+   [Codec.stmt].  Appends go to the newest segment; when it exceeds the
+   segment limit the writer rotates to a fresh file.  The reader walks the
+   segments in index order and stops cleanly at the first torn (truncated
+   mid-record) or corrupt (checksum / decode failure) frame — everything
+   after a bad frame is untrusted, exactly the redo-log contract.
+
+   Durability is governed by the fsync policy:
+     Always    — fsync after every record (no committed record is ever lost)
+     EveryN n  — fsync every n records (bounded loss window, the default)
+     Never     — leave flushing to the OS (fastest; loss window unbounded) *)
+
+type sync_policy = Always | EveryN of int | Never
+
+let header_bytes = 8
+let max_record_bytes = 64 * 1024 * 1024
+
+type t = {
+  dir : string;
+  segment_limit : int;
+  policy : sync_policy;
+  mutable seg_index : int;
+  mutable oc : out_channel;
+  mutable seg_bytes : int;
+  mutable unsynced : int;  (* records appended since the last fsync *)
+  mutable appended : int;  (* records appended over this handle's lifetime *)
+  mutable closed : bool;
+}
+
+let segment_name i = Printf.sprintf "wal-%08d.log" i
+let segment_path dir i = Filename.concat dir (segment_name i)
+
+let segment_index_of_file name =
+  try Scanf.sscanf name "wal-%8d.log%!" (fun i -> Some i) with _ -> None
+
+let segment_indexes dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map segment_index_of_file
+    |> List.sort compare
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let fsync_oc oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+(* Durability of a rename / create also needs the directory entry synced. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let open_segment dir i =
+  open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
+    (segment_path dir i)
+
+let open_log ?(segment_limit = 8 * 1024 * 1024) ?(policy = EveryN 64) dir =
+  mkdirs dir;
+  (* Always start a fresh segment: a previous crash may have left a torn
+     tail in the last one, and we never append after a torn record. *)
+  let seg_index =
+    match List.rev (segment_indexes dir) with [] -> 0 | last :: _ -> last + 1
+  in
+  let oc = open_segment dir seg_index in
+  fsync_dir dir;
+  { dir;
+    segment_limit;
+    policy;
+    seg_index;
+    oc;
+    seg_bytes = 0;
+    unsynced = 0;
+    appended = 0;
+    closed = false;
+  }
+
+let sync t =
+  if not t.closed then begin
+    fsync_oc t.oc;
+    t.unsynced <- 0
+  end
+
+let rotate t =
+  if t.closed then invalid_arg "Wal.rotate: log is closed";
+  fsync_oc t.oc;
+  close_out t.oc;
+  t.seg_index <- t.seg_index + 1;
+  t.oc <- open_segment t.dir t.seg_index;
+  t.seg_bytes <- 0;
+  t.unsynced <- 0;
+  fsync_dir t.dir;
+  t.seg_index
+
+let current_segment t = t.seg_index
+let appended_records t = t.appended
+
+let append t stmt =
+  if t.closed then invalid_arg "Wal.append: log is closed";
+  let payload = Codec.encode_stmt stmt in
+  let len = String.length payload in
+  if len > max_record_bytes then
+    invalid_arg (Printf.sprintf "Wal.append: record of %d bytes exceeds limit" len);
+  let frame = Buffer.create (header_bytes + len) in
+  Codec.put_u32 frame len;
+  Codec.put_u32 frame (Codec.crc32 payload);
+  Buffer.add_string frame payload;
+  Buffer.output_buffer t.oc frame;
+  t.seg_bytes <- t.seg_bytes + Buffer.length frame;
+  t.appended <- t.appended + 1;
+  (match t.policy with
+  | Always ->
+    fsync_oc t.oc;
+    t.unsynced <- 0
+  | EveryN n ->
+    t.unsynced <- t.unsynced + 1;
+    if t.unsynced >= max n 1 then begin
+      fsync_oc t.oc;
+      t.unsynced <- 0
+    end
+  | Never -> flush t.oc);
+  if t.seg_bytes >= t.segment_limit then ignore (rotate t)
+
+let close t =
+  if not t.closed then begin
+    fsync_oc t.oc;
+    close_out t.oc;
+    t.closed <- true
+  end
+
+(* --- reading --- *)
+
+type tail_status =
+  | Clean
+  | Torn of { segment : string; offset : int; reason : string }
+
+let read_segment_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let contents = really_input_string ic size in
+      let records = ref [] in
+      let status = ref Clean in
+      let pos = ref 0 in
+      let stop reason =
+        status :=
+          Torn { segment = Filename.basename path; offset = !pos; reason }
+      in
+      (try
+         while !status = Clean && !pos < size do
+           if !pos + header_bytes > size then stop "truncated record header"
+           else begin
+             let c = Codec.cursor ~pos:!pos contents in
+             let len = Codec.get_u32 c in
+             let crc = Codec.get_u32 c in
+             if len > max_record_bytes then stop "implausible record length"
+             else if !pos + header_bytes + len > size then
+               stop "truncated record payload"
+             else begin
+               let payload = String.sub contents (!pos + header_bytes) len in
+               if Codec.crc32 payload <> crc then stop "checksum mismatch"
+               else begin
+                 match Codec.decode_stmt payload with
+                 | stmt ->
+                   records := stmt :: !records;
+                   pos := !pos + header_bytes + len
+                 | exception Codec.Corrupt msg -> stop ("undecodable record: " ^ msg)
+               end
+             end
+           end
+         done
+       with Codec.Corrupt msg -> stop msg);
+      (List.rev !records, !status))
+
+(* Read every record from segments [>= from_segment] in order, stopping at
+   the first torn or corrupt frame.  Returns the records that are trusted. *)
+let read_dir ?(from_segment = 0) dir =
+  let segs = List.filter (fun i -> i >= from_segment) (segment_indexes dir) in
+  let rec go acc = function
+    | [] -> (List.concat (List.rev acc), Clean)
+    | i :: rest -> (
+      match read_segment_file (segment_path dir i) with
+      | records, Clean -> go (records :: acc) rest
+      | records, (Torn _ as torn) ->
+        (List.concat (List.rev (records :: acc)), torn))
+  in
+  go [] segs
+
+let remove_segments_below dir n =
+  List.iter
+    (fun i -> if i < n then try Sys.remove (segment_path dir i) with Sys_error _ -> ())
+    (segment_indexes dir)
+
+let total_bytes dir =
+  List.fold_left
+    (fun acc i ->
+      match (Unix.stat (segment_path dir i)).Unix.st_size with
+      | size -> acc + size
+      | exception Unix.Unix_error _ -> acc)
+    0 (segment_indexes dir)
