@@ -24,7 +24,15 @@ let mgr_of ?tuning strategy (built : Workloadlib.Workload.built) =
   Runtime.register_action mgr ~name:"record" (fun _ -> incr dispatched);
   mgr
 
-(* Average wall-clock ms per single-row leaf update. *)
+(* One measurement: wall clock from the OS monotonic clock (immune to NTP
+   slews and, unlike the old [Sys.time]-only code, to the wall/CPU confusion
+   that undercounted any time spent off-CPU), plus process CPU time.  A large
+   wall/cpu gap flags paging or scheduler noise in a run. *)
+type sample = { wall_ms : float; cpu_ms : float }
+
+let nan_sample = { wall_ms = Float.nan; cpu_ms = Float.nan }
+
+(* Average ms per single-row leaf update. *)
 let time_point ?(updates = 40) ?tuning params strategy =
   let built = Workloadlib.Workload.build params in
   let mgr = mgr_of ?tuning strategy built in
@@ -34,12 +42,68 @@ let time_point ?(updates = 40) ?tuning params strategy =
     Workloadlib.Workload.update_leaf built ~top_index:0 ~step
   done;
   Runtime.reset_stats mgr;
-  let t0 = Sys.time () in
+  let w0 = Monotonic_clock.now () in
+  let c0 = Sys.time () in
   for step = 3 to 3 + updates - 1 do
     Workloadlib.Workload.update_leaf built ~top_index:0 ~step
   done;
-  let t1 = Sys.time () in
-  (t1 -. t0) *. 1000.0 /. float_of_int updates
+  let c1 = Sys.time () in
+  let w1 = Monotonic_clock.now () in
+  let n = float_of_int updates in
+  { wall_ms = Int64.to_float (Int64.sub w1 w0) /. 1e6 /. n;
+    cpu_ms = (c1 -. c0) *. 1000.0 /. n;
+  }
+
+(* --- JSON export (--json): machine-readable per-figure numbers --- *)
+
+let json_requested = ref false
+let json_entries : (string * string * string * sample) list ref = ref []
+
+let record ~fig ~row ~series sample =
+  json_entries := (fig, row, series, sample) :: !json_entries;
+  sample
+
+let json_float v =
+  if Float.is_nan v then "null" else Printf.sprintf "%.6f" v
+
+(* GROUPED speedup from plan compilation: ratio of summed interpreter wall
+   time to summed compiled wall time over the fig 17 trigger counts. *)
+let fig17_grouped_speedup () =
+  let sum series =
+    List.fold_left
+      (fun acc (fig, _, s, sample) ->
+        if fig = "17" && s = series && not (Float.is_nan sample.wall_ms) then
+          acc +. sample.wall_ms
+        else acc)
+      0.0 !json_entries
+  in
+  let interp = sum "GROUPED-interp" and compiled = sum "GROUPED" in
+  if compiled > 0.0 && interp > 0.0 then interp /. compiled else Float.nan
+
+let write_json ~full path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if full then "full" else "quick"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fig17_grouped_speedup\": %s,\n"
+       (json_float (fig17_grouped_speedup ())));
+  Buffer.add_string buf "  \"entries\": [\n";
+  let entries = List.rev !json_entries in
+  List.iteri
+    (fun i (fig, row, series, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"figure\": \"%s\", \"row\": \"%s\", \"series\": \"%s\", \
+            \"wall_ms_per_update\": %s, \"cpu_ms_per_update\": %s}%s\n"
+           fig row series (json_float s.wall_ms) (json_float s.cpu_ms)
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let print_header title columns =
   Printf.printf "\n== %s ==\n" title;
@@ -53,6 +117,23 @@ let print_row label cells =
           (fun v -> if Float.is_nan v then Printf.sprintf "%14s" "-" else Printf.sprintf "%14.3f" v)
           cells))
 
+(* Sample rows print as wall/cpu pairs in one column per series. *)
+let print_header_s title columns =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-12s %s\n" (List.hd columns)
+    (String.concat "" (List.map (Printf.sprintf "%18s") (List.tl columns)))
+
+let print_row_s label cells =
+  Printf.printf "%-12s %s\n%!" label
+    (String.concat ""
+       (List.map
+          (fun s ->
+            if Float.is_nan s.wall_ms then Printf.sprintf "%18s" "-"
+            else
+              Printf.sprintf "%18s"
+                (Printf.sprintf "%.2f/%.2f" s.wall_ms s.cpu_ms))
+          cells))
+
 (* --- Figure 17: varying the number of triggers --- *)
 
 let fig17 ~full =
@@ -63,31 +144,48 @@ let fig17 ~full =
   (* UNGROUPED evaluates one plan set per trigger per update; cap it so the
      sweep terminates (the paper's graph shows it diverging anyway) *)
   let ungrouped_cap = if full then 2_000 else 500 in
-  print_header "Figure 17: number of triggers vs avg time per update (ms)"
-    [ "#triggers"; "UNGROUPED"; "GROUPED"; "GROUPED-AGG" ];
+  (* GRP-interp is GROUPED with plan compilation off: every firing goes
+     through the Ra_eval interpreter, i.e. the pre-compilation engine. *)
+  let interp_tuning = { Runtime.default_tuning with Runtime.compile_plans = false } in
+  print_header_s "Figure 17: number of triggers vs avg time per update (wall/cpu ms)"
+    [ "#triggers"; "UNGROUPED"; "GROUPED"; "GROUPED-AGG"; "GRP-interp" ];
   List.iter
     (fun n ->
+      let row = string_of_int n in
+      let rec17 series s = record ~fig:"17" ~row ~series s in
       let p = { base with Workloadlib.Workload.num_triggers = n; num_satisfied = min n 20 } in
       let updates = if n > 1000 then 10 else 30 in
       let ungrouped =
-        if n <= ungrouped_cap then time_point ~updates p Runtime.Ungrouped else Float.nan
+        rec17 "UNGROUPED"
+          (if n <= ungrouped_cap then time_point ~updates p Runtime.Ungrouped
+           else nan_sample)
       in
-      let grouped = time_point ~updates p Runtime.Grouped in
-      let grouped_agg = time_point ~updates p Runtime.Grouped_agg in
-      print_row (string_of_int n) [ ungrouped; grouped; grouped_agg ])
-    counts
+      let grouped = rec17 "GROUPED" (time_point ~updates p Runtime.Grouped) in
+      let grouped_agg = rec17 "GROUPED-AGG" (time_point ~updates p Runtime.Grouped_agg) in
+      let interp =
+        rec17 "GROUPED-interp"
+          (time_point ~updates ~tuning:interp_tuning p Runtime.Grouped)
+      in
+      print_row_s row [ ungrouped; grouped; grouped_agg; interp ])
+    counts;
+  let sp = fig17_grouped_speedup () in
+  if not (Float.is_nan sp) then
+    Printf.printf "GROUPED compiled-vs-interpreted speedup (wall): %.2fx\n%!" sp
 
 (* --- Figure 18: varying the hierarchy depth --- *)
 
 let fig18 ~full =
   let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
-  print_header "Figure 18: hierarchy depth vs avg time per update (ms)"
+  print_header_s "Figure 18: hierarchy depth vs avg time per update (wall/cpu ms)"
     [ "depth"; "GROUPED"; "GROUPED-AGG" ];
   List.iter
     (fun d ->
+      let row = string_of_int d in
       let p = { base with Workloadlib.Workload.depth = d } in
-      print_row (string_of_int d)
-        [ time_point p Runtime.Grouped; time_point p Runtime.Grouped_agg ])
+      print_row_s row
+        [ record ~fig:"18" ~row ~series:"GROUPED" (time_point p Runtime.Grouped);
+          record ~fig:"18" ~row ~series:"GROUPED-AGG" (time_point p Runtime.Grouped_agg);
+        ])
     [ 2; 3; 4; 5 ]
 
 (* --- Figure 22: varying the fanout (leaf tuples per XML element) --- *)
@@ -95,13 +193,16 @@ let fig18 ~full =
 let fig22 ~full =
   let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
   let fanouts = if full then [ 16; 32; 64; 128; 256; 512; 1024 ] else [ 16; 32; 64; 128; 256 ] in
-  print_header "Figure 22: fanout vs avg time per update (ms)"
+  print_header_s "Figure 22: fanout vs avg time per update (wall/cpu ms)"
     [ "fanout"; "GROUPED"; "GROUPED-AGG" ];
   List.iter
     (fun f ->
+      let row = string_of_int f in
       let p = { base with Workloadlib.Workload.fanout = f } in
-      print_row (string_of_int f)
-        [ time_point p Runtime.Grouped; time_point p Runtime.Grouped_agg ])
+      print_row_s row
+        [ record ~fig:"22" ~row ~series:"GROUPED" (time_point p Runtime.Grouped);
+          record ~fig:"22" ~row ~series:"GROUPED-AGG" (time_point p Runtime.Grouped_agg);
+        ])
     fanouts
 
 (* --- Figure 23: varying the number of leaf tuples (database size) --- *)
@@ -115,33 +216,41 @@ let fig23 ~full =
   (* MATERIALIZED recomputes the whole view per update: keep it to sizes
      where that is bearable, to show the contrast *)
   let mat_cap = if full then 128_000 else 32_000 in
-  print_header "Figure 23: leaf tuples vs avg time per update (ms)"
+  print_header_s "Figure 23: leaf tuples vs avg time per update (wall/cpu ms)"
     [ "leaves"; "GROUPED"; "GROUPED-AGG"; "MATERIALIZED" ];
   List.iter
     (fun n ->
+      let row = string_of_int n in
       let p = { base with Workloadlib.Workload.leaf_tuples = n } in
       let mat =
-        if n <= mat_cap then
-          time_point ~updates:5
-            { p with Workloadlib.Workload.num_triggers = 1; num_satisfied = 1 }
-            Runtime.Materialized
-        else Float.nan
+        record ~fig:"23" ~row ~series:"MATERIALIZED"
+          (if n <= mat_cap then
+             time_point ~updates:5
+               { p with Workloadlib.Workload.num_triggers = 1; num_satisfied = 1 }
+               Runtime.Materialized
+           else nan_sample)
       in
-      print_row (string_of_int n)
-        [ time_point p Runtime.Grouped; time_point p Runtime.Grouped_agg; mat ])
+      print_row_s row
+        [ record ~fig:"23" ~row ~series:"GROUPED" (time_point p Runtime.Grouped);
+          record ~fig:"23" ~row ~series:"GROUPED-AGG" (time_point p Runtime.Grouped_agg);
+          mat;
+        ])
     sizes
 
 (* --- Figure 24: varying the number of satisfied triggers --- *)
 
 let fig24 ~full =
   let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
-  print_header "Figure 24: satisfied triggers vs avg time per update (ms)"
+  print_header_s "Figure 24: satisfied triggers vs avg time per update (wall/cpu ms)"
     [ "satisfied"; "GROUPED"; "GROUPED-AGG" ];
   List.iter
     (fun s ->
+      let row = string_of_int s in
       let p = { base with Workloadlib.Workload.num_satisfied = s } in
-      print_row (string_of_int s)
-        [ time_point p Runtime.Grouped; time_point p Runtime.Grouped_agg ])
+      print_row_s row
+        [ record ~fig:"24" ~row ~series:"GROUPED" (time_point p Runtime.Grouped);
+          record ~fig:"24" ~row ~series:"GROUPED-AGG" (time_point p Runtime.Grouped_agg);
+        ])
     [ 1; 20; 40; 60; 80; 100 ]
 
 (* --- §6 intro: trigger compile time --- *)
@@ -176,19 +285,23 @@ let compile_time ~full =
 let ablation ~full =
   let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
   let p = { base with Workloadlib.Workload.leaf_tuples = 8_000; num_triggers = 100 } in
-  print_header
-    "Ablation: optimizer passes (GROUPED, 8k leaves, 100 triggers; ms/update)"
+  print_header_s
+    "Ablation: optimizer passes (GROUPED, 8k leaves, 100 triggers; wall/cpu ms/update)"
     [ "variant"; "ms" ];
   List.iter
     (fun (label, tuning) ->
-      let ms = time_point ~updates:10 ~tuning p Runtime.Grouped in
-      print_row label [ ms ])
+      let s = time_point ~updates:10 ~tuning p Runtime.Grouped in
+      print_row_s label [ record ~fig:"ablation" ~row:label ~series:"GROUPED" s ])
     [ ("all-on", Runtime.default_tuning);
       ("no-sharing", { Runtime.default_tuning with Runtime.share_subplans = false });
       ( "no-pushdown",
         { Runtime.default_tuning with Runtime.push_affected_keys = false } );
-      ( "neither",
-        { Runtime.push_affected_keys = false; share_subplans = false } );
+      ("no-compile", { Runtime.default_tuning with Runtime.compile_plans = false });
+      ( "none",
+        { Runtime.push_affected_keys = false;
+          share_subplans = false;
+          compile_plans = false;
+        } );
     ]
 
 (* --- recovery_time: durability overhead is not a paper figure, but the
@@ -317,6 +430,7 @@ let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
   let bechamel = List.mem "--bechamel" args in
+  json_requested := List.mem "--json" args;
   let figs =
     match
       List.find_map
@@ -347,4 +461,5 @@ let () =
         | "recovery" -> recovery_time ~full
         | other -> Printf.printf "unknown figure %S\n" other)
       figs;
+  if !json_requested then write_json ~full "BENCH_2.json";
   Printf.printf "\n(total action dispatches across all sweeps: %d)\n" !dispatched

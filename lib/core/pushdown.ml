@@ -488,6 +488,322 @@ let rec node_fun ctx (rel : Ra_eval.rel) (tpl : template) : Value.t array -> Xva
         in
         Xval.seq (List.map snd sorted)
 
+(* --- compiled rendering ---
+
+   [compile] resolves everything name-shaped in a shredded graph once: the
+   relational plans go through {!Relkit.Ra_compile}, template column
+   references become slots, and each fragment level's parent-key restriction
+   is baked in via [push_semijoin] against a named [Rel] source bound per
+   firing — instead of rebuilding and re-optimizing the child plan on every
+   firing as [render] does. *)
+
+type cnode = {
+  (* [bind ctx parent_rows] does the per-firing work of one template level
+     (for fragments: execute the child plan restricted to the parent keys
+     and group its rows), returning the per-row tagger. *)
+  bind : Ra_eval.ctx -> Value.t array list -> Value.t array -> Xval.t;
+}
+
+type compiled = {
+  c_ra : Relkit.Ra_compile.t;
+  c_out_cols : string list;
+  c_getters : (string * [ `Slot of int | `Tpl of cnode * int array ]) list;
+}
+
+(* A fragment engine does the per-firing work below one [T_frag]: execute
+   the child plan restricted to the parent link keys and group the rendered
+   child nodes by link key.  The OLD- and NEW-node templates of one trigger
+   group — and the templates of different groups over the same view — differ
+   only in parent-side column names, so their fragments share one engine
+   (memoized on the child plan/template) and one result cache: when the
+   fragment plan reads only base tables, a bind with the same key rows and
+   the same table versions returns the previously grouped sequences. *)
+type frag_engine = {
+  fe_bind : Ra_eval.ctx -> Value.t array list -> (Value.t list, Xval.t) Hashtbl.t;
+}
+
+type frag_memo = (Ra.t * template * string list * string list, frag_engine) Hashtbl.t
+
+let create_frag_memo () : frag_memo = Hashtbl.create 8
+
+(* [Some (bases, trans)]: the fragment plan reads the current contents of
+   base tables [bases] and the firing's transition data for tables [trans]
+   — its result is reusable while those stay equal.  [None]: the plan reads
+   a [Rel] binding and is never cached (our own fragkeys [Rel] is bound
+   outside the plan, so it does not appear here). *)
+let rec frag_deps (plan : Ra.t) : (string list * string list) option =
+  let both a b =
+    match a, b with
+    | Some (x1, y1), Some (x2, y2) -> Some (x1 @ x2, y1 @ y2)
+    | _ -> None
+  in
+  match plan with
+  | Ra.Scan (Ra.Base t, _) -> Some ([ t ], [])
+  | Ra.Scan ((Ra.Delta t | Ra.Nabla t), _) -> Some ([], [ t ])
+  | Ra.Scan (Ra.Old_of t, _) -> Some ([ t ], [ t ])
+  | Ra.Scan (Ra.Rel _, _) -> None
+  | Ra.Values _ -> Some ([], [])
+  | Ra.Select (_, i) | Ra.Project (_, i) | Ra.Distinct i
+  | Ra.Order_by (_, i) | Ra.Group_by (_, _, i) | Ra.Shared (_, i) ->
+    frag_deps i
+  | Ra.Join (_, _, l, r) -> both (frag_deps l) (frag_deps r)
+  | Ra.Union { inputs; _ } ->
+    List.fold_left (fun acc i -> both acc (frag_deps i)) (Some ([], [])) inputs
+
+let fragkeys_name =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "fragkeys$%d" !n
+
+let col_slot cols c =
+  let n = Array.length cols in
+  let rec go i =
+    if i >= n then raise Not_found else if cols.(i) = c then i else go (i + 1)
+  in
+  go 0
+
+(* Dedup key rows structurally: link keys come out of an equi-join, so the
+   matching values are identical and polymorphic equality is exact. *)
+let distinct_key_rows rows =
+  match rows with
+  | [] | [ _ ] -> rows
+  | _ ->
+    let seen : (Value.t array, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.filter
+      (fun row ->
+        if Hashtbl.mem seen row then false
+        else begin
+          Hashtbl.add seen row ();
+          true
+        end)
+      rows
+
+let rec compile_template ?counters ~memo db cols (tpl : template) : cnode =
+  match tpl with
+  | T_atom (A_const v) ->
+    let f _ = Xval.atom v in
+    { bind = (fun _ _ -> f) }
+  | T_atom (A_col c) ->
+    let i = col_slot cols c in
+    let f row = Xval.atom row.(i) in
+    { bind = (fun _ _ -> f) }
+  | T_elem { tag; attrs; content } ->
+    let attr_fs =
+      List.map
+        (fun (k, a) ->
+          match a with
+          | A_const v -> (k, fun (_ : Value.t array) -> v)
+          | A_col c ->
+            let i = col_slot cols c in
+            (k, fun row -> row.(i)))
+        attrs
+    in
+    let content_cs = List.map (compile_template ?counters ~memo db cols) content in
+    { bind =
+        (fun ctx parent_rows ->
+          let content_fs = List.map (fun c -> c.bind ctx parent_rows) content_cs in
+          fun row ->
+            let attrs =
+              List.filter_map
+                (fun (k, f) ->
+                  match f row with
+                  | Value.Null -> None
+                  | v -> Some (k, Value.to_string v))
+                attr_fs
+            in
+            let children =
+              List.concat_map (fun f -> Xval.to_nodes (f row)) content_fs
+            in
+            Xval.node (Xml.elem ~attrs tag children));
+    }
+  | T_frag f ->
+    let parent_slots = List.map (fun (p, _) -> col_slot cols p) f.f_link in
+    let parent_slots_arr = Array.of_list parent_slots in
+    let engine = frag_engine_of ?counters ~memo db f in
+    { bind =
+        (fun ctx parent_rows ->
+          let key_rows =
+            distinct_key_rows
+              (List.map
+                 (fun row -> Array.map (fun i -> row.(i)) parent_slots_arr)
+                 parent_rows)
+          in
+          if key_rows = [] then fun _ -> Xval.Seq []
+          else begin
+            let seqs = engine.fe_bind ctx key_rows in
+            fun row ->
+              let link = List.map (fun i -> row.(i)) parent_slots in
+              match Hashtbl.find_opt seqs link with
+              | None -> Xval.Seq []
+              | Some v -> v
+          end);
+    }
+
+(* Engine construction happens once per distinct (plan, template, link,
+   order); the parent-side link column names are deliberately NOT part of
+   the key — key rows arrive already extracted, so OLD_/NEW_-prefixed
+   parents reuse the same engine. *)
+and frag_engine_of ?counters ~memo db (f : frag) : frag_engine =
+  let mkey = (f.f_plan, f.f_template, List.map snd f.f_link, f.f_order) in
+  match Hashtbl.find_opt memo mkey with
+  | Some e -> e
+  | None ->
+    let key_cols = List.map (fun (_, c) -> "lk$" ^ c) f.f_link in
+    let rel_name = fragkeys_name () in
+    let keys_plan =
+      Ra.Scan (Ra.Rel rel_name, List.map (fun kc -> (kc, kc)) key_cols)
+    in
+    let restricted =
+      Ra_opt.push_semijoin ~keys:keys_plan
+        ~on:(List.map2 (fun (_, c) kc -> (c, kc)) f.f_link key_cols)
+        f.f_plan
+    in
+    let child_ra = Relkit.Ra_compile.compile ?counters db restricted in
+    let child_cols = Array.of_list (Relkit.Ra_compile.cols child_ra) in
+    let child_tpl = compile_template ?counters ~memo db child_cols f.f_template in
+    let child_link_slots = List.map (fun (_, c) -> col_slot child_cols c) f.f_link in
+    let order_slots = List.map (col_slot child_cols) f.f_order in
+    let key_cols_arr = Array.of_list key_cols in
+    let run ctx key_rows =
+      let ctx' =
+        { ctx with
+          Ra_eval.rels =
+            (rel_name, { Ra_eval.cols = key_cols_arr; rows = key_rows })
+            :: ctx.Ra_eval.rels;
+        }
+      in
+      let child_rel = Relkit.Ra_compile.exec child_ra ctx' in
+      let child_node = child_tpl.bind ctx child_rel.Ra_eval.rows in
+      let groups : (Value.t list, (Value.t list * Xval.t) list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun row ->
+          let link = List.map (fun i -> row.(i)) child_link_slots in
+          let okey = List.map (fun i -> row.(i)) order_slots in
+          let node = child_node row in
+          match Hashtbl.find_opt groups link with
+          | Some cell -> cell := (okey, node) :: !cell
+          | None -> Hashtbl.add groups link (ref [ (okey, node) ]))
+        child_rel.Ra_eval.rows;
+      (* Sort each group once and share the sequence: several parent
+         rows (one per satisfied trigger) reference the same group. *)
+      let seqs : (Value.t list, Xval.t) Hashtbl.t =
+        Hashtbl.create (Hashtbl.length groups)
+      in
+      Hashtbl.iter
+        (fun link cell ->
+          let sorted =
+            List.sort
+              (fun (a, _) (b, _) -> List.compare Value.compare a b)
+              (List.rev !cell)
+          in
+          Hashtbl.replace seqs link (Xval.seq (List.map snd sorted)))
+        groups;
+      seqs
+    in
+    let deps = frag_deps f.f_plan in
+    let cache = ref None in
+    let fe_bind ctx key_rows =
+      match deps with
+      | None -> run ctx key_rows
+      | Some (base_tables, trans_tables) ->
+        let versions =
+          List.map
+            (fun tn -> Relkit.Table.version (Relkit.Database.get_table db tn))
+            base_tables
+        in
+        (* Transition deltas are a handful of rows per firing; comparing
+           them structurally lets OLD-side fragments (whose inverted plans
+           read pre-update state) share results across the getters and
+           groups fired by one update. *)
+        let trans =
+          List.map (fun tn -> List.assoc_opt tn ctx.Ra_eval.trans) trans_tables
+        in
+        (match !cache with
+        | Some (kr, vs, tr, seqs)
+          when vs = versions && tr = trans
+               && List.equal (fun a b -> a = b) kr key_rows ->
+          seqs
+        | _ ->
+          let seqs = run ctx key_rows in
+          cache := Some (key_rows, versions, trans, seqs);
+          seqs)
+    in
+    let e = { fe_bind } in
+    Hashtbl.add memo mkey e;
+    e
+
+(* Slots of the parent row a template's per-row tagger actually reads:
+   attribute and atom columns plus fragment link columns.  Rows that agree
+   on these slots produce the same node, so taggers memoize on them. *)
+let rec template_slots cols acc = function
+  | T_atom (A_const _) -> acc
+  | T_atom (A_col c) -> col_slot cols c :: acc
+  | T_elem { attrs; content; _ } ->
+    let acc =
+      List.fold_left
+        (fun acc (_, a) ->
+          match a with
+          | A_const _ -> acc
+          | A_col c -> col_slot cols c :: acc)
+        acc attrs
+    in
+    List.fold_left (template_slots cols) acc content
+  | T_frag f ->
+    List.fold_left (fun acc (p, _) -> col_slot cols p :: acc) acc f.f_link
+
+let compile ?counters ?frag_memo db (t : t) : compiled =
+  let memo =
+    match frag_memo with Some m -> m | None -> create_frag_memo ()
+  in
+  let ra = Relkit.Ra_compile.compile ?counters db t.plan in
+  let cols_arr = Array.of_list (Relkit.Ra_compile.cols ra) in
+  let getters =
+    List.map
+      (fun c ->
+        match List.assoc_opt c t.xml with
+        | Some tpl ->
+          let slots =
+            Array.of_list (List.sort_uniq compare (template_slots cols_arr [] tpl))
+          in
+          (c, `Tpl (compile_template ?counters ~memo db cols_arr tpl, slots))
+        | None -> (c, `Slot (col_slot cols_arr c)))
+      t.out_cols
+  in
+  { c_ra = ra; c_out_cols = t.out_cols; c_getters = getters }
+
+let render_compiled ?cols (c : compiled) ctx : Eval.xrel =
+  let wanted = match cols with Some cs -> cs | None -> c.c_out_cols in
+  let rel = Relkit.Ra_compile.exec c.c_ra ctx in
+  let getters =
+    List.map
+      (fun name ->
+        match List.assoc name c.c_getters with
+        | `Slot i -> fun row -> Xval.atom row.(i)
+        | `Tpl (node, slots) ->
+          let tag = node.bind ctx rel.Ra_eval.rows in
+          (* Rows agreeing on the template's slots (e.g. the same view node
+             matched by many triggers) share one physically equal value. *)
+          let memo : (Value.t array, Xval.t) Hashtbl.t = Hashtbl.create 8 in
+          fun row ->
+            let key = Array.map (fun i -> row.(i)) slots in
+            (match Hashtbl.find_opt memo key with
+            | Some v -> v
+            | None ->
+              let v = tag row in
+              Hashtbl.add memo key v;
+              v))
+      wanted
+  in
+  { Eval.cols = Array.of_list wanted;
+    rows =
+      List.map
+        (fun row -> Array.of_list (List.map (fun g -> g row) getters))
+        rel.Ra_eval.rows;
+  }
+
 let render ?cols ctx (t : t) : Eval.xrel =
   let wanted = match cols with Some cs -> cs | None -> t.out_cols in
   let rel = Ra_eval.eval ctx t.plan in

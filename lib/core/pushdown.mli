@@ -61,6 +61,36 @@ val invert_old_aggregates : table:string -> t -> t
 (** Evaluates; [cols] defaults to all output columns. *)
 val render : ?cols:string list -> Relkit.Ra_eval.ctx -> t -> Xqgm.Eval.xrel
 
+(** A shredded graph compiled once against a database: plans go through
+    {!Relkit.Ra_compile}, template column references become slots, and each
+    fragment level's parent-key semijoin restriction is planned at compile
+    time (parameterized by a per-firing key binding) instead of being
+    rebuilt and re-optimized on every firing. *)
+type compiled
+
+(** Shared fragment-engine memo: templates whose fragments have the same
+    child plan/template (the OLD- and NEW-node sides of one trigger group,
+    or several groups over the same view) share the per-fragment child
+    executor and its version-keyed result cache.  Pass the same memo to
+    every [compile] over one database to enable cross-template sharing. *)
+type frag_memo
+
+val create_frag_memo : unit -> frag_memo
+
+(** @raise Not_found / Invalid_argument when the plans or templates do not
+    resolve against the database catalog; callers fall back to [render]. *)
+val compile :
+  ?counters:Relkit.Ra_compile.counters ->
+  ?frag_memo:frag_memo ->
+  Relkit.Database.t ->
+  t ->
+  compiled
+
+(** Per-firing execution; produces exactly what [render] produces on the
+    same context.  [cols] defaults to all output columns. *)
+val render_compiled :
+  ?cols:string list -> compiled -> Relkit.Ra_eval.ctx -> Xqgm.Eval.xrel
+
 (** The printable single-query form (shared subplans as WITH clauses), for
     the generated SQL trigger text. *)
 val to_sql : t -> string

@@ -35,6 +35,10 @@ type stats = {
   mutable sql_firings : int;
   mutable rows_computed : int;
   mutable actions_dispatched : int;
+  mutable plans_compiled : int;
+  mutable compiled_execs : int;
+  mutable build_cache_hits : int;
+  mutable build_cache_misses : int;
 }
 
 exception Error of string
@@ -44,15 +48,21 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
 type tuning = {
   push_affected_keys : bool;
   share_subplans : bool;
+  compile_plans : bool;
 }
 
-let default_tuning = { push_affected_keys = true; share_subplans = true }
+let default_tuning =
+  { push_affected_keys = true; share_subplans = true; compile_plans = true }
 
 (* --- execution plan per (group, table): pushed-down or middleware --- *)
 
 type table_plan = {
   tp_table : string;
   tp_shred : Pushdown.t option;  (* None: middleware evaluation *)
+  tp_exec : Pushdown.compiled option;
+      (* plans compiled once per group against the database; None when
+         compilation is disabled, failed, or the graph is not pushable —
+         the interpreted [tp_shred] path is the fallback *)
   tp_graph : Op.t;  (* the affected-node graph, for middleware / display *)
   tp_rel_events : Database.event list;
   tp_relevant_cols : string list;  (* UPDATE transition pruning *)
@@ -95,6 +105,11 @@ and t = {
   (* Materialized baseline: one snapshot per (view, path) *)
   mutable snapshots : (string * (string * Xml.t) list ref) list;
   counters : stats;
+  ra_counters : Relkit.Ra_compile.counters;
+  frag_memo : Pushdown.frag_memo;
+      (* fragment engines shared across all compiled trigger groups *)
+  scan_stats : Ra_eval.scan_stats;
+      (* per-manager scan accounting, shared by all firing contexts *)
   mutable next_group : int;
   template_cache : (string, template_plans) Hashtbl.t;
   (* logical DDL in creation order (newest first): view definitions and XML
@@ -124,7 +139,18 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
     groups = [];
     trigger_index = [];
     snapshots = [];
-    counters = { sql_firings = 0; rows_computed = 0; actions_dispatched = 0 };
+    counters =
+      { sql_firings = 0;
+        rows_computed = 0;
+        actions_dispatched = 0;
+        plans_compiled = 0;
+        compiled_execs = 0;
+        build_cache_hits = 0;
+        build_cache_misses = 0;
+      };
+    ra_counters = Relkit.Ra_compile.create_counters ();
+    frag_memo = Pushdown.create_frag_memo ();
+    scan_stats = Ra_eval.create_scan_stats ();
     next_group = 0;
     template_cache = Hashtbl.create 16;
     ddl_log = [];
@@ -156,12 +182,34 @@ let current_meta t =
 
 let database t = t.db
 let strategy t = t.strat
-let stats t = t.counters
+
+let stats t =
+  (* the execution-layer counters live in the Ra_compile record shared by
+     all compiled plans of this manager; mirror them on read *)
+  t.counters.plans_compiled <- t.ra_counters.Relkit.Ra_compile.plans_compiled;
+  t.counters.compiled_execs <- t.ra_counters.Relkit.Ra_compile.compiled_execs;
+  t.counters.build_cache_hits <- t.ra_counters.Relkit.Ra_compile.build_cache_hits;
+  t.counters.build_cache_misses <- t.ra_counters.Relkit.Ra_compile.build_cache_misses;
+  t.counters
 
 let reset_stats t =
   t.counters.sql_firings <- 0;
   t.counters.rows_computed <- 0;
-  t.counters.actions_dispatched <- 0
+  t.counters.actions_dispatched <- 0;
+  t.counters.plans_compiled <- 0;
+  t.counters.compiled_execs <- 0;
+  t.counters.build_cache_hits <- 0;
+  t.counters.build_cache_misses <- 0;
+  t.ra_counters.Relkit.Ra_compile.plans_compiled <- 0;
+  t.ra_counters.Relkit.Ra_compile.compiled_execs <- 0;
+  t.ra_counters.Relkit.Ra_compile.build_cache_hits <- 0;
+  t.ra_counters.Relkit.Ra_compile.build_cache_misses <- 0
+
+(* Scan accounting over all plan executions of this manager (interpreted
+   and compiled), per source; tests assert no-full-scan properties here. *)
+let reset_scan_rows t = Ra_eval.reset_scan_stats t.scan_stats
+let scan_rows_total t = Ra_eval.scan_stats_total t.scan_stats
+let scan_rows_report t = Ra_eval.scan_stats_report t.scan_stats
 
 let schema_of t name =
   match Database.find_table t.db name with
@@ -398,7 +446,7 @@ let install_sql_triggers t group =
       let relevant_slots = List.map (Schema.col_index schema) tp.tp_relevant_cols in
       let body tc =
         t.counters.sql_firings <- t.counters.sql_firings + 1;
-        let ctx = Ra_eval.ctx_of_trigger tc in
+        let ctx = Ra_eval.ctx_of_trigger ~stats:t.scan_stats tc in
         let ctx =
           if tc.Database.event = Database.Update then
             prune_ctx ctx ~table:tp.tp_table ~pk_slots ~relevant_slots
@@ -416,9 +464,10 @@ let install_sql_triggers t group =
             @ if !(group.g_needs_new) || group.g_node_compare then [ "new_node" ] else []
           in
           let rel =
-            match tp.tp_shred with
-            | Some shred -> Pushdown.render ~cols ctx shred
-            | None ->
+            match tp.tp_exec, tp.tp_shred with
+            | Some comp, _ -> Pushdown.render_compiled ~cols comp ctx
+            | None, Some shred -> Pushdown.render ~cols ctx shred
+            | None, None ->
               let full = Eval.eval ctx tp.tp_graph in
               let slots = List.map (Eval.col_index full) cols in
               { Eval.cols = Array.of_list cols;
@@ -433,6 +482,10 @@ let install_sql_triggers t group =
           let ti = idx "trig_ids" in
           let oi = if List.mem "old_node" cols then Some (idx "old_node") else None in
           let ni = if List.mem "new_node" cols then Some (idx "new_node") else None in
+          (* Consecutive rows usually carry the same (old, new) nodes — one
+             view node matched by many triggers — and the compiled getters
+             share them physically, so remember the last verdict. *)
+          let last_cmp = ref None in
           List.iter
             (fun row ->
               let old_node = Option.bind oi (fun i -> decode_node row.(i)) in
@@ -441,7 +494,13 @@ let install_sql_triggers t group =
                 group.g_node_compare
                 &&
                 match old_node, new_node with
-                | Some a, Some b -> Xml.equal a b
+                | Some a, Some b -> (
+                  match !last_cmp with
+                  | Some (a', b', verdict) when a' == a && b' == b -> verdict
+                  | _ ->
+                    let verdict = Xml.equal a b in
+                    last_cmp := Some (a, b, verdict);
+                    verdict)
                 | _ -> false
               in
               if not spurious then
@@ -613,11 +672,22 @@ let build_template t ~monitored ~event ~cond_rel ~nested ~n_consts =
   in
   { tmpl_key = monitored.Compose.m_key; tmpl_node_compare = !node_compare; tmpl_plans = plans }
 
-let instantiate_template tmpl ~consts_table =
+(* Instantiation compiles each pushed-down plan once against the database
+   (the group's constants table and its indexes already exist at this
+   point, so probe strategies can resolve against them).  A compilation
+   failure degrades to the interpreted path, never to an error. *)
+let instantiate_template t tmpl ~consts_table =
   List.map
     (fun (table, shred, graph, rel_events, relevant) ->
       let shred = Option.map (rename_shred ~from:consts_template ~to_:consts_table) shred in
       let graph = rename_op_table ~from:consts_template ~to_:consts_table graph in
+      let exec =
+        if not t.tuning.compile_plans then None
+        else
+          Option.bind shred (fun s ->
+              try Some (Pushdown.compile ~counters:t.ra_counters ~frag_memo:t.frag_memo t.db s)
+              with _ -> None)
+      in
       let sql =
         lazy
           (match shred with
@@ -627,6 +697,7 @@ let instantiate_template tmpl ~consts_table =
       in
       { tp_table = table;
         tp_shred = shred;
+        tp_exec = exec;
         tp_graph = graph;
         tp_rel_events = rel_events;
         tp_relevant_cols = relevant;
@@ -672,7 +743,7 @@ let add_member_constants t group ~consts ~trig_name =
 let snapshot_key view_name path_text = view_name ^ "#" ^ path_text
 
 let level_snapshot t (m : Compose.monitored) =
-  let rel = Eval.eval (Ra_eval.ctx_of_db t.db) m.Compose.m_op in
+  let rel = Eval.eval (Ra_eval.ctx_of_db ~stats:t.scan_stats t.db) m.Compose.m_op in
   let kslots = List.map (Eval.col_index rel) m.Compose.m_key in
   let nslot = Eval.col_index rel m.Compose.m_node_col in
   List.map
@@ -926,7 +997,7 @@ let create_trigger_internal t text =
         t.next_group <- gid + 1;
         let consts_table = Printf.sprintf "trigconsts%d" gid in
         create_consts_table t ~name:consts_table ~consts;
-        let plans = instantiate_template tmpl ~consts_table in
+        let plans = instantiate_template t tmpl ~consts_table in
         let g =
           { g_id = gid;
             g_signature = group_sig;
@@ -1097,7 +1168,7 @@ let view_nodes t ~path =
     try Compose.compose_path view path
     with Compose.Compose_error msg -> fail "%s" msg
   in
-  let rel = Eval.eval (Ra_eval.ctx_of_db t.db) m.Compose.m_op in
+  let rel = Eval.eval (Ra_eval.ctx_of_db ~stats:t.scan_stats t.db) m.Compose.m_op in
   let slot = Eval.col_index rel m.Compose.m_node_col in
   List.filter_map
     (fun row -> match row.(slot) with Xval.Node n -> Some n | _ -> None)

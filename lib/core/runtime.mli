@@ -38,6 +38,12 @@ type stats = {
   mutable sql_firings : int;  (** SQL trigger activations *)
   mutable rows_computed : int;  (** (OLD, NEW) pairs produced by the plans *)
   mutable actions_dispatched : int;
+  mutable plans_compiled : int;
+      (** {!Relkit.Ra_compile} plans built (one-time, at trigger creation) *)
+  mutable compiled_execs : int;  (** executions through compiled plans *)
+  mutable build_cache_hits : int;
+      (** hash-join build sides reused across firings (version check passed) *)
+  mutable build_cache_misses : int;  (** build sides (re)materialized *)
 }
 
 type t
@@ -45,12 +51,16 @@ type t
 exception Error of string
 
 (** Optimizer-pass toggles, for ablation studies (bench target
-    [ablation]).  Both default to on; turning either off is always
+    [ablation]).  All default to on; turning any off is always
     semantics-preserving, only slower. *)
 type tuning = {
   push_affected_keys : bool;
       (** semijoin-restrict plans by the affected keys (§5.2 pushdown) *)
   share_subplans : bool;  (** common-subplan sharing (the WITH clauses) *)
+  compile_plans : bool;
+      (** compile trigger-group plans once with {!Relkit.Ra_compile} and
+          execute firings through the compiled form; off = interpret every
+          firing with {!Relkit.Ra_eval} *)
 }
 
 val default_tuning : tuning
@@ -82,6 +92,14 @@ val generated_sql : t -> (string * string) list
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** Scan accounting over all plan executions of this manager (interpreted
+    and compiled), per source ("scan:T", "delta:T", ...).  Each manager owns
+    its accumulator, so concurrent managers do not interfere. *)
+val reset_scan_rows : t -> unit
+
+val scan_rows_total : t -> int
+val scan_rows_report : t -> (string * int) list
 
 (** Materializes the nodes a trigger path selects (used by
     {!Maintain} for initial population, and handy for debugging).

@@ -90,6 +90,13 @@ let create_table t schema =
 
 let find_table t name = Hashtbl.find_opt t.tables name
 
+(* Content version of a table (0 when absent).  Bumped by Table on every
+   mutation reaching storage, whether or not the change hook is paused. *)
+let table_version t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> Table.version tbl
+  | None -> 0
+
 let get_table t name =
   match find_table t name with
   | Some tbl -> tbl

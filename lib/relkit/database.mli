@@ -76,6 +76,12 @@ val get_table : t -> string -> Table.t
 val find_table : t -> string -> Table.t option
 val table_names : t -> string list
 
+(** Content-version counter of a table (0 if the table does not exist);
+    delegates to {!Table.version}.  Compiled plans ({!Ra_compile}) compare
+    versions to decide whether a cached hash-join build side is still
+    valid. *)
+val table_version : t -> string -> int
+
 (** Secondary index management (delegates to {!Table}). *)
 val create_index : t -> table:string -> column:string -> unit
 

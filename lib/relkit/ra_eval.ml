@@ -3,22 +3,50 @@ type rel = {
   rows : Value.t array list;
 }
 
+(* Debug / test accounting: rows materialized by full source scans, keyed by
+   source description.  Owned by the evaluation context (each manager keeps
+   its own accumulator), so concurrent managers cannot corrupt each other's
+   counters.  Cheap enough to keep always-on; tests use it to assert that
+   affected-key pushdown avoids full scans. *)
+type scan_stats = (string, int) Hashtbl.t
+
+let create_scan_stats () : scan_stats = Hashtbl.create 16
+
+let count_scan (stats : scan_stats) name n =
+  Hashtbl.replace stats name (n + Option.value ~default:0 (Hashtbl.find_opt stats name))
+
+let reset_scan_stats (stats : scan_stats) = Hashtbl.reset stats
+
+let scan_stats_total (stats : scan_stats) = Hashtbl.fold (fun _ n acc -> acc + n) stats 0
+
+let scan_stats_report (stats : scan_stats) =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) stats []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
 type ctx = {
   db : Database.t;
   trans : (string * (Value.t array list * Value.t array list)) list;
   rels : (string * rel) list;
   shared_memo : (int, rel) Hashtbl.t;
       (* caches Shared subplans across eval calls within one firing *)
+  scan_stats : scan_stats;
 }
 
-let ctx_of_trigger (tc : Database.trigger_ctx) =
+let ctx_of_trigger ?stats (tc : Database.trigger_ctx) =
   { db = tc.Database.db;
     trans = [ (tc.Database.target, (tc.Database.inserted, tc.Database.deleted)) ];
     rels = [];
     shared_memo = Hashtbl.create 8;
+    scan_stats = (match stats with Some s -> s | None -> create_scan_stats ());
   }
 
-let ctx_of_db db = { db; trans = []; rels = []; shared_memo = Hashtbl.create 8 }
+let ctx_of_db ?stats db =
+  { db;
+    trans = [];
+    rels = [];
+    shared_memo = Hashtbl.create 8;
+    scan_stats = (match stats with Some s -> s | None -> create_scan_stats ());
+  }
 
 let col_index rel name =
   let n = Array.length rel.cols in
@@ -158,26 +186,10 @@ let old_rows ctx table =
 
 let transitions = trans_for
 
-(* Debug / test accounting: rows materialized by full source scans, keyed by
-   source description.  Cheap enough to keep always-on; tests use it to
-   assert that affected-key pushdown avoids full scans. *)
-let scan_rows : (string, int) Hashtbl.t = Hashtbl.create 16
-
-let count_scan name n =
-  Hashtbl.replace scan_rows name (n + Option.value ~default:0 (Hashtbl.find_opt scan_rows name))
-
-let reset_scan_rows () = Hashtbl.reset scan_rows
-
-let scan_rows_total () = Hashtbl.fold (fun _ n acc -> acc + n) scan_rows 0
-
-let scan_rows_report () =
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) scan_rows []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
-
 let source_rel ctx (src : Ra.source) : rel =
   let of_table table rows =
     let schema = Table.schema (Database.get_table ctx.db table) in
-    count_scan
+    count_scan ctx.scan_stats
       (match src with
       | Ra.Base t -> "scan:" ^ t
       | Ra.Delta t -> "delta:" ^ t
@@ -206,80 +218,87 @@ let apply_renames rel renames =
     rows = List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idx)) rel.rows;
   }
 
-(* --- predicate decomposition for joins --- *)
+(* --- join planning: predicate decomposition and probe recognition ---
 
-let rec conjuncts = function
-  | Ra.Binop (Ra.And, a, b) -> conjuncts a @ conjuncts b
-  | Ra.Const (Value.Bool true) -> []
-  | e -> [ e ]
+   Shared between this interpreter and the compiled executor ({!Ra_compile}),
+   which makes the same physical decisions once at compile time. *)
 
-type join_split = {
-  equi : (string * string) list;  (* (left col, right col) *)
-  residual : Ra.expr list;
-}
+module Planner = struct
+  let rec conjuncts = function
+    | Ra.Binop (Ra.And, a, b) -> conjuncts a @ conjuncts b
+    | Ra.Const (Value.Bool true) -> []
+    | e -> [ e ]
 
-let split_join_pred ~left_cols ~right_cols pred =
-  let in_left c = List.mem c left_cols and in_right c = List.mem c right_cols in
-  List.fold_left
-    (fun acc e ->
-      match e with
-      | Ra.Binop (Ra.Eq, Ra.Col a, Ra.Col b) when in_left a && in_right b ->
-        { acc with equi = (a, b) :: acc.equi }
-      | Ra.Binop (Ra.Eq, Ra.Col a, Ra.Col b) when in_right a && in_left b ->
-        { acc with equi = (b, a) :: acc.equi }
-      | e -> { acc with residual = e :: acc.residual })
-    { equi = []; residual = [] } (conjuncts pred)
+  type join_split = {
+    equi : (string * string) list;  (* (left col, right col) *)
+    residual : Ra.expr list;
+  }
 
-(* --- probing plans: recognize (Select? (Scan (Base|Old_of))) --- *)
+  let split_join_pred ~left_cols ~right_cols pred =
+    let in_left c = List.mem c left_cols and in_right c = List.mem c right_cols in
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Ra.Binop (Ra.Eq, Ra.Col a, Ra.Col b) when in_left a && in_right b ->
+          { acc with equi = (a, b) :: acc.equi }
+        | Ra.Binop (Ra.Eq, Ra.Col a, Ra.Col b) when in_right a && in_left b ->
+          { acc with equi = (b, a) :: acc.equi }
+        | e -> { acc with residual = e :: acc.residual })
+      { equi = []; residual = [] } (conjuncts pred)
 
-type probe_side = {
-  p_table : string;
-  p_old : bool;
-  p_renames : (string * string) list;  (* source col -> output col *)
-  p_filter : Ra.expr option;  (* over output columns *)
-}
+  (* probing plans: recognize (Select? (Scan (Base|Old_of))) *)
 
-let as_probe_side = function
-  | Ra.Scan (Ra.Base t, renames) ->
-    Some { p_table = t; p_old = false; p_renames = renames; p_filter = None }
-  | Ra.Scan (Ra.Old_of t, renames) ->
-    Some { p_table = t; p_old = true; p_renames = renames; p_filter = None }
-  | Ra.Select (p, Ra.Scan (Ra.Base t, renames)) ->
-    Some { p_table = t; p_old = false; p_renames = renames; p_filter = Some p }
-  | Ra.Select (p, Ra.Scan (Ra.Old_of t, renames)) ->
-    Some { p_table = t; p_old = true; p_renames = renames; p_filter = Some p }
-  | _ -> None
+  type probe_side = {
+    p_table : string;
+    p_old : bool;
+    p_renames : (string * string) list;  (* source col -> output col *)
+    p_filter : Ra.expr option;  (* over output columns *)
+  }
 
-(* Given equi pairs (outer col, inner output col), pick a probe strategy:
-   - full PK coverage: keyed lookup
-   - a single indexed column: index lookup, remaining equi pairs as filters *)
-type probe_strategy =
-  | Probe_pk of (string * string) list  (* (outer col, pk source col) in PK order *)
-  | Probe_index of string * string  (* (outer col, indexed source col) *)
+  let as_probe_side = function
+    | Ra.Scan (Ra.Base t, renames) ->
+      Some { p_table = t; p_old = false; p_renames = renames; p_filter = None }
+    | Ra.Scan (Ra.Old_of t, renames) ->
+      Some { p_table = t; p_old = true; p_renames = renames; p_filter = None }
+    | Ra.Select (p, Ra.Scan (Ra.Base t, renames)) ->
+      Some { p_table = t; p_old = false; p_renames = renames; p_filter = Some p }
+    | Ra.Select (p, Ra.Scan (Ra.Old_of t, renames)) ->
+      Some { p_table = t; p_old = true; p_renames = renames; p_filter = Some p }
+    | _ -> None
 
-let probe_strategy tbl side equi =
-  let schema = Table.schema tbl in
-  let source_of output =
-    List.find_map (fun (s, o) -> if o = output then Some s else None) side.p_renames
-  in
-  let equi_src =
-    List.filter_map
-      (fun (outer, inner) ->
-        match source_of inner with Some s -> Some (outer, s) | None -> None)
-      equi
-  in
-  let pk = schema.Schema.primary_key in
-  let pk_pairs =
-    List.map (fun k -> (List.assoc_opt k (List.map (fun (o, s) -> (s, o)) equi_src), k)) pk
-  in
-  if pk <> [] && List.for_all (fun (o, _) -> o <> None) pk_pairs then
-    Some (Probe_pk (List.map (fun (o, k) -> (Option.get o, k)) pk_pairs))
-  else
-    match
-      List.find_opt (fun (_, s) -> Table.has_index tbl s) equi_src
-    with
-    | Some (outer, s) -> Some (Probe_index (outer, s))
-    | None -> None
+  (* Given equi pairs (outer col, inner output col), pick a probe strategy:
+     - full PK coverage: keyed lookup
+     - a single indexed column: index lookup, remaining equi pairs as filters *)
+  type probe_strategy =
+    | Probe_pk of (string * string) list  (* (outer col, pk source col) in PK order *)
+    | Probe_index of string * string  (* (outer col, indexed source col) *)
+
+  let probe_strategy tbl side equi =
+    let schema = Table.schema tbl in
+    let source_of output =
+      List.find_map (fun (s, o) -> if o = output then Some s else None) side.p_renames
+    in
+    let equi_src =
+      List.filter_map
+        (fun (outer, inner) ->
+          match source_of inner with Some s -> Some (outer, s) | None -> None)
+        equi
+    in
+    let pk = schema.Schema.primary_key in
+    let pk_pairs =
+      List.map (fun k -> (List.assoc_opt k (List.map (fun (o, s) -> (s, o)) equi_src), k)) pk
+    in
+    if pk <> [] && List.for_all (fun (o, _) -> o <> None) pk_pairs then
+      Some (Probe_pk (List.map (fun (o, k) -> (Option.get o, k)) pk_pairs))
+    else
+      match
+        List.find_opt (fun (_, s) -> Table.has_index tbl s) equi_src
+      with
+      | Some (outer, s) -> Some (Probe_index (outer, s))
+      | None -> None
+end
+
+open Planner
 
 (* --- evaluation --- *)
 

@@ -10,14 +10,12 @@ let rec push_semijoin_internal ~keys ~on plan =
   let root_attach = ref false in
   let root = plan in
   let prefix = fresh_sj () in
-  let key_cols = Ra.columns keys in
   let keys =
     (* project the needed key columns under fresh names, deduplicated *)
     Ra.Distinct
       (Ra.Project
          (List.map (fun (_, kc) -> (prefix ^ kc, Ra.Col kc)) on, keys))
   in
-  ignore key_cols;
   let attach on node =
     if node == root then root_attach := true;
     let pred = Ra.conj (List.map (fun (pc, kc) -> Ra.Binop (Ra.Eq, Ra.Col (prefix ^ kc), Ra.Col pc)) on) in

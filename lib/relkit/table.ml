@@ -24,11 +24,28 @@ type t = {
   schema : Schema.t;
   rows : Value.t array Pk_table.t;
   mutable indexes : (string * int * index) list;  (* (column, slot, index) *)
+  mutable version : int;
+      (* bumped on every content mutation; cached plan artifacts (compiled
+         hash-join build sides) are invalidated by comparing versions *)
+  lookup_cache : (string * Value.t, Value.t array list) Hashtbl.t;
+  mutable lookup_cache_version : int;
+      (* [lookup] result rows, valid for exactly one version: one trigger
+         firing probes the same (column, value) several times — old and new
+         sides, count subqueries, fragment plans — and mutations reset it *)
 }
 
-let create schema = { schema; rows = Pk_table.create 64; indexes = [] }
+let create schema =
+  { schema;
+    rows = Pk_table.create 64;
+    indexes = [];
+    version = 0;
+    lookup_cache = Hashtbl.create 64;
+    lookup_cache_version = -1;
+  }
 let schema t = t.schema
 let row_count t = Pk_table.length t.rows
+let version t = t.version
+let bump t = t.version <- t.version + 1
 
 let pk_of t row = Schema.pk_of_row t.schema row
 
@@ -81,6 +98,24 @@ let lookup t ~column v =
       (fun _ row acc -> if Value.equal row.(slot) v then row :: acc else acc)
       t.rows []
 
+(* Memoized probe for the compiled executor: one trigger firing probes the
+   same (column, value) several times — old and new sides, count subqueries,
+   fragment plans.  Valid for exactly one version; any mutation resets it.
+   The interpreter keeps the plain [lookup] so it stays a faithful
+   reference implementation. *)
+let lookup_cached t ~column v =
+  if t.lookup_cache_version <> t.version then begin
+    Hashtbl.reset t.lookup_cache;
+    t.lookup_cache_version <- t.version
+  end;
+  let key = (column, v) in
+  match Hashtbl.find_opt t.lookup_cache key with
+  | Some rows -> rows
+  | None ->
+    let rows = lookup t ~column v in
+    Hashtbl.add t.lookup_cache key rows;
+    rows
+
 let iter t f = Pk_table.iter (fun _ row -> f row) t.rows
 let fold t ~init ~f = Pk_table.fold (fun _ row acc -> f acc row) t.rows init
 let to_rows t = Pk_table.fold (fun _ row acc -> row :: acc) t.rows []
@@ -101,7 +136,8 @@ let insert_exn t row =
          (String.concat ", " (List.map Value.to_string pk))
          t.schema.Schema.name);
   Pk_table.replace t.rows pk row;
-  index_row t `Add row
+  index_row t `Add row;
+  bump t
 
 let delete_pk t pk =
   match Pk_table.find_opt t.rows pk with
@@ -109,6 +145,7 @@ let delete_pk t pk =
   | Some row ->
     Pk_table.remove t.rows pk;
     index_row t `Remove row;
+    bump t;
     Some row
 
 let replace_exn t row =
@@ -123,4 +160,5 @@ let replace_exn t row =
     index_row t `Remove old;
     Pk_table.replace t.rows pk row;
     index_row t `Add row;
+    bump t;
     old

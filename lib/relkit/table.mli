@@ -10,6 +10,12 @@ val create : Schema.t -> t
 val schema : t -> Schema.t
 val row_count : t -> int
 
+(** Monotonic content-version counter: bumped by every insert / delete /
+    replace.  {!Ra_compile} keys its cached hash-join build sides on it, so
+    any mutation — including ones issued while durability logging is muted —
+    invalidates derived artifacts. *)
+val version : t -> int
+
 (** Adds a secondary hash index on [column] (no-op if already present).
     @raise Not_found if the column does not exist. *)
 val create_index : t -> string -> unit
@@ -22,6 +28,11 @@ val find_pk : t -> Value.t list -> Value.t array option
 (** [lookup t ~column v] returns all rows with [row.column = v]; uses the
     secondary index when one exists, otherwise scans. *)
 val lookup : t -> column:string -> Value.t -> Value.t array list
+
+(** [lookup_cached] is [lookup] through a per-version memo: repeated probes
+    of the same [(column, value)] between two mutations share one result
+    list.  Used by the compiled executor; any table mutation invalidates. *)
+val lookup_cached : t -> column:string -> Value.t -> Value.t array list
 
 val has_index : t -> string -> bool
 

@@ -35,23 +35,39 @@ let rec text_content = function
 
 let sorted_attrs attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) attrs
 
-let rec compare a b =
+(* Attribute order is not significant, but nodes built by the same template
+   list their attributes in the same order; checking plain list equality
+   first keeps the common case allocation-free and only falls back to
+   sorting when the lists genuinely differ. *)
+let rec attrs_identical a b =
   match a, b with
-  | Text x, Text y -> String.compare x y
-  | Text _, Element _ -> -1
-  | Element _, Text _ -> 1
-  | Element ea, Element eb ->
-    let c = String.compare ea.tag eb.tag in
-    if c <> 0 then c
-    else
-      let c =
-        List.compare
-          (fun (k1, v1) (k2, v2) ->
-            let c = String.compare k1 k2 in
-            if c <> 0 then c else String.compare v1 v2)
-          (sorted_attrs ea.attrs) (sorted_attrs eb.attrs)
-      in
-      if c <> 0 then c else List.compare compare ea.children eb.children
+  | [], [] -> true
+  | (k1, v1) :: ra, (k2, v2) :: rb ->
+    String.equal k1 k2 && String.equal v1 v2 && attrs_identical ra rb
+  | _ -> false
+
+let compare_attrs a b =
+  if attrs_identical a b then 0
+  else
+    List.compare
+      (fun (k1, v1) (k2, v2) ->
+        let c = String.compare k1 k2 in
+        if c <> 0 then c else String.compare v1 v2)
+      (sorted_attrs a) (sorted_attrs b)
+
+let rec compare a b =
+  if a == b then 0
+  else
+    match a, b with
+    | Text x, Text y -> String.compare x y
+    | Text _, Element _ -> -1
+    | Element _, Text _ -> 1
+    | Element ea, Element eb ->
+      let c = String.compare ea.tag eb.tag in
+      if c <> 0 then c
+      else
+        let c = compare_attrs ea.attrs eb.attrs in
+        if c <> 0 then c else List.compare compare ea.children eb.children
 
 let equal a b = compare a b = 0
 

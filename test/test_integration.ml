@@ -301,7 +301,7 @@ let prop_all_strategies_match_oracle =
 let test_no_full_scans_per_update () =
   List.iter
     (fun strategy ->
-      let db, _mgr, _log = setup strategy in
+      let db, mgr, _log = setup strategy in
       (* enlarge the leaf table so a full scan is unmistakable *)
       Database.load_rows db ~table:"sale"
         (List.init 2000 (fun i ->
@@ -313,7 +313,7 @@ let test_no_full_scans_per_update () =
       ignore
         (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
            ~set:(fun r -> [| r.(0); r.(1); Value.Float 12.0 |]));
-      Ra_eval.reset_scan_rows ();
+      Trigview.Runtime.reset_scan_rows mgr;
       ignore
         (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
            ~set:(fun r -> [| r.(0); r.(1); Value.Float 13.0 |]));
@@ -321,7 +321,7 @@ let test_no_full_scans_per_update () =
         List.fold_left
           (fun acc (k, n) -> if k = "scan:sale" || k = "oldof:sale" then acc + n else acc)
           0
-          (Ra_eval.scan_rows_report ())
+          (Trigview.Runtime.scan_rows_report mgr)
       in
       Alcotest.(check bool)
         (Printf.sprintf "[%s] no full leaf scans (saw %d rows)"
@@ -331,11 +331,11 @@ let test_no_full_scans_per_update () =
     [ Trigview.Runtime.Ungrouped; Trigview.Runtime.Grouped; Trigview.Runtime.Grouped_agg ]
 
 let test_grouped_agg_avoids_oldof_entirely () =
-  let db, _mgr, _log = setup Trigview.Runtime.Grouped_agg in
+  let db, mgr, _log = setup Trigview.Runtime.Grouped_agg in
   ignore
     (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
        ~set:(fun r -> [| r.(0); r.(1); Value.Float 12.0 |]));
-  Ra_eval.reset_scan_rows ();
+  Trigview.Runtime.reset_scan_rows mgr;
   ignore
     (Database.update_pk db ~table:"sale" ~pk:[ Value.String "L1" ]
        ~set:(fun r -> [| r.(0); r.(1); Value.Float 13.0 |]));
@@ -344,7 +344,7 @@ let test_grouped_agg_avoids_oldof_entirely () =
       (fun acc (k, n) ->
         if String.length k >= 6 && String.sub k 0 6 = "oldof:" then acc + n else acc)
       0
-      (Ra_eval.scan_rows_report ())
+      (Trigview.Runtime.scan_rows_report mgr)
   in
   Alcotest.(check int) "no OLD-OF materialization under GROUPED-AGG" 0 oldof
 

@@ -1,0 +1,289 @@
+(* Differential tests for the compiling executor (Relkit.Ra_compile):
+   random plans — all join kinds, grouping, unions, distinct, ordering,
+   shared subplans, transition-table and Old_of sources — are executed by
+   both the Ra_eval interpreter (the reference oracle) and the compiled
+   form, and must produce identical multisets of rows.  Plus unit tests for
+   the version-keyed build-side cache: hits on repeated executions, misses
+   (and correct results) after a dependency table mutates. *)
+
+open Relkit
+
+let v_int i = Value.Int i
+
+(* Two all-int tables, so any generated comparison is type-sensible. *)
+let make_db () =
+  let db = Database.create () in
+  Database.create_table db
+    (Schema.make ~name:"t1"
+       ~columns:[ ("a", Schema.TInt); ("b", Schema.TInt); ("c", Schema.TInt) ]
+       ~primary_key:[ "a" ] ());
+  Database.create_table db
+    (Schema.make ~name:"t2"
+       ~columns:[ ("d", Schema.TInt); ("e", Schema.TInt) ]
+       ~primary_key:[ "d" ] ());
+  Database.create_index db ~table:"t1" ~column:"b";
+  Database.load_rows db ~table:"t1"
+    (List.init 20 (fun i -> [| v_int i; v_int (i mod 5); v_int (i mod 7) |]));
+  Database.load_rows db ~table:"t2"
+    (List.init 12 (fun i -> [| v_int i; v_int (i mod 4) |]));
+  db
+
+(* The firing's transition tables, consistent with the current contents of
+   t1: rows 0-2 were inserted by the statement (Δ, present in t1), rows
+   100-102 were deleted (∇, absent from t1). *)
+let delta_rows = List.init 3 (fun i -> [| v_int i; v_int (i mod 5); v_int (i mod 7) |])
+let nabla_rows = List.init 3 (fun i -> [| v_int (100 + i); v_int i; v_int 1 |])
+let aux_rows = List.init 6 (fun i -> [| v_int (i mod 4); v_int (10 - i) |])
+
+let make_ctx db =
+  {
+    Ra_eval.db;
+    trans = [ ("t1", (delta_rows, nabla_rows)) ];
+    rels = [ ("aux", { Ra_eval.cols = [| "k1"; "k2" |]; rows = aux_rows }) ];
+    shared_memo = Hashtbl.create 8;
+    scan_stats = Ra_eval.create_scan_stats ();
+  }
+
+(* --- random plan generator ---
+
+   Well-formed by construction: every subtree's columns carry a distinct
+   prefix, and joins give their inputs sibling prefixes, so column sets are
+   disjoint wherever Ra.columns requires it. *)
+
+let t1_cols = [ "a"; "b"; "c" ]
+let t2_cols = [ "d"; "e" ]
+let aux_cols = [ "k1"; "k2" ]
+
+let gen_expr cols =
+  let open QCheck.Gen in
+  let cmp =
+    oneofl [ Ra.Eq; Ra.Neq; Ra.Lt; Ra.Le; Ra.Gt; Ra.Ge ] >>= fun op ->
+    oneofl cols >>= fun c ->
+    int_range (-2) 12 >>= fun k ->
+    return (Ra.Binop (op, Ra.Col c, Ra.Const (v_int k)))
+  in
+  fix
+    (fun self n ->
+      if n = 0 then cmp
+      else
+        frequency
+          [ (3, cmp);
+            (2, map2 (fun a b -> Ra.Binop (Ra.And, a, b)) (self (n - 1)) (self (n - 1)));
+            (2, map2 (fun a b -> Ra.Binop (Ra.Or, a, b)) (self (n - 1)) (self (n - 1)));
+            (1, map (fun a -> Ra.Not a) (self (n - 1)));
+          ])
+    2
+
+let gen_arith cols =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [ (3, map (fun c -> Ra.Col c) (oneofl cols));
+        (1, map (fun k -> Ra.Const (v_int k)) (int_range 0 9));
+      ]
+  in
+  frequency
+    [ (2, leaf);
+      ( 2,
+        oneofl [ Ra.Add; Ra.Sub; Ra.Mul ] >>= fun op ->
+        map2 (fun a b -> Ra.Binop (op, a, b)) leaf leaf );
+    ]
+
+let gen_plan fuel prefix0 =
+  let open QCheck.Gen in
+  let scan_of prefix src cols =
+    Ra.Scan (src, List.map (fun c -> (c, prefix ^ c)) cols)
+  in
+  let leaf prefix =
+    frequency
+      [ (3, return (scan_of prefix (Ra.Base "t1") t1_cols));
+        (2, return (scan_of prefix (Ra.Base "t2") t2_cols));
+        (1, return (scan_of prefix (Ra.Delta "t1") t1_cols));
+        (1, return (scan_of prefix (Ra.Nabla "t1") t1_cols));
+        (1, return (scan_of prefix (Ra.Old_of "t1") t1_cols));
+        (1, return (scan_of prefix (Ra.Rel "aux") aux_cols));
+        ( 1,
+          list_size (int_range 0 4) (pair (int_range 0 5) (int_range 0 5))
+          >|= fun cells ->
+          Ra.Values
+            ( [ prefix ^ "v0"; prefix ^ "v1" ],
+              List.map (fun (x, y) -> [| v_int x; v_int y |]) cells ) );
+      ]
+  in
+  let rec go fuel prefix =
+    if fuel = 0 then leaf prefix
+    else
+      let sub extra = go (fuel - 1) (prefix ^ extra) in
+      frequency
+        [ (2, leaf prefix);
+          ( 3,
+            sub "s" >>= fun s ->
+            gen_expr (Ra.columns s) >|= fun p -> Ra.Select (p, s) );
+          ( 3,
+            sub "p" >>= fun s ->
+            let cols = Ra.columns s in
+            int_range 1 3 >>= fun n ->
+            list_repeat n (gen_arith cols) >|= fun exprs ->
+            Ra.Project
+              ( List.mapi (fun i e -> (Printf.sprintf "%so%d" prefix i, e)) exprs
+                @ [ (List.hd cols, Ra.Col (List.hd cols)) ],
+                s ) );
+          ( 3,
+            oneofl [ Ra.Inner; Ra.Left_outer; Ra.Left_anti; Ra.Right_anti ]
+            >>= fun kind ->
+            sub "l" >>= fun l ->
+            sub "r" >>= fun r ->
+            let lc = Ra.columns l and rc = Ra.columns r in
+            frequency
+              [ ( 4,
+                  oneofl lc >>= fun cl ->
+                  oneofl rc >>= fun cr ->
+                  frequency
+                    [ (2, return (Ra.eq_cols [ (cl, cr) ]));
+                      ( 1,
+                        int_range 0 9 >|= fun k ->
+                        Ra.Binop
+                          ( Ra.And,
+                            Ra.eq_cols [ (cl, cr) ],
+                            Ra.Binop (Ra.Lt, Ra.Col cl, Ra.Const (v_int k)) ) );
+                    ] );
+                (1, return (Ra.Const (Value.Bool true)));
+              ]
+            >|= fun pred -> Ra.Join (kind, pred, l, r) );
+          ( 2,
+            sub "g" >>= fun s ->
+            let cols = Ra.columns s in
+            oneofl [ 0; 1; 2 ] >>= fun nkeys ->
+            let keys = List.filteri (fun i _ -> i < nkeys) cols in
+            oneofl cols >>= fun ac ->
+            oneofl
+              [ Ra.Count_star; Ra.Count (Ra.Col ac); Ra.Sum (Ra.Col ac);
+                Ra.Min (Ra.Col ac); Ra.Max (Ra.Col ac); Ra.Avg (Ra.Col ac);
+              ]
+            >|= fun agg -> Ra.Group_by (keys, [ (prefix ^ "agg", agg) ], s) );
+          ( 2,
+            (* union of two filtered scans of the same table: columns align *)
+            leaf prefix >>= fun s ->
+            gen_expr (Ra.columns s) >>= fun p1 ->
+            gen_expr (Ra.columns s) >>= fun p2 ->
+            bool >|= fun all ->
+            Ra.Union { all; inputs = [ Ra.Select (p1, s); Ra.Select (p2, s) ] }
+          );
+          (1, sub "d" >|= fun s -> Ra.Distinct s);
+          ( 2,
+            sub "o" >>= fun s ->
+            let cols = Ra.columns s in
+            oneofl cols >>= fun c ->
+            oneofl [ Ra.Asc; Ra.Desc ] >|= fun dir -> Ra.Order_by ([ (c, dir) ], s)
+          );
+          (1, sub "w" >|= Ra.shared);
+        ]
+  in
+  go fuel prefix0
+
+let arb_plan =
+  QCheck.make
+    ~print:(fun plan -> Format.asprintf "%a" Ra.pp plan)
+    (gen_plan 3 "x")
+
+(* --- the differential property --- *)
+
+let db = make_db ()
+
+let prop_compiled_matches_interpreter =
+  QCheck.Test.make ~name:"compiled executor = interpreter (random plans)"
+    ~count:250 arb_plan (fun plan ->
+      let expected = Ra_eval.sorted (Ra_eval.eval (make_ctx db) plan) in
+      let compiled = Ra_compile.compile db plan in
+      let got1 = Ra_eval.sorted (Ra_compile.exec compiled (make_ctx db)) in
+      (* twice: build-side caches and shared-memo reuse must not change
+         the result *)
+      let got2 = Ra_eval.sorted (Ra_compile.exec compiled (make_ctx db)) in
+      Ra_eval.equal_rel got1 expected && Ra_eval.equal_rel got2 expected)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_compiled_matches_interpreter ]
+
+(* --- build-side cache unit tests --- *)
+
+(* A hash join whose build side is cacheable: the Project around the t2
+   scan makes the inner side non-probeable, and its only dependency is the
+   base table t2. *)
+let hash_join_plan =
+  Ra.Join
+    ( Ra.Inner,
+      Ra.eq_cols [ ("b", "dd") ],
+      Ra.Scan (Ra.Base "t1", [ ("a", "a"); ("b", "b") ]),
+      Ra.Project
+        ( [ ("dd", Ra.Col "d"); ("ee", Ra.Col "e") ],
+          Ra.Scan (Ra.Base "t2", [ ("d", "d"); ("e", "e") ]) ) )
+
+let test_build_cache_hits_and_invalidation () =
+  let db = make_db () in
+  let counters = Ra_compile.create_counters () in
+  let compiled = Ra_compile.compile ~counters db hash_join_plan in
+  let exec () = Ra_compile.exec compiled (make_ctx db) in
+  ignore (exec ());
+  Alcotest.(check int) "first exec builds" 1 counters.Ra_compile.build_cache_misses;
+  ignore (exec ());
+  ignore (exec ());
+  Alcotest.(check int) "repeats reuse the build" 2 counters.Ra_compile.build_cache_hits;
+  Alcotest.(check int) "no extra builds" 1 counters.Ra_compile.build_cache_misses;
+  (* mutating the build-side table invalidates *)
+  Database.insert_rows db ~table:"t2" [ [| v_int 50; v_int 3 |] ];
+  let after = exec () in
+  Alcotest.(check int) "mutation forces a rebuild" 2
+    counters.Ra_compile.build_cache_misses;
+  (* and the rebuilt side is the fresh contents: interpreter agrees *)
+  let expected = Ra_eval.eval (make_ctx db) hash_join_plan in
+  Alcotest.(check bool) "post-mutation result matches interpreter" true
+    (Ra_eval.equal_rel (Ra_eval.sorted after) (Ra_eval.sorted expected));
+  (* probe-side mutations don't touch the cached build *)
+  Database.insert_rows db ~table:"t1" [ [| v_int 200; v_int 3; v_int 0 |] ];
+  ignore (exec ());
+  Alcotest.(check int) "probe-side change is not an invalidation" 3
+    counters.Ra_compile.build_cache_hits
+
+let test_transition_builds_never_cached () =
+  let db = make_db () in
+  let counters = Ra_compile.create_counters () in
+  let plan =
+    Ra.Join
+      ( Ra.Inner,
+        Ra.eq_cols [ ("b", "db") ],
+        Ra.Scan (Ra.Base "t1", [ ("a", "a"); ("b", "b") ]),
+        Ra.Project
+          ( [ ("dals", Ra.Col "da"); ("db", Ra.Col "db2") ],
+            Ra.Scan (Ra.Delta "t1", [ ("a", "da"); ("b", "db2") ]) ) )
+  in
+  let compiled = Ra_compile.compile ~counters db plan in
+  ignore (Ra_compile.exec compiled (make_ctx db));
+  ignore (Ra_compile.exec compiled (make_ctx db));
+  Alcotest.(check int) "per-firing inputs are never cache hits" 0
+    counters.Ra_compile.build_cache_hits
+
+let test_counters_count_compiles_and_execs () =
+  let db = make_db () in
+  let counters = Ra_compile.create_counters () in
+  let c1 = Ra_compile.compile ~counters db hash_join_plan in
+  let c2 =
+    Ra_compile.compile ~counters db (Ra.Scan (Ra.Base "t2", [ ("d", "d") ]))
+  in
+  Alcotest.(check int) "plans_compiled" 2 counters.Ra_compile.plans_compiled;
+  ignore (Ra_compile.exec c1 (make_ctx db));
+  ignore (Ra_compile.exec c2 (make_ctx db));
+  ignore (Ra_compile.exec c2 (make_ctx db));
+  Alcotest.(check int) "compiled_execs" 3 counters.Ra_compile.compiled_execs
+
+let () =
+  Alcotest.run "ra_compile"
+    [ ("differential", qcheck_tests);
+      ( "build cache",
+        [ Alcotest.test_case "hits and invalidation" `Quick
+            test_build_cache_hits_and_invalidation;
+          Alcotest.test_case "transition inputs uncached" `Quick
+            test_transition_builds_never_cached;
+          Alcotest.test_case "compile/exec counters" `Quick
+            test_counters_count_compiles_and_execs;
+        ] );
+    ]

@@ -87,13 +87,13 @@ let test_push_transfers_across_join_equality () =
   in
   check_push ctx plan ~link:"pid" ~vals:[ 3; 4 ];
   (* and the physical effect: no full child scan *)
-  Ra_eval.reset_scan_rows ();
+  Ra_eval.reset_scan_stats ctx.Ra_eval.scan_stats;
   let pushed = Ra_opt.push_semijoin ~keys:(keys_rel [ 3; 4 ]) ~on:[ ("pid", "k") ] plan in
   ignore (Ra_eval.eval ctx pushed);
   let child_rows =
     List.fold_left
       (fun acc (k, n) -> if k = "scan:child" then acc + n else acc)
-      0 (Ra_eval.scan_rows_report ())
+      0 (Ra_eval.scan_stats_report ctx.Ra_eval.scan_stats)
   in
   Alcotest.(check int) "child probed, not scanned" 0 child_rows
 
@@ -134,13 +134,13 @@ let test_push_sideways_through_nested_join () =
         grouped )
   in
   check_push ctx plan ~link:"p_pid" ~vals:[ 11; 12 ];
-  Ra_eval.reset_scan_rows ();
+  Ra_eval.reset_scan_stats ctx.Ra_eval.scan_stats;
   let pushed = Ra_opt.push_semijoin ~keys:(keys_rel [ 11; 12 ]) ~on:[ ("p_pid", "k") ] plan in
   ignore (Ra_eval.eval ctx pushed);
   let child_rows =
     List.fold_left
       (fun acc (k, n) -> if k = "scan:child" then acc + n else acc)
-      0 (Ra_eval.scan_rows_report ())
+      0 (Ra_eval.scan_stats_report ctx.Ra_eval.scan_stats)
   in
   Alcotest.(check int) "grouped child side probed via sideways keys" 0 child_rows
 
@@ -168,11 +168,11 @@ let test_shared_evaluated_once () =
   in
   let shared = Ra_opt.share_common_subplans dup in
   let run plan =
-    Ra_eval.reset_scan_rows ();
-    ignore (Ra_eval.eval (Ra_eval.ctx_of_db db) plan);
+    let ctx = Ra_eval.ctx_of_db db in
+    ignore (Ra_eval.eval ctx plan);
     List.fold_left
       (fun acc (k, n) -> if k = "scan:child" then acc + n else acc)
-      0 (Ra_eval.scan_rows_report ())
+      0 (Ra_eval.scan_stats_report ctx.Ra_eval.scan_stats)
   in
   let unshared_rows = run dup in
   let shared_rows = run shared in
@@ -211,12 +211,12 @@ let test_push_transition_joins_probes () =
   let optimized = Ra_opt.push_transition_joins plan in
   Alcotest.(check bool) "same result" true
     (Ra_eval.equal_rel (Ra_eval.eval tctx plan) (Ra_eval.eval tctx optimized));
-  Ra_eval.reset_scan_rows ();
+  Ra_eval.reset_scan_stats tctx.Ra_eval.scan_stats;
   ignore (Ra_eval.eval tctx optimized);
   let parent_rows =
     List.fold_left
       (fun acc (k, n) -> if k = "scan:parent" then acc + n else acc)
-      0 (Ra_eval.scan_rows_report ())
+      0 (Ra_eval.scan_stats_report tctx.Ra_eval.scan_stats)
   in
   Alcotest.(check int) "parent probed by pk, not scanned" 0 parent_rows
 
