@@ -33,7 +33,7 @@ type sample = { wall_ms : float; cpu_ms : float }
 let nan_sample = { wall_ms = Float.nan; cpu_ms = Float.nan }
 
 (* Average ms per single-row leaf update. *)
-let time_point ?(updates = 40) ?tuning params strategy =
+let time_point ?(updates = 40) ?tuning ?(trace = false) params strategy =
   let built = Workloadlib.Workload.build params in
   let mgr = mgr_of ?tuning strategy built in
   Workloadlib.Workload.install_triggers mgr params ~target_name:built.Workloadlib.Workload.top_names.(0);
@@ -41,6 +41,7 @@ let time_point ?(updates = 40) ?tuning params strategy =
   for step = 0 to 2 do
     Workloadlib.Workload.update_leaf built ~top_index:0 ~step
   done;
+  if trace then Runtime.set_tracing mgr true;
   Runtime.reset_stats mgr;
   let w0 = Monotonic_clock.now () in
   let c0 = Sys.time () in
@@ -80,6 +81,10 @@ let fig17_grouped_speedup () =
   let interp = sum "GROUPED-interp" and compiled = sum "GROUPED" in
   if compiled > 0.0 && interp > 0.0 then interp /. compiled else Float.nan
 
+(* Per-phase wall-time breakdowns ("phases" section of the JSON): span
+   totals per strategy over one traced sweep. *)
+let phase_entries : (string * (string * float) list) list ref = ref []
+
 let write_json ~full path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
@@ -88,6 +93,19 @@ let write_json ~full path =
   Buffer.add_string buf
     (Printf.sprintf "  \"fig17_grouped_speedup\": %s,\n"
        (json_float (fig17_grouped_speedup ())));
+  Buffer.add_string buf "  \"phases\": {";
+  List.iteri
+    (fun i (series, phases) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\n    \"%s\": {" series);
+      List.iteri
+        (fun j (name, ms) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "\"%s\": %.3f" name ms))
+        phases;
+      Buffer.add_string buf "}")
+    (List.rev !phase_entries);
+  Buffer.add_string buf "\n  },\n";
   Buffer.add_string buf "  \"entries\": [\n";
   let entries = List.rev !json_entries in
   List.iteri
@@ -381,6 +399,75 @@ let recovery_time ~full =
       print_row (string_of_int age) [ wal_kb; rec_ms; reopen_ms ])
     (if full then [ 0; 2_000; 10_000; 20_000 ] else [ 0; 200; 1_000; 2_000 ])
 
+(* --- phases: where does an update's wall time go, per strategy ---
+
+   One traced sweep per strategy; the span totals (DML bookkeeping, SQL
+   trigger firing, plan execution, fragment execution, tagging, action
+   dispatch) are aggregated by span name.  Spans nest — "trigger" contains
+   "plan.exec" which contains "frag.exec" — so the columns are a breakdown,
+   not a disjoint partition. *)
+
+let phase_names = [ "dml"; "trigger"; "plan.exec"; "frag.exec"; "tagger"; "dispatch" ]
+
+let phases ~full =
+  let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
+  let p = { base with Workloadlib.Workload.num_triggers = 100; num_satisfied = 10 } in
+  let updates = 20 in
+  print_header
+    (Printf.sprintf "Per-phase wall time (ms over %d updates, tracing on)" updates)
+    ("strategy" :: phase_names);
+  List.iter
+    (fun (series, strategy, tuning) ->
+      let built = Workloadlib.Workload.build p in
+      let mgr = mgr_of ?tuning strategy built in
+      Workloadlib.Workload.install_triggers mgr p
+        ~target_name:built.Workloadlib.Workload.top_names.(0);
+      for step = 0 to 2 do
+        Workloadlib.Workload.update_leaf built ~top_index:0 ~step
+      done;
+      Runtime.set_tracing mgr true;
+      for step = 3 to 3 + updates - 1 do
+        Workloadlib.Workload.update_leaf built ~top_index:0 ~step
+      done;
+      Runtime.set_tracing mgr false;
+      let tracer = Relkit.Database.tracer (Runtime.database mgr) in
+      let totals = Hashtbl.create 8 in
+      List.iter
+        (fun ev ->
+          let name = ev.Obs.Trace.ev_name in
+          let prev = Option.value ~default:0L (Hashtbl.find_opt totals name) in
+          Hashtbl.replace totals name (Int64.add prev ev.Obs.Trace.ev_dur_ns))
+        (Obs.Trace.events tracer);
+      let row =
+        List.map
+          (fun name ->
+            ( name,
+              Int64.to_float (Option.value ~default:0L (Hashtbl.find_opt totals name))
+              /. 1e6 ))
+          phase_names
+      in
+      phase_entries := (series, row) :: !phase_entries;
+      print_row series (List.map snd row))
+    [ ("GROUPED", Runtime.Grouped, None);
+      ("GROUPED-AGG", Runtime.Grouped_agg, None);
+      ( "GROUPED-interp",
+        Runtime.Grouped,
+        Some { Runtime.default_tuning with Runtime.compile_plans = false } );
+    ]
+
+(* --- overhead: cost of leaving span tracing enabled --- *)
+
+let overhead ~full =
+  let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
+  let p = { base with Workloadlib.Workload.num_triggers = 100; num_satisfied = 10 } in
+  print_header_s "Tracing overhead (GROUPED, 100 triggers; wall/cpu ms per update)"
+    [ "variant"; "GROUPED" ];
+  List.iter
+    (fun (label, trace) ->
+      let s = time_point ~updates:20 ~trace p Runtime.Grouped in
+      print_row_s label [ record ~fig:"overhead" ~row:label ~series:"GROUPED" s ])
+    [ ("tracing-off", false); ("tracing-on", true) ]
+
 (* --- bechamel micro-benchmarks: one Test.make per figure --- *)
 
 let bechamel_suite () =
@@ -441,7 +528,9 @@ let () =
         args
     with
     | Some s -> String.split_on_char ',' s
-    | None -> [ "17"; "18"; "22"; "23"; "24"; "compile"; "ablation"; "recovery" ]
+    | None ->
+      [ "17"; "18"; "22"; "23"; "24"; "compile"; "ablation"; "recovery";
+        "phases"; "overhead" ]
   in
   Printf.printf
     "Triggers over XML Views of Relational Data — benchmark harness (%s mode)\n"
@@ -459,7 +548,9 @@ let () =
         | "compile" -> compile_time ~full
         | "ablation" -> ablation ~full
         | "recovery" -> recovery_time ~full
+        | "phases" -> phases ~full
+        | "overhead" -> overhead ~full
         | other -> Printf.printf "unknown figure %S\n" other)
       figs;
-  if !json_requested then write_json ~full "BENCH_2.json";
+  if !json_requested then write_json ~full "BENCH_3.json";
   Printf.printf "\n(total action dispatches across all sweeps: %d)\n" !dispatched

@@ -65,7 +65,16 @@ let help_text =
   add VID PID AMOUNT          add a vendor offer
   remove VID PID              remove a vendor offer
   product PID NAME MFR        add a product
-  stats                       runtime statistics
+  stats                       runtime statistics: counters, scan rows, probe
+                              counts, latency histograms, durability timings
+  stats-json                  the same as one JSON object
+  explain                     annotated plan per trigger group: compiled vs
+                              interpreted, join choices, last-run cardinalities
+  explain-json                the same as JSON
+  trace on|off                enable/disable span tracing (also: --trace)
+  trace                       dump the recorded span timeline
+  trace json                  dump the recorded spans as JSON
+  trace clear                 drop recorded spans
   checkpoint                  snapshot the database and truncate the WAL
   quit                        exit|}
 
@@ -79,7 +88,7 @@ let notify_action fi =
     (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
     fi.Runtime.fi_new
 
-let run strategy script data_dir =
+let run strategy script data_dir trace =
   let mgr =
     match data_dir with
     | Some dir when Durability.Recovery.has_state ~data_dir:dir ->
@@ -112,6 +121,7 @@ let run strategy script data_dir =
         data_dir;
       mgr
   in
+  if trace then Runtime.set_tracing mgr true;
   let db = Runtime.database mgr in
   let schema_of name = Table.schema (Database.get_table db name) in
   let view = Xquery.Compile.view_of_string ~schema_of ~name:"catalog" catalog_view in
@@ -167,10 +177,19 @@ let run strategy script data_dir =
          | "product" :: pid :: name :: mfr ->
            Database.insert_rows db ~table:"product"
              [ [| Value.String pid; Value.String name; Value.String (String.concat " " mfr) |] ]
-         | [ "stats" ] ->
-           let s = Runtime.stats mgr in
-           Printf.printf "SQL firings %d, pairs computed %d, actions dispatched %d\n"
-             s.Runtime.sql_firings s.Runtime.rows_computed s.Runtime.actions_dispatched
+         | [ "stats" ] -> print_string (Runtime.report mgr)
+         | [ "stats-json" ] -> print_endline (Runtime.report_json mgr)
+         | [ "explain" ] -> print_string (Runtime.explain mgr)
+         | [ "explain-json" ] -> print_endline (Runtime.explain_json mgr)
+         | [ "trace"; "on" ] ->
+           Runtime.set_tracing mgr true;
+           Printf.printf "tracing on\n"
+         | [ "trace"; "off" ] ->
+           Runtime.set_tracing mgr false;
+           Printf.printf "tracing off\n"
+         | [ "trace" ] -> print_string (Runtime.trace_render mgr)
+         | [ "trace"; "json" ] -> print_endline (Runtime.trace_json mgr)
+         | [ "trace"; "clear" ] -> Runtime.trace_clear mgr
          | [ "checkpoint" ] ->
            if Runtime.durability_attached mgr then begin
              Runtime.checkpoint mgr;
@@ -234,9 +253,18 @@ let data_dir_arg =
            $(docv).  If it already holds state from a previous session, the \
            database, views and XML triggers are crash-recovered from it.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Enable span tracing from the start (DML, trigger firings, plan \
+           and fragment executions, tagging, dispatch); dump with the \
+           $(b,trace) command.")
+
 let cmd =
   Cmd.v
     (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
-    Term.(const run $ strategy_arg $ script_arg $ data_dir_arg)
+    Term.(const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,8 +1,14 @@
 module Xml = Xmlkit.Xml
 
+(* The store keys on canonical XML text but tracks *multiplicity*: two
+   distinct view nodes can serialize identically (siblings projecting the
+   same non-key column values), and a DELETE of one must not drop the
+   other.  Bare [Hashtbl.remove]/[replace] on the text key collapsed such
+   duplicates into one entry. *)
 type t = {
   mgr : Runtime.t;
-  store : (string, Xml.t) Hashtbl.t;  (* canonical text -> node *)
+  store : (string, Xml.t * int ref) Hashtbl.t;
+      (* canonical text -> (node, multiplicity) *)
   mutable deltas : int;
   trigger_names : string list;
 }
@@ -15,21 +21,31 @@ let next_id =
 
 let key node = Xml.to_string ~canonical:true node
 
+let add_node store node =
+  let k = key node in
+  match Hashtbl.find_opt store k with
+  | Some (_, n) -> incr n
+  | None -> Hashtbl.add store k (node, ref 1)
+
+let remove_node store node =
+  let k = key node in
+  match Hashtbl.find_opt store k with
+  | Some (_, n) -> if !n <= 1 then Hashtbl.remove store k else decr n
+  | None -> ()
+
 let apply t fi =
   t.deltas <- t.deltas + 1;
   (match fi.Runtime.fi_old with
-  | Some old_node -> Hashtbl.remove t.store (key old_node)
+  | Some old_node -> remove_node t.store old_node
   | None -> ());
   match fi.Runtime.fi_new with
-  | Some new_node -> Hashtbl.replace t.store (key new_node) new_node
+  | Some new_node -> add_node t.store new_node
   | None -> ()
 
 let attach mgr ~path =
   let id = next_id () in
   let store = Hashtbl.create 64 in
-  List.iter
-    (fun node -> Hashtbl.replace store (key node) node)
-    (Runtime.view_nodes mgr ~path);
+  List.iter (add_node store) (Runtime.view_nodes mgr ~path);
   let action = Printf.sprintf "maintain$%d" id in
   let trigger_names =
     List.map
@@ -49,7 +65,11 @@ let attach mgr ~path =
   t
 
 let current t =
-  Hashtbl.fold (fun _ node acc -> node :: acc) t.store []
+  Hashtbl.fold
+    (fun _ (node, n) acc ->
+      let rec dup acc i = if i <= 0 then acc else dup (node :: acc) (i - 1) in
+      dup acc !n)
+    t.store []
   |> List.sort Xml.compare
 
 let deltas_applied t = t.deltas

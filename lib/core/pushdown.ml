@@ -310,7 +310,20 @@ let invert_group_by table keys aggs input =
                 match a with
                 | Ra.Count_star -> Ra.Const (Value.Int 1)
                 | Ra.Sum e -> e
-                | _ -> assert false
+                | Ra.Count _ | Ra.Min _ | Ra.Max _ | Ra.Avg _ ->
+                  (* invertibility was checked before rewriting; reaching
+                     here means the check and this table disagree *)
+                  invalid_arg
+                    (Printf.sprintf
+                       "Pushdown.invert_old_aggregates: aggregate %s of \
+                        output %S is not invertible (only COUNT(*) and SUM \
+                        are)"
+                       (match a with
+                       | Ra.Count _ -> "COUNT(expr)"
+                       | Ra.Min _ -> "MIN"
+                       | Ra.Max _ -> "MAX"
+                       | _ -> "AVG")
+                       o)
               in
               (o, if sign > 0 then v else Ra.Binop (Ra.Sub, Ra.Const (Value.Int 0), v)))
             aggs_plus
@@ -508,6 +521,8 @@ type compiled = {
   c_ra : Relkit.Ra_compile.t;
   c_out_cols : string list;
   c_getters : (string * [ `Slot of int | `Tpl of cnode * int array ]) list;
+  c_frags : (string * Relkit.Ra_compile.t) list;
+      (* fragment child plans this template tree executes, for EXPLAIN *)
 }
 
 (* A fragment engine does the per-firing work below one [T_frag]: execute
@@ -520,6 +535,7 @@ type compiled = {
    the same table versions returns the previously grouped sequences. *)
 type frag_engine = {
   fe_bind : Ra_eval.ctx -> Value.t array list -> (Value.t list, Xval.t) Hashtbl.t;
+  fe_ra : Relkit.Ra_compile.t;  (* the restricted child plan, for EXPLAIN *)
 }
 
 type frag_memo = (Ra.t * template * string list * string list, frag_engine) Hashtbl.t
@@ -559,7 +575,14 @@ let fragkeys_name =
 let col_slot cols c =
   let n = Array.length cols in
   let rec go i =
-    if i >= n then raise Not_found else if cols.(i) = c then i else go (i + 1)
+    if i >= n then
+      invalid_arg
+        (Printf.sprintf
+           "Pushdown: template references unknown column %S (plan produces: %s)"
+           c
+           (String.concat ", " (Array.to_list cols)))
+    else if cols.(i) = c then i
+    else go (i + 1)
   in
   go 0
 
@@ -579,7 +602,7 @@ let distinct_key_rows rows =
         end)
       rows
 
-let rec compile_template ?counters ~memo db cols (tpl : template) : cnode =
+let rec compile_template ?counters ~memo ~frags db cols (tpl : template) : cnode =
   match tpl with
   | T_atom (A_const v) ->
     let f _ = Xval.atom v in
@@ -599,7 +622,9 @@ let rec compile_template ?counters ~memo db cols (tpl : template) : cnode =
             (k, fun row -> row.(i)))
         attrs
     in
-    let content_cs = List.map (compile_template ?counters ~memo db cols) content in
+    let content_cs =
+      List.map (compile_template ?counters ~memo ~frags db cols) content
+    in
     { bind =
         (fun ctx parent_rows ->
           let content_fs = List.map (fun c -> c.bind ctx parent_rows) content_cs in
@@ -620,7 +645,7 @@ let rec compile_template ?counters ~memo db cols (tpl : template) : cnode =
   | T_frag f ->
     let parent_slots = List.map (fun (p, _) -> col_slot cols p) f.f_link in
     let parent_slots_arr = Array.of_list parent_slots in
-    let engine = frag_engine_of ?counters ~memo db f in
+    let engine = frag_engine_of ?counters ~memo ~frags db f in
     { bind =
         (fun ctx parent_rows ->
           let key_rows =
@@ -644,10 +669,21 @@ let rec compile_template ?counters ~memo db cols (tpl : template) : cnode =
    order); the parent-side link column names are deliberately NOT part of
    the key — key rows arrive already extracted, so OLD_/NEW_-prefixed
    parents reuse the same engine. *)
-and frag_engine_of ?counters ~memo db (f : frag) : frag_engine =
+and frag_engine_of ?counters ~memo ~frags db (f : frag) : frag_engine =
   let mkey = (f.f_plan, f.f_template, List.map snd f.f_link, f.f_order) in
+  let note_frag e =
+    (* collect once per distinct child plan, for EXPLAIN output *)
+    if not (List.exists (fun (_, ra) -> ra == e.fe_ra) !frags) then
+      frags :=
+        !frags
+        @ [ ( Printf.sprintf "fragment (link on %s)"
+                (String.concat ", " (List.map snd f.f_link)),
+              e.fe_ra )
+          ];
+    e
+  in
   match Hashtbl.find_opt memo mkey with
-  | Some e -> e
+  | Some e -> note_frag e
   | None ->
     let key_cols = List.map (fun (_, c) -> "lk$" ^ c) f.f_link in
     let rel_name = fragkeys_name () in
@@ -661,11 +697,15 @@ and frag_engine_of ?counters ~memo db (f : frag) : frag_engine =
     in
     let child_ra = Relkit.Ra_compile.compile ?counters db restricted in
     let child_cols = Array.of_list (Relkit.Ra_compile.cols child_ra) in
-    let child_tpl = compile_template ?counters ~memo db child_cols f.f_template in
+    let child_tpl =
+      compile_template ?counters ~memo ~frags db child_cols f.f_template
+    in
     let child_link_slots = List.map (fun (_, c) -> col_slot child_cols c) f.f_link in
     let order_slots = List.map (col_slot child_cols) f.f_order in
     let key_cols_arr = Array.of_list key_cols in
     let run ctx key_rows =
+      let trace = Relkit.Database.tracer ctx.Ra_eval.db in
+      let t0 = Obs.Trace.start trace in
       let ctx' =
         { ctx with
           Ra_eval.rels =
@@ -701,6 +741,10 @@ and frag_engine_of ?counters ~memo db (f : frag) : frag_engine =
           in
           Hashtbl.replace seqs link (Xval.seq (List.map snd sorted)))
         groups;
+      if Obs.Trace.enabled trace then
+        Obs.Trace.finish_note trace t0 "frag.exec"
+          (Printf.sprintf "keys=%d child_rows=%d" (List.length key_rows)
+             (List.length child_rel.Ra_eval.rows));
       seqs
     in
     let deps = frag_deps f.f_plan in
@@ -731,9 +775,9 @@ and frag_engine_of ?counters ~memo db (f : frag) : frag_engine =
           cache := Some (key_rows, versions, trans, seqs);
           seqs)
     in
-    let e = { fe_bind } in
+    let e = { fe_bind; fe_ra = child_ra } in
     Hashtbl.add memo mkey e;
-    e
+    note_frag e
 
 (* Slots of the parent row a template's per-row tagger actually reads:
    attribute and atom columns plus fragment link columns.  Rows that agree
@@ -758,6 +802,7 @@ let compile ?counters ?frag_memo db (t : t) : compiled =
   let memo =
     match frag_memo with Some m -> m | None -> create_frag_memo ()
   in
+  let frags = ref [] in
   let ra = Relkit.Ra_compile.compile ?counters db t.plan in
   let cols_arr = Array.of_list (Relkit.Ra_compile.cols ra) in
   let getters =
@@ -768,15 +813,70 @@ let compile ?counters ?frag_memo db (t : t) : compiled =
           let slots =
             Array.of_list (List.sort_uniq compare (template_slots cols_arr [] tpl))
           in
-          (c, `Tpl (compile_template ?counters ~memo db cols_arr tpl, slots))
+          (c, `Tpl (compile_template ?counters ~memo ~frags db cols_arr tpl, slots))
         | None -> (c, `Slot (col_slot cols_arr c)))
       t.out_cols
   in
-  { c_ra = ra; c_out_cols = t.out_cols; c_getters = getters }
+  { c_ra = ra; c_out_cols = t.out_cols; c_getters = getters; c_frags = !frags }
+
+(* The per-firing semijoin binding is named [fragkeys$N] with a process-wide
+   counter; EXPLAIN output masks the digits so renderings are stable across
+   runtimes (and golden-testable). *)
+let mask_fragkeys s =
+  let pat = "fragkeys$" in
+  let plen = String.length pat in
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + plen <= n && String.sub s !i plen = pat then begin
+      Buffer.add_string buf pat;
+      i := !i + plen;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      Buffer.add_char buf '_'
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let explain_compiled (c : compiled) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Relkit.Ra_compile.explain c.c_ra);
+  List.iter
+    (fun (name, ra) ->
+      Buffer.add_string buf (name ^ ":\n");
+      Buffer.add_string buf (Relkit.Ra_compile.explain ra))
+    c.c_frags;
+  mask_fragkeys (Buffer.contents buf)
+
+let explain_compiled_json (c : compiled) =
+  let frag_json =
+    List.map
+      (fun (name, ra) ->
+        Printf.sprintf "{\"name\": \"%s\", \"plan\": %s}"
+          (Obs.Metrics.json_escape name)
+          (Relkit.Ra_compile.explain_json ra))
+      c.c_frags
+  in
+  mask_fragkeys
+    (Printf.sprintf "{\"plan\": %s, \"fragments\": [%s]}"
+       (Relkit.Ra_compile.explain_json c.c_ra)
+       (String.concat ", " frag_json))
 
 let render_compiled ?cols (c : compiled) ctx : Eval.xrel =
+  let trace = Relkit.Database.tracer ctx.Ra_eval.db in
   let wanted = match cols with Some cs -> cs | None -> c.c_out_cols in
+  let t0 = Obs.Trace.start trace in
   let rel = Relkit.Ra_compile.exec c.c_ra ctx in
+  if Obs.Trace.enabled trace then
+    Obs.Trace.finish_note trace t0 "plan.exec"
+      (Printf.sprintf "compiled rows=%d" (List.length rel.Ra_eval.rows));
+  let t1 = Obs.Trace.start trace in
   let getters =
     List.map
       (fun name ->
@@ -797,16 +897,24 @@ let render_compiled ?cols (c : compiled) ctx : Eval.xrel =
               v))
       wanted
   in
-  { Eval.cols = Array.of_list wanted;
-    rows =
-      List.map
-        (fun row -> Array.of_list (List.map (fun g -> g row) getters))
-        rel.Ra_eval.rows;
-  }
+  let rows =
+    List.map
+      (fun row -> Array.of_list (List.map (fun g -> g row) getters))
+      rel.Ra_eval.rows
+  in
+  if Obs.Trace.enabled trace then
+    Obs.Trace.finish_note trace t1 "tagger"
+      (Printf.sprintf "compiled rows=%d" (List.length rows));
+  { Eval.cols = Array.of_list wanted; rows }
 
 let render ?cols ctx (t : t) : Eval.xrel =
+  let trace = Relkit.Database.tracer ctx.Ra_eval.db in
   let wanted = match cols with Some cs -> cs | None -> t.out_cols in
+  let t0 = Obs.Trace.start trace in
   let rel = Ra_eval.eval ctx t.plan in
+  if Obs.Trace.enabled trace then
+    Obs.Trace.finish_note trace t0 "plan.exec"
+      (Printf.sprintf "interpreted rows=%d" (List.length rel.Ra_eval.rows));
   let getters =
     List.map
       (fun c ->
@@ -817,10 +925,16 @@ let render ?cols ctx (t : t) : Eval.xrel =
           fun row -> Xval.atom row.(i))
       wanted
   in
-  { Eval.cols = Array.of_list wanted;
-    rows =
-      List.map (fun row -> Array.of_list (List.map (fun g -> g row) getters)) rel.Ra_eval.rows;
-  }
+  let t1 = Obs.Trace.start trace in
+  let rows =
+    List.map
+      (fun row -> Array.of_list (List.map (fun g -> g row) getters))
+      rel.Ra_eval.rows
+  in
+  if Obs.Trace.enabled trace then
+    Obs.Trace.finish_note trace t1 "tagger"
+      (Printf.sprintf "interpreted rows=%d" (List.length rows));
+  { Eval.cols = Array.of_list wanted; rows }
 
 let to_sql (t : t) =
   (* Present the levels as one sorted-outer-union query: the top level is

@@ -91,6 +91,16 @@ val compile :
 val render_compiled :
   ?cols:string list -> compiled -> Relkit.Ra_eval.ctx -> Xqgm.Eval.xrel
 
+(** Annotated physical plan of the compiled top level followed by each
+    fragment child level (see {!Relkit.Ra_compile.explain}): operator
+    labels with join choices, last-run cardinalities, cache traffic.
+    [fragkeys$N] binding names are masked to [fragkeys$_] so the output is
+    stable across runtime instances. *)
+val explain_compiled : compiled -> string
+
+(** The same as a JSON object: [{"plan": ..., "fragments": [...]}]. *)
+val explain_compiled_json : compiled -> string
+
 (** The printable single-query form (shared subplans as WITH clauses), for
     the generated SQL trigger text. *)
 val to_sql : t -> string

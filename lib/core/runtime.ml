@@ -110,6 +110,11 @@ and t = {
       (* fragment engines shared across all compiled trigger groups *)
   scan_stats : Ra_eval.scan_stats;
       (* per-manager scan accounting, shared by all firing contexts *)
+  histograms : Obs.Metrics.registry;
+      (* always-on log-bucketed latency histograms: one per XML trigger
+         (dispatch time, condition + action) and one per trigger-group
+         firing body (plan execution + tagging + dispatch, non-empty
+         firings only) *)
   mutable next_group : int;
   template_cache : (string, template_plans) Hashtbl.t;
   (* logical DDL in creation order (newest first): view definitions and XML
@@ -151,6 +156,7 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
     ra_counters = Relkit.Ra_compile.create_counters ();
     frag_memo = Pushdown.create_frag_memo ();
     scan_stats = Ra_eval.create_scan_stats ();
+    histograms = Obs.Metrics.create_registry ();
     next_group = 0;
     template_cache = Hashtbl.create 16;
     ddl_log = [];
@@ -416,6 +422,7 @@ let dispatch t group ~trig_ids ~old_node ~new_node =
   in
   List.iter
     (fun m ->
+      let t0 = Obs.Trace.now () in
       let passes =
         match m.m_fallback_cond with
         | None -> true
@@ -423,7 +430,7 @@ let dispatch t group ~trig_ids ~old_node ~new_node =
       in
       if passes then begin
         t.counters.actions_dispatched <- t.counters.actions_dispatched + 1;
-        match List.assoc_opt m.m_trigger.Trigger.action t.actions with
+        (match List.assoc_opt m.m_trigger.Trigger.action t.actions with
         | Some action ->
           action
             { fi_trigger = m.m_trigger.Trigger.name;
@@ -432,8 +439,13 @@ let dispatch t group ~trig_ids ~old_node ~new_node =
               fi_new = new_node;
               fi_args = List.map (eval_arg ~old_node ~new_node) m.m_args;
             }
-        | None -> ()
-      end)
+        | None -> ())
+      end;
+      let dt = Int64.sub (Obs.Trace.now ()) t0 in
+      Obs.Metrics.observe_in t.histograms m.m_trigger.Trigger.name dt;
+      let tracer = Database.tracer t.db in
+      if Obs.Trace.enabled tracer then
+        Obs.Trace.finish_note tracer t0 "dispatch" m.m_trigger.Trigger.name)
     members
 
 let install_sql_triggers t group =
@@ -458,6 +470,7 @@ let install_sql_triggers t group =
           | _ -> false
         in
         if not empty then begin
+          let t0 = Obs.Trace.now () in
           let cols =
             [ "trig_ids" ]
             @ (if !(group.g_needs_old) || group.g_node_compare then [ "old_node" ] else [])
@@ -510,7 +523,10 @@ let install_sql_triggers t group =
                   | v -> fail "bad trig_ids value %s" (Xval.to_string v)
                 in
                 dispatch t group ~trig_ids ~old_node ~new_node)
-            rel.Eval.rows
+            rel.Eval.rows;
+          Obs.Metrics.observe_in t.histograms
+            (Printf.sprintf "firing:g%d:%s" group.g_id tp.tp_table)
+            (Int64.sub (Obs.Trace.now ()) t0)
         end
       in
       List.iter
@@ -776,6 +792,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
     let after = level_snapshot t m in
     snap := after;
     let fire ~old_node ~new_node =
+      let t0 = Obs.Trace.now () in
       t.counters.rows_computed <- t.counters.rows_computed + 1;
       let passes =
         match tr.Trigger.condition with
@@ -784,7 +801,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
       in
       if passes then begin
         t.counters.actions_dispatched <- t.counters.actions_dispatched + 1;
-        match List.assoc_opt tr.Trigger.action t.actions with
+        (match List.assoc_opt tr.Trigger.action t.actions with
         | Some action ->
           action
             { fi_trigger = tr.Trigger.name;
@@ -794,8 +811,10 @@ let install_materialized t (tr : Trigger.t) view_name m =
               fi_args =
                 List.map (eval_arg ~old_node ~new_node) tr.Trigger.args;
             }
-        | None -> ()
-      end
+        | None -> ())
+      end;
+      Obs.Metrics.observe_in t.histograms tr.Trigger.name
+        (Int64.sub (Obs.Trace.now ()) t0)
     in
     match tr.Trigger.event with
     | Database.Update ->
@@ -932,7 +951,13 @@ let create_trigger_internal t text =
       | Some _, None, [ c ] -> (Some c, None)
       | None, Some nc, [ i; r ] -> (None, Some (nc, i, r))
       | None, None, [] -> (None, None)
-      | _ -> assert false
+      | _ ->
+        (* generalize_many returns one shape per input expression, so the
+           arity can only disagree if that invariant is broken *)
+        fail
+          "internal error: constant generalization produced %d shapes for \
+           trigger %S (cond_rel=%b, nested=%b)"
+          (List.length shapes) tr.Trigger.name (cond_rel <> None) (nested <> None)
     in
     let cond_shape =
       match fallback_cond with
@@ -1173,3 +1198,200 @@ let view_nodes t ~path =
   List.filter_map
     (fun row -> match row.(slot) with Xval.Node n -> Some n | _ -> None)
     rel.Eval.rows
+
+(* --- observability: tracing, latency histograms, EXPLAIN, reports --- *)
+
+let set_tracing t on = Obs.Trace.set_enabled (Database.tracer t.db) on
+let tracing_enabled t = Obs.Trace.enabled (Database.tracer t.db)
+let trace_clear t = Obs.Trace.clear (Database.tracer t.db)
+let trace_render t = Obs.Trace.render (Database.tracer t.db)
+let trace_json t = Obs.Trace.to_json (Database.tracer t.db)
+
+let latencies t = Obs.Metrics.histograms t.histograms
+let latency_report t = Obs.Metrics.render_registry t.histograms
+let reset_latencies t = Obs.Metrics.reset_registry t.histograms
+
+let durability_timings t =
+  match t.store with None -> [] | Some s -> Durability.Store.timings s
+
+(* Grouped members live in g_members; materialized triggers only in the
+   trigger index — merge both. *)
+let group_trigger_names t g =
+  List.concat_map
+    (fun (_, ms) -> List.map (fun m -> m.m_trigger.Trigger.name) ms)
+    g.g_members
+  @ List.filter_map (fun (n, g') -> if g' == g then Some n else None) t.trigger_index
+  |> List.sort_uniq compare
+
+let plan_mode t tp =
+  match tp.tp_exec, tp.tp_shred with
+  | Some _, _ -> "compiled"
+  | None, Some _ ->
+    if t.tuning.compile_plans then "interpreted (compilation failed)"
+    else "interpreted (compilation disabled)"
+  | None, None -> "middleware (graph not pushable)"
+
+let explain t =
+  let buf = Buffer.create 1024 in
+  let groups = List.sort (fun a b -> compare a.g_id b.g_id) t.groups in
+  if groups = [] then Buffer.add_string buf "(no triggers installed)\n";
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "== group %d: %s %s on view %s ==\n" g.g_id
+           (strategy_to_string t.strat)
+           (Database.string_of_event g.g_event)
+           g.g_view);
+      Buffer.add_string buf
+        (Printf.sprintf "triggers: %s\n" (String.concat ", " (group_trigger_names t g)));
+      if t.strat = Materialized then
+        Buffer.add_string buf
+          "plan: MATERIALIZED baseline -- recompute the monitored level and \
+           diff snapshots on every relevant statement\n"
+      else
+        List.iter
+          (fun tp ->
+            Buffer.add_string buf
+              (Printf.sprintf "-- table %s: %s\n" tp.tp_table (plan_mode t tp));
+            match tp.tp_exec with
+            | Some comp -> Buffer.add_string buf (Pushdown.explain_compiled comp)
+            | None -> ())
+          g.g_plans)
+    groups;
+  Buffer.contents buf
+
+let explain_json t =
+  let groups = List.sort (fun a b -> compare a.g_id b.g_id) t.groups in
+  let esc = Obs.Metrics.json_escape in
+  let group_json g =
+    let triggers =
+      String.concat ", "
+        (List.map (fun n -> "\"" ^ esc n ^ "\"") (group_trigger_names t g))
+    in
+    let tables =
+      String.concat ", "
+        (List.map
+           (fun tp ->
+             let plan =
+               match tp.tp_exec with
+               | Some comp -> Pushdown.explain_compiled_json comp
+               | None -> "null"
+             in
+             Printf.sprintf "{\"table\": \"%s\", \"mode\": \"%s\", \"plan\": %s}"
+               (esc tp.tp_table) (esc (plan_mode t tp)) plan)
+           g.g_plans)
+    in
+    Printf.sprintf
+      "{\"group\": %d, \"strategy\": \"%s\", \"event\": \"%s\", \"view\": \
+       \"%s\", \"triggers\": [%s], \"tables\": [%s]}"
+      g.g_id
+      (esc (strategy_to_string t.strat))
+      (esc (Database.string_of_event g.g_event))
+      (esc g.g_view) triggers tables
+  in
+  "[" ^ String.concat ", " (List.map group_json groups) ^ "]"
+
+(* Per-table PK/index probe accounting, tables with no traffic elided. *)
+let probe_reports t =
+  List.filter_map
+    (fun name ->
+      match Database.find_table t.db name with
+      | None -> None
+      | Some tbl ->
+        let rep = Relkit.Table.probe_report tbl in
+        if List.for_all (fun (_, n) -> n = 0) rep then None else Some (name, rep))
+    (List.sort compare (Database.table_names t.db))
+
+let report t =
+  let s = stats t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "counters:\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-22s %d\n" k v))
+    [ ("sql_firings", s.sql_firings);
+      ("rows_computed", s.rows_computed);
+      ("actions_dispatched", s.actions_dispatched);
+      ("plans_compiled", s.plans_compiled);
+      ("compiled_execs", s.compiled_execs);
+      ("build_cache_hits", s.build_cache_hits);
+      ("build_cache_misses", s.build_cache_misses);
+    ];
+  Buffer.add_string buf "scan rows (per source):\n";
+  (match scan_rows_report t with
+  | [] -> Buffer.add_string buf "  (none)\n"
+  | rep ->
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-22s %d\n" k v))
+      rep);
+  (match probe_reports t with
+  | [] -> ()
+  | reps ->
+    Buffer.add_string buf "index/PK probes (per table):\n";
+    List.iter
+      (fun (tbl, rep) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-22s %s\n" tbl
+             (String.concat " "
+                (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) rep))))
+      reps);
+  Buffer.add_string buf "latency histograms:\n";
+  Buffer.add_string buf (Obs.Metrics.render_registry t.histograms);
+  Buffer.add_char buf '\n';
+  (match durability_timings t with
+  | [] -> ()
+  | timings ->
+    Buffer.add_string buf "durability timings:\n";
+    List.iter
+      (fun (name, h) ->
+        Buffer.add_string buf (Obs.Metrics.render_histogram ~name h);
+        Buffer.add_char buf '\n')
+      timings);
+  Buffer.contents buf
+
+let report_json t =
+  let s = stats t in
+  let esc = Obs.Metrics.json_escape in
+  let counters =
+    Printf.sprintf
+      "{\"sql_firings\": %d, \"rows_computed\": %d, \"actions_dispatched\": %d, \
+       \"plans_compiled\": %d, \"compiled_execs\": %d, \"build_cache_hits\": \
+       %d, \"build_cache_misses\": %d}"
+      s.sql_firings s.rows_computed s.actions_dispatched s.plans_compiled
+      s.compiled_execs s.build_cache_hits s.build_cache_misses
+  in
+  let scan =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\": %d" (esc k) v)
+           (scan_rows_report t))
+    ^ "}"
+  in
+  let probes =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (tbl, rep) ->
+             Printf.sprintf "\"%s\": {%s}" (esc tbl)
+               (String.concat ", "
+                  (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (esc k) v) rep)))
+           (probe_reports t))
+    ^ "}"
+  in
+  let durability =
+    "["
+    ^ String.concat ", "
+        (List.map
+           (fun (name, h) ->
+             Printf.sprintf "{\"name\": \"%s\", %s}" (esc name)
+               (Obs.Metrics.histogram_json_fields h))
+           (durability_timings t))
+    ^ "]"
+  in
+  Printf.sprintf
+    "{\"strategy\": \"%s\", \"counters\": %s, \"scan_rows\": %s, \"probes\": \
+     %s, \"latencies_ns\": %s, \"durability_timings\": %s, \"explain\": %s}"
+    (esc (strategy_to_string t.strat))
+    counters scan probes
+    (Obs.Metrics.registry_json t.histograms)
+    durability (explain_json t)

@@ -106,6 +106,57 @@ val scan_rows_report : t -> (string * int) list
     @raise Error on unknown views or non-composable paths. *)
 val view_nodes : t -> path:string -> Xmlkit.Xml.t list
 
+(** {2 Observability: tracing, latency histograms, EXPLAIN}
+
+    Span tracing is off by default and costs nothing while disabled (the
+    instrumented sites take one mutable-bool read).  Latency histograms are
+    log-bucketed and always on: one per XML trigger (dispatch time:
+    condition evaluation + action callback) and one per trigger-group
+    firing body ([firing:g<id>:<table>]: plan execution, tagging and
+    dispatch of one SQL-trigger activation with a non-empty transition). *)
+
+(** Enables/disables span tracing on the underlying database's tracer:
+    DML statements, SQL-trigger firings, plan and fragment executions,
+    tagging, and action dispatch. *)
+val set_tracing : t -> bool -> unit
+
+val tracing_enabled : t -> bool
+val trace_clear : t -> unit
+
+(** The recorded spans as an indented timeline (see {!Obs.Trace.render}). *)
+val trace_render : t -> string
+
+val trace_json : t -> string
+
+(** Per-trigger and per-firing latency histograms, name-sorted. *)
+val latencies : t -> (string * Obs.Metrics.histogram) list
+
+val latency_report : t -> string
+val reset_latencies : t -> unit
+
+(** WAL append/fsync and checkpoint latency histograms; [[]] when no
+    durability store is attached. *)
+val durability_timings : t -> (string * Obs.Metrics.histogram) list
+
+(** Renders every trigger group's execution plan: strategy, monitored view,
+    member triggers, and per base table the compiled-vs-interpreted choice
+    plus (when compiled) the annotated physical plan of
+    {!Pushdown.explain_compiled} — operator labels with join/probe choices,
+    last-run cardinalities, cache traffic.  Deterministic for a fixed
+    trigger-creation and firing history: no timestamps, no hash order. *)
+val explain : t -> string
+
+(** The same structure as JSON: an array of group objects. *)
+val explain_json : t -> string
+
+(** Everything at once, human-readable: counters, per-source scan rows,
+    per-table PK/index probe counts, latency histograms, durability
+    timings. *)
+val report : t -> string
+
+(** The machine-readable form; includes {!explain_json} under ["explain"]. *)
+val report_json : t -> string
+
 (** {2 Durability: WAL + snapshots + crash recovery}
 
     With durability attached, every committed DML/DDL statement is appended

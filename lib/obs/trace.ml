@@ -1,0 +1,118 @@
+(* Lightweight span tracing.
+
+   A tracer is a bounded in-memory sink of completed spans, each stamped
+   with monotonic-clock nanoseconds ({!Monotonic_clock}, CLOCK_MONOTONIC).
+   The hot-path contract: when the tracer is disabled, instrumented code
+   performs exactly one boolean load per probe and allocates nothing —
+   [start] returns the constant [0L] and [finish*] returns immediately.
+   Call sites that build label strings must guard on [enabled] so the
+   string is never allocated when tracing is off.
+
+   Nesting is not tracked at record time (that would need exception-safe
+   enter/leave pairs on hot paths); the renderer reconstructs the span tree
+   from interval containment, which is exact for single-threaded nesting. *)
+
+type event = {
+  ev_name : string;
+  ev_note : string;
+  ev_start_ns : int64;
+  ev_dur_ns : int64;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  limit : int;
+}
+
+let now () = Monotonic_clock.now ()
+
+let create ?(limit = 8192) () =
+  { enabled = false; events = []; count = 0; dropped = 0; limit }
+
+let enabled t = t.enabled
+let set_enabled t on = t.enabled <- on
+
+let clear t =
+  t.events <- [];
+  t.count <- 0;
+  t.dropped <- 0
+
+let dropped t = t.dropped
+
+let record t ev =
+  if t.count >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.events <- ev :: t.events;
+    t.count <- t.count + 1
+  end
+
+let start t = if t.enabled then now () else 0L
+
+let finish_note t t0 name note =
+  if t.enabled && Int64.compare t0 0L <> 0 then
+    record t
+      { ev_name = name; ev_note = note; ev_start_ns = t0; ev_dur_ns = Int64.sub (now ()) t0 }
+
+let finish t t0 name = finish_note t t0 name ""
+
+(* Exception-safe convenience for cold paths (allocates a closure). *)
+let span t ?(note = "") name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> finish_note t t0 name note) f
+  end
+
+let events t = List.rev t.events |> List.sort (fun a b -> Int64.compare a.ev_start_ns b.ev_start_ns)
+
+(* Depth from interval containment: an event is nested under every earlier
+   event whose [start, start+dur) interval still covers its start. *)
+let with_depths t =
+  let evs = events t in
+  let stack = ref [] in  (* end timestamps of open ancestors *)
+  List.map
+    (fun ev ->
+      let ends_after e = Int64.compare e ev.ev_start_ns > 0 in
+      stack := List.filter ends_after !stack;
+      let depth = List.length !stack in
+      stack := Int64.add ev.ev_start_ns ev.ev_dur_ns :: !stack;
+      (depth, ev))
+    evs
+
+let render t =
+  match with_depths t with
+  | [] -> "(no trace events; enable tracing and run some statements)"
+  | devs ->
+    let epoch =
+      match devs with (_, ev) :: _ -> ev.ev_start_ns | [] -> 0L
+    in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (depth, ev) ->
+        Buffer.add_string buf
+          (Printf.sprintf "[+%10s] %9s  %s%s%s\n"
+             (Metrics.pp_duration_ns (Int64.to_float (Int64.sub ev.ev_start_ns epoch)))
+             (Metrics.pp_duration_ns (Int64.to_float ev.ev_dur_ns))
+             (String.make (2 * depth) ' ')
+             ev.ev_name
+             (if ev.ev_note = "" then "" else " " ^ ev.ev_note)))
+      devs;
+    if t.dropped > 0 then
+      Buffer.add_string buf (Printf.sprintf "(%d events dropped: buffer limit)\n" t.dropped);
+    Buffer.contents buf
+
+let to_json t =
+  let entries =
+    List.map
+      (fun (depth, ev) ->
+        Printf.sprintf
+          "{\"name\": \"%s\", \"note\": \"%s\", \"start_ns\": %Ld, \"dur_ns\": %Ld, \"depth\": %d}"
+          (Metrics.json_escape ev.ev_name)
+          (Metrics.json_escape ev.ev_note)
+          ev.ev_start_ns ev.ev_dur_ns depth)
+      (with_depths t)
+  in
+  "[" ^ String.concat ", " entries ^ "]"

@@ -27,6 +27,10 @@ type t = {
   mutable on_change : (change -> unit) option;
   mutable change_paused : bool;
   mutable triggers_suppressed : bool;
+  trace : Obs.Trace.t;
+      (* one tracer per database; every layer holding a [t] (runtime,
+         pushdown fragment engines via Ra_eval.ctx, durability) records
+         spans here so a firing is observable end-to-end *)
 }
 
 and trigger_ctx = {
@@ -54,7 +58,10 @@ let create () =
     on_change = None;
     change_paused = false;
     triggers_suppressed = false;
+    trace = Obs.Trace.create ();
   }
+
+let tracer t = t.trace
 
 (* --- durability hook --- *)
 
@@ -182,7 +189,14 @@ let fire_triggers t ~target ~event ~inserted ~deleted =
     let ctx = { db = t; target; event; inserted; deleted } in
     Fun.protect
       ~finally:(fun () -> t.firing_depth <- t.firing_depth - 1)
-      (fun () -> List.iter (fun tr -> tr.body ctx) to_fire)
+      (fun () ->
+        List.iter
+          (fun tr ->
+            let t0 = Obs.Trace.start t.trace in
+            tr.body ctx;
+            (* trig_name is a live string: no allocation when disabled *)
+            Obs.Trace.finish_note t.trace t0 "trigger" tr.trig_name)
+          to_fire)
   end
 
 (* --- DML --- *)
@@ -217,13 +231,20 @@ let insert_no_fire t ~table rows =
     rows;
   if rows <> [] then notify t (Ch_insert { table; rows })
 
+(* Span label for one DML statement; only called when tracing is enabled. *)
+let dml_note op table n = Printf.sprintf "%s %s n=%d" op table n
+
 let insert_rows t ~table rows =
+  let t0 = Obs.Trace.start t.trace in
   insert_no_fire t ~table rows;
-  if rows <> [] then fire_triggers t ~target:table ~event:Insert ~inserted:rows ~deleted:[]
+  if rows <> [] then fire_triggers t ~target:table ~event:Insert ~inserted:rows ~deleted:[];
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.finish_note t.trace t0 "dml" (dml_note "INSERT" table (List.length rows))
 
 let load_rows = insert_no_fire
 
 let update_rows t ~table ~where ~set =
+  let t0 = Obs.Trace.start t.trace in
   let tbl = get_table t table in
   let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
   let pairs = List.map (fun old -> (old, set old)) victims in
@@ -248,9 +269,12 @@ let update_rows t ~table ~where ~set =
       ~inserted:(List.map snd pairs)
       ~deleted:(List.map fst pairs)
   end;
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.finish_note t.trace t0 "dml" (dml_note "UPDATE" table (List.length pairs));
   List.length pairs
 
 let update_pk t ~table ~pk ~set =
+  let t0 = Obs.Trace.start t.trace in
   let tbl = get_table t table in
   match Table.find_pk tbl pk with
   | None -> false
@@ -267,9 +291,12 @@ let update_pk t ~table ~pk ~set =
     check_foreign_keys t tbl row;
     notify t (Ch_update { table; before = [ old ]; after = [ row ] });
     fire_triggers t ~target:table ~event:Update ~inserted:[ row ] ~deleted:[ old ];
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.finish_note t.trace t0 "dml" (dml_note "UPDATE_PK" table 1);
     true
 
 let delete_rows t ~table ~where =
+  let t0 = Obs.Trace.start t.trace in
   let tbl = get_table t table in
   let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
   let schema = Table.schema tbl in
@@ -278,15 +305,20 @@ let delete_rows t ~table ~where =
     notify t (Ch_delete { table; rows = victims });
     fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:victims
   end;
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.finish_note t.trace t0 "dml" (dml_note "DELETE" table (List.length victims));
   List.length victims
 
 let delete_pk t ~table ~pk =
+  let t0 = Obs.Trace.start t.trace in
   let tbl = get_table t table in
   match Table.delete_pk tbl pk with
   | None -> false
   | Some old ->
     notify t (Ch_delete { table; rows = [ old ] });
     fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:[ old ];
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.finish_note t.trace t0 "dml" (dml_note "DELETE_PK" table 1);
     true
 
 (* --- trigger catalog --- *)

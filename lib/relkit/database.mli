@@ -48,6 +48,12 @@ type change =
 
 val create : unit -> t
 
+(** The database's span tracer (one per database, created disabled).  All
+    layers that can reach a [t] — DML, trigger firing, the runtime's plan
+    execution, the durability hook — record their spans here, so enabling it
+    observes a statement end-to-end. *)
+val tracer : t -> Obs.Trace.t
+
 (** [attach_durability db f] calls [f] after every committed DML/DDL
     statement (insert/update/delete with full row images, table and index
     creation).  One observer at a time; see [lib/relkit/durability] for the

@@ -26,6 +26,7 @@ type outcome = {
   wal_applied : int;  (* DML/DDL records replayed from the WAL *)
   wal_status : Wal.tail_status;
   errors : string list;  (* replay failures + invariant violations *)
+  duration_ns : int64;  (* wall time of the whole recovery, verify included *)
 }
 
 let has_state ~data_dir =
@@ -140,6 +141,7 @@ let replay_stmt db errors meta_acc = function
   | Codec.Meta { kind; name; payload } -> meta_acc := (kind, name, payload) :: !meta_acc
 
 let recover ?(verify = true) ~data_dir () =
+  let t0 = Obs.Trace.now () in
   let db = Database.create () in
   let errors = ref [] in
   let snapshot_id, snapshot_meta, wal_from =
@@ -167,4 +169,5 @@ let recover ?(verify = true) ~data_dir () =
     wal_applied = !applied;
     wal_status;
     errors = List.rev !errors @ invariant_errors;
+    duration_ns = Int64.sub (Obs.Trace.now ()) t0;
   }

@@ -19,6 +19,7 @@ type t = {
   wal : Wal.t;
   is_system_table : string -> bool;
   mutable detached : bool;
+  h_checkpoint : Obs.Metrics.histogram;
 }
 
 let default_is_system_table _ = false
@@ -33,7 +34,14 @@ let change_is_system is_system = function
 let attach ?segment_limit ?policy ?(is_system_table = default_is_system_table)
     ~data_dir db =
   let wal = Wal.open_log ?segment_limit ?policy data_dir in
-  let store = { data_dir; wal; is_system_table; detached = false } in
+  let store =
+    { data_dir;
+      wal;
+      is_system_table;
+      detached = false;
+      h_checkpoint = Obs.Metrics.create_histogram ();
+    }
+  in
   Database.attach_durability db (fun change ->
       if not (store.detached || change_is_system is_system_table change) then
         Wal.append wal (Codec.stmt_of_change change));
@@ -49,7 +57,11 @@ let wal_bytes t = Wal.total_bytes t.data_dir
 let wal_records t = Wal.appended_records t.wal
 let data_dir t = t.data_dir
 
+(* WAL append/fsync and checkpoint latency histograms, always-on. *)
+let timings t = Wal.timings t.wal @ [ ("checkpoint", t.h_checkpoint) ]
+
 let checkpoint t db ~meta =
+  let t0 = Obs.Trace.now () in
   (* 1. rotate: records from here on belong to the new snapshot's tail *)
   let wal_start = Wal.rotate t.wal in
   (* 2. durable snapshot of everything before the rotation *)
@@ -59,6 +71,7 @@ let checkpoint t db ~meta =
   (* 3. only now is the old tail dead *)
   Wal.remove_segments_below t.data_dir wal_start;
   Snapshot.prune t.data_dir ~keep:2;
+  Obs.Metrics.observe t.h_checkpoint (Int64.sub (Obs.Trace.now ()) t0);
   path
 
 let detach t db =

@@ -28,6 +28,8 @@ type t = {
   mutable unsynced : int;  (* records appended since the last fsync *)
   mutable appended : int;  (* records appended over this handle's lifetime *)
   mutable closed : bool;
+  h_append : Obs.Metrics.histogram;  (* whole-append latency, fsync included *)
+  h_fsync : Obs.Metrics.histogram;
 }
 
 let segment_name i = Printf.sprintf "wal-%08d.log" i
@@ -83,17 +85,28 @@ let open_log ?(segment_limit = 8 * 1024 * 1024) ?(policy = EveryN 64) dir =
     unsynced = 0;
     appended = 0;
     closed = false;
+    h_append = Obs.Metrics.create_histogram ();
+    h_fsync = Obs.Metrics.create_histogram ();
   }
+
+(* Timed fsync through this handle (policy syncs, explicit [sync], rotation). *)
+let fsync_timed t =
+  let t0 = Obs.Trace.now () in
+  fsync_oc t.oc;
+  Obs.Metrics.observe t.h_fsync (Int64.sub (Obs.Trace.now ()) t0)
+
+(* Always-on latency accounting, as [(name, histogram)] pairs. *)
+let timings t = [ ("wal.append", t.h_append); ("wal.fsync", t.h_fsync) ]
 
 let sync t =
   if not t.closed then begin
-    fsync_oc t.oc;
+    fsync_timed t;
     t.unsynced <- 0
   end
 
 let rotate t =
   if t.closed then invalid_arg "Wal.rotate: log is closed";
-  fsync_oc t.oc;
+  fsync_timed t;
   close_out t.oc;
   t.seg_index <- t.seg_index + 1;
   t.oc <- open_segment t.dir t.seg_index;
@@ -107,6 +120,7 @@ let appended_records t = t.appended
 
 let append t stmt =
   if t.closed then invalid_arg "Wal.append: log is closed";
+  let t0 = Obs.Trace.now () in
   let payload = Codec.encode_stmt stmt in
   let len = String.length payload in
   if len > max_record_bytes then
@@ -120,16 +134,17 @@ let append t stmt =
   t.appended <- t.appended + 1;
   (match t.policy with
   | Always ->
-    fsync_oc t.oc;
+    fsync_timed t;
     t.unsynced <- 0
   | EveryN n ->
     t.unsynced <- t.unsynced + 1;
     if t.unsynced >= max n 1 then begin
-      fsync_oc t.oc;
+      fsync_timed t;
       t.unsynced <- 0
     end
   | Never -> flush t.oc);
-  if t.seg_bytes >= t.segment_limit then ignore (rotate t)
+  if t.seg_bytes >= t.segment_limit then ignore (rotate t);
+  Obs.Metrics.observe t.h_append (Int64.sub (Obs.Trace.now ()) t0)
 
 let close t =
   if not t.closed then begin

@@ -27,18 +27,108 @@ type counters = {
 let create_counters () =
   { plans_compiled = 0; compiled_execs = 0; build_cache_hits = 0; build_cache_misses = 0 }
 
+(* Per-operator annotation, updated on every execution.  [a_label] encodes
+   the *physical* decision made at compile time (INL vs hash join, probe
+   kind, cached build side), so EXPLAIN shows what will actually run;
+   cardinalities and cache traffic fill in as the plan executes. *)
+type annot = {
+  a_label : string;
+  mutable a_last_rows : int;  (* output rows of the most recent run *)
+  mutable a_total_rows : int;
+  mutable a_execs : int;
+  mutable a_hits : int;  (* build-cache / memo hits, where applicable *)
+  mutable a_misses : int;
+  a_children : annot list;
+}
+
+let make_annot label children =
+  { a_label = label;
+    a_last_rows = 0;
+    a_total_rows = 0;
+    a_execs = 0;
+    a_hits = 0;
+    a_misses = 0;
+    a_children = children;
+  }
+
 type node = {
   n_cols : string array;
+  n_annot : annot;
   n_run : Ra_eval.ctx -> Value.t array list;
 }
 
+(* Smart constructor: wraps the run closure so the node records its output
+   cardinality.  [List.length] over rows the node just materialized is noise
+   next to producing them, so the accounting stays always-on. *)
+let mk_with a n_cols n_run =
+  { n_cols;
+    n_annot = a;
+    n_run =
+      (fun ctx ->
+        let rows = n_run ctx in
+        let n = List.length rows in
+        a.a_last_rows <- n;
+        a.a_total_rows <- a.a_total_rows + n;
+        a.a_execs <- a.a_execs + 1;
+        rows);
+  }
+
+let mk ~label ~children n_cols n_run =
+  mk_with (make_annot label children) n_cols n_run
+
 type t = {
   cols : string array;
+  root : annot;
   exec : Ra_eval.ctx -> Ra_eval.rel;
 }
 
 let cols t = Array.to_list t.cols
 let exec t ctx = t.exec ctx
+let annot t = t.root
+
+(* Shared subplans make the annot graph a DAG: the same (physical) subtree
+   is a child of every [shared] node referencing it.  Render each subtree
+   once and print back-references after, or a deep plan with heavy sharing
+   blows up exponentially in the output. *)
+let rec render_annot buf seen depth a =
+  Buffer.add_string buf (String.make (2 * depth) ' ');
+  Buffer.add_string buf a.a_label;
+  let already = List.memq a !seen in
+  if not already then seen := a :: !seen;
+  if already then Buffer.add_string buf "  [see above]"
+  else if a.a_execs = 0 then Buffer.add_string buf "  [never run]"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "  [last=%d rows, total=%d over %d execs" a.a_last_rows
+         a.a_total_rows a.a_execs);
+    if a.a_hits + a.a_misses > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf ", cache hit=%d miss=%d" a.a_hits a.a_misses);
+    Buffer.add_string buf "]"
+  end;
+  Buffer.add_char buf '\n';
+  if not already then List.iter (render_annot buf seen (depth + 1)) a.a_children
+
+let explain t =
+  let buf = Buffer.create 256 in
+  render_annot buf (ref []) 0 t.root;
+  Buffer.contents buf
+
+let rec annot_json seen a =
+  let already = List.memq a !seen in
+  if not already then seen := a :: !seen;
+  if already then
+    Printf.sprintf "{\"label\": \"%s\", \"ref\": true}"
+      (Obs.Metrics.json_escape a.a_label)
+  else
+    Printf.sprintf
+      "{\"label\": \"%s\", \"last_rows\": %d, \"total_rows\": %d, \"execs\": %d, \
+       \"cache_hits\": %d, \"cache_misses\": %d, \"children\": [%s]}"
+      (Obs.Metrics.json_escape a.a_label)
+      a.a_last_rows a.a_total_rows a.a_execs a.a_hits a.a_misses
+      (String.concat ", " (List.map (annot_json seen) a.a_children))
+
+let explain_json t = annot_json (ref []) t.root
 
 exception Skip
 (* raised inside fused Select/Project pipelines to drop a row *)
@@ -104,13 +194,11 @@ let compile_scan env (src : Ra.source) renames =
   let of_table table key rows_of =
     let tbl = Database.get_table env.db table in
     let rp = rename_plan (Schema.column_names (Table.schema tbl)) renames in
-    { n_cols;
-      n_run =
-        (fun ctx ->
-          let rows = rows_of tbl ctx in
-          Ra_eval.count_scan ctx.Ra_eval.scan_stats key (List.length rows);
-          apply_rename_plan rp rows);
-    }
+    mk ~label:key ~children:[] n_cols
+      (fun ctx ->
+        let rows = rows_of tbl ctx in
+        Ra_eval.count_scan ctx.Ra_eval.scan_stats key (List.length rows);
+        apply_rename_plan rp rows)
   in
   match src with
   | Ra.Base table ->
@@ -136,9 +224,8 @@ let compile_scan env (src : Ra.source) renames =
       | None -> None
     in
     let src_names = Array.of_list (List.map fst renames) in
-    { n_cols;
-      n_run =
-        (fun ctx ->
+    mk ~label:("rel:" ^ name) ~children:[] n_cols
+      (fun ctx ->
           match List.assoc_opt name ctx.Ra_eval.rels with
           | Some rel ->
             (* Frag-key bindings are built with exactly the scanned layout;
@@ -171,8 +258,7 @@ let compile_scan env (src : Ra.source) renames =
             let rows = Table.to_rows tbl in
             Ra_eval.count_scan ctx.Ra_eval.scan_stats ("rel:" ^ name)
               (List.length rows);
-            apply_rename_plan rp rows);
-    }
+            apply_rename_plan rp rows)
 
 (* --- aggregates --- *)
 
@@ -254,20 +340,25 @@ let rec compile_node env (plan : Ra.t) : node =
         Hashtbl.add env.shared id n;
         n
     in
-    { n_cols = n.n_cols;
-      n_run =
-        (fun ctx ->
-          match Hashtbl.find_opt ctx.Ra_eval.shared_memo id with
-          | Some rel -> rel.Ra_eval.rows
-          | None ->
-            let rows = n.n_run ctx in
-            Hashtbl.add ctx.Ra_eval.shared_memo id
-              { Ra_eval.cols = n.n_cols; rows };
-            rows);
-    }
+    let a = make_annot "shared" [ n.n_annot ] in
+    mk_with a n.n_cols (fun ctx ->
+        match Hashtbl.find_opt ctx.Ra_eval.shared_memo id with
+        | Some rel ->
+          a.a_hits <- a.a_hits + 1;
+          rel.Ra_eval.rows
+        | None ->
+          a.a_misses <- a.a_misses + 1;
+          let rows = n.n_run ctx in
+          Hashtbl.add ctx.Ra_eval.shared_memo id
+            { Ra_eval.cols = n.n_cols; rows };
+          rows)
   | Ra.Scan (src, renames) -> compile_scan env src renames
   | Ra.Values (cols, rows) ->
-    { n_cols = Array.of_list cols; n_run = (fun _ -> rows) }
+    mk
+      ~label:(Printf.sprintf "values (%d rows)" (List.length rows))
+      ~children:[]
+      (Array.of_list cols)
+      (fun _ -> rows)
   | Ra.Select _ | Ra.Project _ -> compile_pipeline env plan
   | Ra.Join (kind, pred, left, right) -> compile_join env kind pred left right
   | Ra.Group_by (keys, aggs, input) -> compile_group_by env keys aggs input
@@ -283,15 +374,17 @@ let rec compile_node env (plan : Ra.t) : node =
         if Array.length n.n_cols <> Array.length n_cols then
           invalid_arg "Ra_compile: union arity mismatch")
       ns;
-    { n_cols;
-      n_run =
-        (fun ctx ->
-          let rows = List.concat_map (fun n -> n.n_run ctx) ns in
-          if all then rows else dedup_rows rows);
-    }
+    mk
+      ~label:(if all then "union all" else "union distinct")
+      ~children:(List.map (fun n -> n.n_annot) ns)
+      n_cols
+      (fun ctx ->
+        let rows = List.concat_map (fun n -> n.n_run ctx) ns in
+        if all then rows else dedup_rows rows)
   | Ra.Distinct input ->
     let n = compile_node env input in
-    { n_cols = n.n_cols; n_run = (fun ctx -> dedup_rows (n.n_run ctx)) }
+    mk ~label:"distinct" ~children:[ n.n_annot ] n.n_cols (fun ctx ->
+        dedup_rows (n.n_run ctx))
   | Ra.Order_by (keys, input) ->
     let n = compile_node env input in
     let m = colmap n.n_cols in
@@ -306,7 +399,8 @@ let rec compile_node env (plan : Ra.t) : node =
       in
       go keys
     in
-    { n_cols = n.n_cols; n_run = (fun ctx -> List.stable_sort cmp (n.n_run ctx)) }
+    mk ~label:"order_by" ~children:[ n.n_annot ] n.n_cols (fun ctx ->
+        List.stable_sort cmp (n.n_run ctx))
 
 (* Fuse a chain of Select / Project operators over one input into a single
    per-row transform: no intermediate row lists, one traversal. *)
@@ -341,18 +435,21 @@ and compile_pipeline env plan =
       (base_n.n_cols, fun row -> row)
       steps
   in
-  { n_cols = out_cols;
-    n_run =
-      (fun ctx ->
-        let rec loop acc = function
-          | [] -> List.rev acc
-          | row :: rest -> (
-            match trans row with
-            | row' -> loop (row' :: acc) rest
-            | exception Skip -> loop acc rest)
-        in
-        loop [] (base_n.n_run ctx));
-  }
+  let label =
+    let kinds =
+      List.map (function `Filter _ -> "select" | `Project _ -> "project") steps
+    in
+    "pipeline[" ^ String.concat "," kinds ^ "]"
+  in
+  mk ~label ~children:[ base_n.n_annot ] out_cols (fun ctx ->
+      let rec loop acc = function
+        | [] -> List.rev acc
+        | row :: rest -> (
+          match trans row with
+          | row' -> loop (row' :: acc) rest
+          | exception Skip -> loop acc rest)
+      in
+      loop [] (base_n.n_run ctx))
 
 and compile_join env kind pred left right =
   let left_n = compile_node env left in
@@ -438,6 +535,23 @@ and compile_inl_join kind ~left_n ~equi ~residual side tbl strat =
   let n_right = List.length side.Planner.p_renames in
   let p_old = side.Planner.p_old and p_table = side.Planner.p_table in
   let no_filters = scan_filter = None && residual_preds = [] in
+  let label =
+    let kind_s =
+      match kind with
+      | Ra.Inner -> "inner"
+      | Ra.Left_outer -> "left_outer"
+      | Ra.Left_anti -> "left_anti"
+      | Ra.Right_anti -> "right_anti"
+    in
+    let probe_s =
+      match strat with
+      | Planner.Probe_pk _ -> "pk"
+      | Planner.Probe_index (_, col) -> "index " ^ col
+    in
+    Printf.sprintf "inl-join %s (probe %s%s via %s)" kind_s
+      (if p_old then "oldof " else "")
+      p_table probe_s
+  in
   (* The joined row built for predicate checking doubles as the output row:
      one Array.append per candidate, not two. *)
   let filters_pass joined =
@@ -447,10 +561,8 @@ and compile_inl_join kind ~left_n ~equi ~residual side tbl strat =
   let equi_pass lrow srow =
     List.for_all (fun chk -> chk lrow srow) equi_checks
   in
-  { n_cols = out_cols;
-    n_run =
-      (fun ctx ->
-        match left_n.n_run ctx with
+  mk ~label ~children:[ left_n.n_annot ] out_cols (fun ctx ->
+      match left_n.n_run ctx with
         | [] -> []
         | lrows ->
           (* Candidate source rows for one left row; the Old_of transition
@@ -517,8 +629,7 @@ and compile_inl_join kind ~left_n ~equi ~residual side tbl strat =
                 if not matched then out := lrow :: !out
               | Ra.Right_anti -> assert false)
             lrows;
-          List.rev !out);
-  }
+          List.rev !out)
 
 and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
   let right_n = compile_node env right_plan in
@@ -542,15 +653,24 @@ and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
        let joined = Array.append lrow rrow in
        List.for_all (fun p -> p joined) residual_preds)
   in
+  let kind_s =
+    match kind with
+    | Ra.Inner -> "inner"
+    | Ra.Left_outer -> "left_outer"
+    | Ra.Left_anti -> "left_anti"
+    | Ra.Right_anti -> "right_anti"
+  in
+  let children = [ left_n.n_annot; right_n.n_annot ] in
   if equi = [] then begin
     (* Nested loop for non-equi joins. *)
-    { n_cols =
-        (match kind with
-        | Ra.Inner | Ra.Left_outer -> joined_cols
-        | Ra.Left_anti -> left_n.n_cols
-        | Ra.Right_anti -> right_n.n_cols);
-      n_run =
-        (fun ctx ->
+    mk
+      ~label:("nl-join " ^ kind_s)
+      ~children
+      (match kind with
+      | Ra.Inner | Ra.Left_outer -> joined_cols
+      | Ra.Left_anti -> left_n.n_cols
+      | Ra.Right_anti -> right_n.n_cols)
+      (fun ctx ->
           let lrows = left_n.n_run ctx and rrows = right_n.n_run ctx in
           let out = ref [] in
           (match kind with
@@ -585,8 +705,7 @@ and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
                 if not (List.exists (fun lrow -> passes lrow rrow) lrows) then
                   out := rrow :: !out)
               rrows);
-          List.rev !out);
-    }
+          List.rev !out)
   end
   else begin
     let build rows slots =
@@ -603,8 +722,10 @@ and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
       index
     in
     (* A build side whose plan reads only base tables can be cached across
-       executions and revalidated by comparing table version counters. *)
-    let cached_build plan n slots =
+       executions and revalidated by comparing table version counters.  Cache
+       traffic is recorded both globally (manager counters) and on the join
+       node's annotation [a], for EXPLAIN. *)
+    let cached_build a plan n slots =
       match static_deps plan with
       | None -> fun ctx -> build (n.n_run ctx) slots
       | Some names ->
@@ -617,17 +738,28 @@ and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
           (match !cell with
           | Some (vs, index) when vs = versions ->
             env.counters.build_cache_hits <- env.counters.build_cache_hits + 1;
+            a.a_hits <- a.a_hits + 1;
             index
           | _ ->
             env.counters.build_cache_misses <-
               env.counters.build_cache_misses + 1;
+            a.a_misses <- a.a_misses + 1;
             let index = build (n.n_run ctx) slots in
             cell := Some (versions, index);
             index)
     in
+    let label ~build_side ~cacheable =
+      Printf.sprintf "hash-join %s (build %s%s)" kind_s build_side
+        (if cacheable then ", cached" else "")
+    in
     match kind with
     | Ra.Inner | Ra.Left_outer | Ra.Left_anti ->
-      let get_build = cached_build right_plan right_n r_slots in
+      let a =
+        make_annot
+          (label ~build_side:"right" ~cacheable:(static_deps right_plan <> None))
+          children
+      in
+      let get_build = cached_build a right_plan right_n r_slots in
       let probe index lrow =
         let key = key_of l_slots lrow in
         if Array.exists Value.is_null key then []
@@ -641,9 +773,7 @@ and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
         | Ra.Inner | Ra.Left_outer -> joined_cols
         | _ -> left_n.n_cols
       in
-      { n_cols;
-        n_run =
-          (fun ctx ->
+      mk_with a n_cols (fun ctx ->
             let index = get_build ctx in
             let lrows = left_n.n_run ctx in
             match kind with
@@ -671,14 +801,16 @@ and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
                       matches)
                 lrows;
               List.rev !out
-            | _ -> List.filter (fun lrow -> probe index lrow = []) lrows);
-      }
+            | _ -> List.filter (fun lrow -> probe index lrow = []) lrows)
     | Ra.Right_anti ->
       (* Build on the left instead. *)
-      let get_build = cached_build left_plan left_n l_slots in
-      { n_cols = right_n.n_cols;
-        n_run =
-          (fun ctx ->
+      let a =
+        make_annot
+          (label ~build_side:"left" ~cacheable:(static_deps left_plan <> None))
+          children
+      in
+      let get_build = cached_build a left_plan left_n l_slots in
+      mk_with a right_n.n_cols (fun ctx ->
             let lindex = get_build ctx in
             let matched rrow =
               let key = key_of r_slots rrow in
@@ -688,8 +820,7 @@ and compile_hash_join env kind ~equi ~residual left_plan left_n right_plan =
               | None -> false
               | Some cell -> List.exists (fun lrow -> passes lrow rrow) !cell
             in
-            List.filter (fun r -> not (matched r)) (right_n.n_run ctx));
-      }
+            List.filter (fun r -> not (matched r)) (right_n.n_run ctx))
   end
 
 and compile_group_by env keys aggs input =
@@ -700,9 +831,11 @@ and compile_group_by env keys aggs input =
   let n_cols = Array.of_list (keys @ List.map fst aggs) in
   let scalar = keys = [] in
   let nk = Array.length key_slots and na = Array.length agg_fs in
-  { n_cols;
-    n_run =
-      (fun ctx ->
+  let label =
+    Printf.sprintf "group_by [%s] aggs=%d" (String.concat "," keys)
+      (List.length aggs)
+  in
+  mk ~label ~children:[ input_n.n_annot ] n_cols (fun ctx ->
         let in_rows = input_n.n_run ctx in
         if scalar then
           (* Scalar aggregate: exactly one output row, even over empty input. *)
@@ -733,8 +866,7 @@ and compile_group_by env keys aggs input =
                   out.(nk + j) <- compute_agg rows agg_fs.(j)
                 done;
                 out)
-              !order);
-  }
+              !order)
 
 let compile ?counters db plan =
   let counters =
@@ -744,6 +876,7 @@ let compile ?counters db plan =
   let n = compile_node env plan in
   counters.plans_compiled <- counters.plans_compiled + 1;
   { cols = n.n_cols;
+    root = n.n_annot;
     exec =
       (fun ctx ->
         counters.compiled_execs <- counters.compiled_execs + 1;

@@ -34,6 +34,34 @@ type t
 (** Output column names, in order (equal to [Ra.columns] of the plan). *)
 val cols : t -> string list
 
+(** Per-operator annotation, one per compiled node.  [a_label] names the
+    physical operator chosen at compile time (INL vs hash join, probe kind,
+    cacheable build side); the mutable fields fill in as the plan runs —
+    output cardinality of the last execution, cumulative rows, execution
+    count, and build-cache / shared-memo hit/miss traffic. *)
+type annot = {
+  a_label : string;
+  mutable a_last_rows : int;
+  mutable a_total_rows : int;
+  mutable a_execs : int;
+  mutable a_hits : int;
+  mutable a_misses : int;
+  a_children : annot list;
+}
+
+(** Root of the plan's annotation tree (shared with the executing closures:
+    reading it after an [exec] sees that execution's cardinalities). *)
+val annot : t -> annot
+
+(** Render the annotated physical plan as an indented tree: one line per
+    operator with last/total cardinalities, execution count, and cache
+    traffic.  Deterministic given a deterministic workload — no times, no
+    hash order.  Nodes that never ran say [never run]. *)
+val explain : t -> string
+
+(** Same annotation tree as a JSON object (nested [children] arrays). *)
+val explain_json : t -> string
+
 (** [static_deps plan] is [Some tables] when the plan's result depends only
     on the current contents of [tables] (no transition tables, no [Old_of],
     no [Rel] bindings): a materialization keyed on those tables' version

@@ -678,7 +678,15 @@ let compile_row_pred db tname st =
         let rec to_fn (e : Ra.expr) : Value.t array -> Value.t =
           match e with
           | Ra.Col c ->
-            let i = Hashtbl.find m c in
+            let i =
+              match Hashtbl.find_opt m c with
+              | Some i -> i
+              | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "SQL WHERE clause references unknown column %S of table %S"
+                     c tname)
+            in
             fun r -> r.(i)
           | Ra.Const v -> fun _ -> v
           | Ra.Binop (op, a, b) -> (
@@ -705,7 +713,17 @@ let compile_row_pred db tname st =
                     | Ra.Le -> c <= 0
                     | Ra.Gt -> c > 0
                     | Ra.Ge -> c >= 0
-                    | _ -> assert false))
+                    | (Ra.And | Ra.Or | Ra.Add | Ra.Sub | Ra.Mul | Ra.Div | Ra.Mod) as op ->
+                      (* handled by the outer match; reaching here means the
+                         operator table above went out of sync *)
+                      invalid_arg
+                        (Printf.sprintf
+                           "Sql.to_fn: operator %s is not a comparison"
+                           (match op with
+                           | Ra.And -> "AND" | Ra.Or -> "OR" | Ra.Add -> "+"
+                           | Ra.Sub -> "-" | Ra.Mul -> "*" | Ra.Div -> "/"
+                           | Ra.Mod -> "%"
+                           | _ -> "?"))))
           | Ra.Not e ->
             let f = to_fn e in
             fun r -> Value.Bool (f r <> Value.Bool true)

@@ -17,8 +17,23 @@ end
 module V_table = Hashtbl.Make (V_key)
 
 (* A secondary index maps a column value to the set of primary keys of rows
-   holding that value. *)
+   holding that value.  NULL keys are never stored: SQL equality never
+   matches NULL, so a NULL-keyed bucket could never serve a lookup — it
+   would only accumulate entries (and, with a total-equality witness that
+   distinguished NULLs, leak a fresh bucket per NULL row). *)
 type index = unit Pk_table.t V_table.t
+
+(* Probe accounting for the observability layer: how often the physical
+   access paths are exercised and how often they hit.  Plain int increments,
+   safe to leave always-on. *)
+type probe_stats = {
+  mutable pk_probes : int;
+  mutable pk_hits : int;
+  mutable idx_probes : int;  (* secondary-index lookups *)
+  mutable idx_hits : int;  (* ... that returned at least one row *)
+  mutable scan_lookups : int;  (* [lookup] calls that had to scan *)
+  mutable cache_hits : int;  (* [lookup_cached] probes served by the memo *)
+}
 
 type t = {
   schema : Schema.t;
@@ -32,6 +47,7 @@ type t = {
       (* [lookup] result rows, valid for exactly one version: one trigger
          firing probes the same (column, value) several times — old and new
          sides, count subqueries, fragment plans — and mutations reset it *)
+  probes : probe_stats;
 }
 
 let create schema =
@@ -41,6 +57,14 @@ let create schema =
     version = 0;
     lookup_cache = Hashtbl.create 64;
     lookup_cache_version = -1;
+    probes =
+      { pk_probes = 0;
+        pk_hits = 0;
+        idx_probes = 0;
+        idx_hits = 0;
+        scan_lookups = 0;
+        cache_hits = 0;
+      };
   }
 let schema t = t.schema
 let row_count t = Pk_table.length t.rows
@@ -50,22 +74,26 @@ let bump t = t.version <- t.version + 1
 let pk_of t row = Schema.pk_of_row t.schema row
 
 let index_add idx v pk =
-  let set =
-    match V_table.find_opt idx v with
-    | Some set -> set
-    | None ->
-      let set = Pk_table.create 4 in
-      V_table.add idx v set;
-      set
-  in
-  Pk_table.replace set pk ()
+  if not (Value.is_null v) then begin
+    let set =
+      match V_table.find_opt idx v with
+      | Some set -> set
+      | None ->
+        let set = Pk_table.create 4 in
+        V_table.add idx v set;
+        set
+    in
+    Pk_table.replace set pk ()
+  end
 
 let index_remove idx v pk =
-  match V_table.find_opt idx v with
-  | None -> ()
-  | Some set ->
-    Pk_table.remove set pk;
-    if Pk_table.length set = 0 then V_table.remove idx v
+  if not (Value.is_null v) then begin
+    match V_table.find_opt idx v with
+    | None -> ()
+    | Some set ->
+      Pk_table.remove set pk;
+      if Pk_table.length set = 0 then V_table.remove idx v
+  end
 
 let create_index t column =
   if not (List.exists (fun (c, _, _) -> c = column) t.indexes) then begin
@@ -78,25 +106,74 @@ let create_index t column =
 let indexed_columns t = List.map (fun (c, _, _) -> c) t.indexes
 let has_index t column = List.exists (fun (c, _, _) -> c = column) t.indexes
 
-let find_pk t pk = Pk_table.find_opt t.rows pk
-
-let lookup t ~column v =
+(* Distinct keys currently stored in the secondary index on [column]; NULLs
+   are never stored, so this is also the count of distinct non-NULL values. *)
+let index_entry_count t column =
   match List.find_opt (fun (c, _, _) -> c = column) t.indexes with
-  | Some (_, _, idx) -> (
-    match V_table.find_opt idx v with
-    | None -> []
-    | Some set ->
-      Pk_table.fold
-        (fun pk () acc ->
-          match Pk_table.find_opt t.rows pk with
-          | Some row -> row :: acc
-          | None -> acc)
-        set [])
+  | Some (_, _, idx) -> V_table.length idx
   | None ->
-    let slot = Schema.col_index t.schema column in
-    Pk_table.fold
-      (fun _ row acc -> if Value.equal row.(slot) v then row :: acc else acc)
-      t.rows []
+    invalid_arg
+      (Printf.sprintf "Table.index_entry_count: no index on %S.%s"
+         t.schema.Schema.name column)
+
+let probe_report t =
+  let p = t.probes in
+  [ ("pk_probes", p.pk_probes);
+    ("pk_hits", p.pk_hits);
+    ("idx_probes", p.idx_probes);
+    ("idx_hits", p.idx_hits);
+    ("scan_lookups", p.scan_lookups);
+    ("lookup_cache_hits", p.cache_hits);
+  ]
+
+let reset_probe_report t =
+  let p = t.probes in
+  p.pk_probes <- 0;
+  p.pk_hits <- 0;
+  p.idx_probes <- 0;
+  p.idx_hits <- 0;
+  p.scan_lookups <- 0;
+  p.cache_hits <- 0
+
+let find_pk t pk =
+  t.probes.pk_probes <- t.probes.pk_probes + 1;
+  match Pk_table.find_opt t.rows pk with
+  | Some _ as r ->
+    t.probes.pk_hits <- t.probes.pk_hits + 1;
+    r
+  | None -> None
+
+(* SQL equality semantics on both paths: nothing equals NULL, so a NULL
+   probe value returns no rows — whether or not an index exists.  (The
+   pre-update-state reconstruction and join filters all use [Value.sql_eq];
+   before this guard the indexed and scan paths returned the NULL-valued
+   rows themselves, i.e. total-equality matching, inconsistent with every
+   caller.) *)
+let lookup t ~column v =
+  if Value.is_null v then []
+  else
+    match List.find_opt (fun (c, _, _) -> c = column) t.indexes with
+    | Some (_, _, idx) -> (
+      t.probes.idx_probes <- t.probes.idx_probes + 1;
+      match V_table.find_opt idx v with
+      | None -> []
+      | Some set ->
+        let rows =
+          Pk_table.fold
+            (fun pk () acc ->
+              match Pk_table.find_opt t.rows pk with
+              | Some row -> row :: acc
+              | None -> acc)
+            set []
+        in
+        if rows <> [] then t.probes.idx_hits <- t.probes.idx_hits + 1;
+        rows)
+    | None ->
+      t.probes.scan_lookups <- t.probes.scan_lookups + 1;
+      let slot = Schema.col_index t.schema column in
+      Pk_table.fold
+        (fun _ row acc -> if Value.equal row.(slot) v then row :: acc else acc)
+        t.rows []
 
 (* Memoized probe for the compiled executor: one trigger firing probes the
    same (column, value) several times — old and new sides, count subqueries,
@@ -110,7 +187,9 @@ let lookup_cached t ~column v =
   end;
   let key = (column, v) in
   match Hashtbl.find_opt t.lookup_cache key with
-  | Some rows -> rows
+  | Some rows ->
+    t.probes.cache_hits <- t.probes.cache_hits + 1;
+    rows
   | None ->
     let rows = lookup t ~column v in
     Hashtbl.add t.lookup_cache key rows;

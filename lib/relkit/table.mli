@@ -25,8 +25,10 @@ val indexed_columns : t -> string list
 (** [find_pk t pk] is the row whose primary key equals [pk], if any. *)
 val find_pk : t -> Value.t list -> Value.t array option
 
-(** [lookup t ~column v] returns all rows with [row.column = v]; uses the
-    secondary index when one exists, otherwise scans. *)
+(** [lookup t ~column v] returns all rows with [row.column = v], with SQL
+    equality semantics: a NULL [v] matches nothing and returns [[]] on both
+    the indexed and the scan path.  Uses the secondary index when one
+    exists, otherwise scans. *)
 val lookup : t -> column:string -> Value.t -> Value.t array list
 
 (** [lookup_cached] is [lookup] through a per-version memo: repeated probes
@@ -35,6 +37,20 @@ val lookup : t -> column:string -> Value.t -> Value.t array list
 val lookup_cached : t -> column:string -> Value.t -> Value.t array list
 
 val has_index : t -> string -> bool
+
+(** Distinct keys currently stored in the secondary index on [column].
+    NULLs are never indexed, so this equals the number of distinct non-NULL
+    values present.  Used by tests and EXPLAIN output.
+    @raise Invalid_argument if no index exists on [column]. *)
+val index_entry_count : t -> string -> int
+
+(** Always-on access-path counters, as [(name, count)] pairs:
+    [pk_probes]/[pk_hits] ({!find_pk}), [idx_probes]/[idx_hits]
+    (indexed {!lookup}), [scan_lookups] (unindexed {!lookup}), and
+    [lookup_cache_hits] ({!lookup_cached} memo hits). *)
+val probe_report : t -> (string * int) list
+
+val reset_probe_report : t -> unit
 
 (** Iterate over all rows (order unspecified). *)
 val iter : t -> (Value.t array -> unit) -> unit

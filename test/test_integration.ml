@@ -386,6 +386,36 @@ let test_maintain_matches_recomputation () =
   Alcotest.(check bool) "frozen after detach" false
     (List.equal Xmlkit.Xml.equal (Trigview.Maintain.current maintained) (recomputed_nodes db))
 
+(* Regression: the maintained store keyed nodes by canonical XML text, so
+   two siblings that serialize identically (same name, same content)
+   collapsed into one entry, and deleting one dropped the survivor too. *)
+let test_maintain_duplicate_content_siblings () =
+  let db, mgr, _log = setup Trigview.Runtime.Grouped_agg in
+  (* two regions with the same name and no stores: identical serialization *)
+  Database.insert_rows db ~table:"region"
+    [ [| Value.String "R3"; Value.String "east" |];
+      [| Value.String "R4"; Value.String "east" |];
+    ];
+  let maintained = Trigview.Maintain.attach mgr ~path:"view('report')/region" in
+  let check what =
+    if
+      not
+        (List.equal Xmlkit.Xml.equal
+           (Trigview.Maintain.current maintained)
+           (recomputed_nodes db))
+    then Alcotest.failf "maintained copy diverged after %s" what
+  in
+  check "attach (both duplicates must be tracked)";
+  ignore (Database.delete_pk db ~table:"region" ~pk:[ Value.String "R4" ]);
+  check "deleting one of two identical siblings";
+  let remaining =
+    List.filter
+      (fun n -> Xmlkit.Xml.attr n "name" = Some "east")
+      (Trigview.Maintain.current maintained)
+  in
+  Alcotest.(check int) "the identical twin survives" 1 (List.length remaining);
+  Trigview.Maintain.detach maintained
+
 let prop_maintain_matches_recomputation =
   QCheck.Test.make ~name:"incremental maintenance = recomputation over random DML" ~count:25
     (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 10) op_gen)) (fun ops ->
@@ -604,7 +634,10 @@ let () =
           Alcotest.test_case "multi-row statement" `Quick test_multi_statement_sequence;
         ] );
       ( "incremental maintenance",
-        [ Alcotest.test_case "matches recomputation" `Quick test_maintain_matches_recomputation ]
+        [ Alcotest.test_case "matches recomputation" `Quick test_maintain_matches_recomputation;
+          Alcotest.test_case "duplicate-content siblings" `Quick
+            test_maintain_duplicate_content_siblings;
+        ]
       );
       ( "durability",
         [ Alcotest.test_case "differential crash recovery" `Quick

@@ -10,7 +10,13 @@ open Relkit
 
 let v_int i = Value.Int i
 
-(* Two all-int tables, so any generated comparison is type-sensible. *)
+(* Two all-int tables, so any generated comparison is type-sensible.
+   Every non-key column carries NULLs: joins, index probes and group-by
+   keys over NULL are part of the differential surface (SQL semantics:
+   NULL joins nothing, indexes skip NULL keys, GROUP BY treats NULLs as
+   one group). *)
+let null_every n i v = if i mod n = n - 1 then Value.Null else v
+
 let make_db () =
   let db = Database.create () in
   Database.create_table db
@@ -23,17 +29,24 @@ let make_db () =
        ~primary_key:[ "d" ] ());
   Database.create_index db ~table:"t1" ~column:"b";
   Database.load_rows db ~table:"t1"
-    (List.init 20 (fun i -> [| v_int i; v_int (i mod 5); v_int (i mod 7) |]));
+    (List.init 20 (fun i ->
+         [| v_int i; null_every 6 i (v_int (i mod 5)); null_every 7 i (v_int (i mod 7)) |]));
   Database.load_rows db ~table:"t2"
-    (List.init 12 (fun i -> [| v_int i; v_int (i mod 4) |]));
+    (List.init 12 (fun i -> [| v_int i; null_every 5 i (v_int (i mod 4)) |]));
   db
 
 (* The firing's transition tables, consistent with the current contents of
    t1: rows 0-2 were inserted by the statement (Δ, present in t1), rows
    100-102 were deleted (∇, absent from t1). *)
 let delta_rows = List.init 3 (fun i -> [| v_int i; v_int (i mod 5); v_int (i mod 7) |])
-let nabla_rows = List.init 3 (fun i -> [| v_int (100 + i); v_int i; v_int 1 |])
-let aux_rows = List.init 6 (fun i -> [| v_int (i mod 4); v_int (10 - i) |])
+
+let nabla_rows =
+  List.init 3 (fun i ->
+      [| v_int (100 + i); (if i = 1 then Value.Null else v_int i); v_int 1 |])
+
+let aux_rows =
+  List.init 6 (fun i ->
+      [| (if i = 2 then Value.Null else v_int (i mod 4)); v_int (10 - i) |])
 
 let make_ctx db =
   {
@@ -62,12 +75,15 @@ let gen_expr cols =
     int_range (-2) 12 >>= fun k ->
     return (Ra.Binop (op, Ra.Col c, Ra.Const (v_int k)))
   in
+  let is_null = oneofl cols >|= fun c -> Ra.Is_null (Ra.Col c) in
   fix
     (fun self n ->
       if n = 0 then cmp
       else
         frequency
           [ (3, cmp);
+            (1, is_null);
+            (1, map (fun p -> Ra.Not p) is_null);
             (2, map2 (fun a b -> Ra.Binop (Ra.And, a, b)) (self (n - 1)) (self (n - 1)));
             (2, map2 (fun a b -> Ra.Binop (Ra.Or, a, b)) (self (n - 1)) (self (n - 1)));
             (1, map (fun a -> Ra.Not a) (self (n - 1)));

@@ -119,6 +119,42 @@ let test_table_lookup_without_index_scans () =
   let rows = Table.lookup t ~column:"mfr" (v_str "Samsung") in
   Alcotest.(check int) "scan fallback" 2 (List.length rows)
 
+(* Regression: NULL keys used to be entered into secondary indexes, so an
+   indexed lookup on NULL returned the NULL-keyed rows while the scan path
+   (SQL semantics: NULL = NULL is unknown) returned nothing. *)
+let test_table_null_keys_not_indexed () =
+  let schema =
+    Schema.make ~name:"n"
+      ~columns:[ ("id", Schema.TInt); ("k", Schema.TString); ("m", Schema.TString) ]
+      ~primary_key:[ "id" ] ()
+  in
+  let t = Table.create schema in
+  Table.insert_exn t [| v_int 1; v_str "a"; Value.Null |];
+  Table.insert_exn t [| v_int 2; Value.Null; Value.Null |];
+  Table.insert_exn t [| v_int 3; Value.Null; v_str "x" |];
+  (* index built over existing rows: NULLs skipped *)
+  Table.create_index t "k";
+  Alcotest.(check int) "index holds only the non-NULL key" 1 (Table.index_entry_count t "k");
+  (* both lookup paths agree: NULL matches nothing *)
+  Alcotest.(check int) "indexed NULL lookup empty" 0
+    (List.length (Table.lookup t ~column:"k" Value.Null));
+  Alcotest.(check int) "scan NULL lookup empty" 0
+    (List.length (Table.lookup t ~column:"m" Value.Null));
+  (* non-NULL lookups unaffected by NULL-keyed rows *)
+  Alcotest.(check int) "indexed lookup" 1
+    (List.length (Table.lookup t ~column:"k" (v_str "a")));
+  (* incremental maintenance across NULL <-> non-NULL transitions *)
+  ignore (Table.replace_exn t [| v_int 2; v_str "a"; Value.Null |]);
+  Alcotest.(check int) "NULL -> 'a' enters index" 2
+    (List.length (Table.lookup t ~column:"k" (v_str "a")));
+  ignore (Table.replace_exn t [| v_int 1; Value.Null; Value.Null |]);
+  Alcotest.(check int) "'a' -> NULL leaves index" 1
+    (List.length (Table.lookup t ~column:"k" (v_str "a")));
+  Alcotest.(check int) "still no NULL entry" 1 (Table.index_entry_count t "k");
+  ignore (Table.delete_pk t [ v_int 3 ]);
+  Alcotest.(check int) "deleting a NULL-keyed row is a no-op on the index" 1
+    (Table.index_entry_count t "k")
+
 (* --- Database: DML, constraints, triggers --- *)
 
 let mk_db () =
@@ -631,6 +667,7 @@ let () =
           Alcotest.test_case "duplicate pk" `Quick test_table_duplicate_pk;
           Alcotest.test_case "secondary index" `Quick test_table_secondary_index;
           Alcotest.test_case "lookup scan fallback" `Quick test_table_lookup_without_index_scans;
+          Alcotest.test_case "NULL keys not indexed" `Quick test_table_null_keys_not_indexed;
         ] );
       ( "database",
         [ Alcotest.test_case "fk violation" `Quick test_db_fk_violation;
