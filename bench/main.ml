@@ -33,7 +33,8 @@ type sample = { wall_ms : float; cpu_ms : float }
 let nan_sample = { wall_ms = Float.nan; cpu_ms = Float.nan }
 
 (* Average ms per single-row leaf update. *)
-let time_point ?(updates = 40) ?tuning ?(trace = false) params strategy =
+let time_point ?(updates = 40) ?tuning ?(trace = false) ?(audit = false) params
+    strategy =
   let built = Workloadlib.Workload.build params in
   let mgr = mgr_of ?tuning strategy built in
   Workloadlib.Workload.install_triggers mgr params ~target_name:built.Workloadlib.Workload.top_names.(0);
@@ -42,6 +43,7 @@ let time_point ?(updates = 40) ?tuning ?(trace = false) params strategy =
     Workloadlib.Workload.update_leaf built ~top_index:0 ~step
   done;
   if trace then Runtime.set_tracing mgr true;
+  if audit then Runtime.set_audit mgr true;
   Runtime.reset_stats mgr;
   let w0 = Monotonic_clock.now () in
   let c0 = Sys.time () in
@@ -81,6 +83,21 @@ let fig17_grouped_speedup () =
   let interp = sum "GROUPED-interp" and compiled = sum "GROUPED" in
   if compiled > 0.0 && interp > 0.0 then interp /. compiled else Float.nan
 
+(* Audit-enabled overhead on the [overhead] figure, as a percentage of the
+   everything-off baseline; CI gates on this staying under 10%. *)
+let audit_overhead_pct () =
+  let find row =
+    List.find_map
+      (fun (fig, r, _, sample) ->
+        if fig = "overhead" && r = row && not (Float.is_nan sample.wall_ms) then
+          Some sample.wall_ms
+        else None)
+      !json_entries
+  in
+  match find "baseline", find "audit-on" with
+  | Some base, Some audit when base > 0.0 -> (audit -. base) /. base *. 100.0
+  | _ -> Float.nan
+
 (* Per-phase wall-time breakdowns ("phases" section of the JSON): span
    totals per strategy over one traced sweep. *)
 let phase_entries : (string * (string * float) list) list ref = ref []
@@ -93,6 +110,9 @@ let write_json ~full path =
   Buffer.add_string buf
     (Printf.sprintf "  \"fig17_grouped_speedup\": %s,\n"
        (json_float (fig17_grouped_speedup ())));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"audit_overhead_pct\": %s,\n"
+       (json_float (audit_overhead_pct ())));
   Buffer.add_string buf "  \"phases\": {";
   List.iteri
     (fun i (series, phases) ->
@@ -455,18 +475,22 @@ let phases ~full =
         Some { Runtime.default_tuning with Runtime.compile_plans = false } );
     ]
 
-(* --- overhead: cost of leaving span tracing enabled --- *)
+(* --- overhead: cost of leaving span tracing / firing auditing enabled --- *)
 
 let overhead ~full =
   let base = if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults in
   let p = { base with Workloadlib.Workload.num_triggers = 100; num_satisfied = 10 } in
-  print_header_s "Tracing overhead (GROUPED, 100 triggers; wall/cpu ms per update)"
+  print_header_s
+    "Tracing / audit overhead (GROUPED, 100 triggers; wall/cpu ms per update)"
     [ "variant"; "GROUPED" ];
   List.iter
-    (fun (label, trace) ->
-      let s = time_point ~updates:20 ~trace p Runtime.Grouped in
+    (fun (label, trace, audit) ->
+      let s = time_point ~updates:20 ~trace ~audit p Runtime.Grouped in
       print_row_s label [ record ~fig:"overhead" ~row:label ~series:"GROUPED" s ])
-    [ ("tracing-off", false); ("tracing-on", true) ]
+    [ ("baseline", false, false);
+      ("tracing-on", true, false);
+      ("audit-on", false, true);
+    ]
 
 (* --- bechamel micro-benchmarks: one Test.make per figure --- *)
 
@@ -552,5 +576,5 @@ let () =
         | "overhead" -> overhead ~full
         | other -> Printf.printf "unknown figure %S\n" other)
       figs;
-  if !json_requested then write_json ~full "BENCH_3.json";
+  if !json_requested then write_json ~full "BENCH_4.json";
   Printf.printf "\n(total action dispatches across all sweeps: %d)\n" !dispatched

@@ -74,7 +74,17 @@ let help_text =
   trace on|off                enable/disable span tracing (also: --trace)
   trace                       dump the recorded span timeline
   trace json                  dump the recorded spans as JSON
+  trace chrome                dump spans + audit instants as Chrome trace-event
+                              JSON (load in Perfetto / chrome://tracing)
   trace clear                 drop recorded spans
+  audit on|off                enable/disable firing provenance (also: --audit)
+  audit                       one summary line per recorded firing
+  audit-json                  the audit records as a JSON array
+  audit clear                 drop recorded audit records
+  why ID                      full lineage of firing ID: statement, SQL trigger,
+                              delta query, pair counts, condition, actions
+  metrics-prom                counters + latency histograms in Prometheus
+                              text exposition format
   checkpoint                  snapshot the database and truncate the WAL
   quit                        exit|}
 
@@ -88,7 +98,7 @@ let notify_action fi =
     (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
     fi.Runtime.fi_new
 
-let run strategy script data_dir trace =
+let run strategy script data_dir trace audit =
   let mgr =
     match data_dir with
     | Some dir when Durability.Recovery.has_state ~data_dir:dir ->
@@ -122,6 +132,7 @@ let run strategy script data_dir trace =
       mgr
   in
   if trace then Runtime.set_tracing mgr true;
+  if audit then Runtime.set_audit mgr true;
   let db = Runtime.database mgr in
   let schema_of name = Table.schema (Database.get_table db name) in
   let view = Xquery.Compile.view_of_string ~schema_of ~name:"catalog" catalog_view in
@@ -189,7 +200,22 @@ let run strategy script data_dir trace =
            Printf.printf "tracing off\n"
          | [ "trace" ] -> print_string (Runtime.trace_render mgr)
          | [ "trace"; "json" ] -> print_endline (Runtime.trace_json mgr)
+         | [ "trace"; "chrome" ] -> print_endline (Runtime.trace_chrome_json mgr)
          | [ "trace"; "clear" ] -> Runtime.trace_clear mgr
+         | [ "audit"; "on" ] ->
+           Runtime.set_audit mgr true;
+           Printf.printf "audit on\n"
+         | [ "audit"; "off" ] ->
+           Runtime.set_audit mgr false;
+           Printf.printf "audit off\n"
+         | [ "audit" ] -> print_string (Runtime.audit mgr)
+         | [ "audit-json" ] -> print_endline (Runtime.audit_json mgr)
+         | [ "audit"; "clear" ] -> Runtime.audit_clear mgr
+         | [ "why"; id ] -> (
+           match int_of_string_opt id with
+           | Some id -> print_string (Runtime.why mgr id)
+           | None -> Printf.printf "usage: why <firing id>\n")
+         | [ "metrics-prom" ] -> print_string (Runtime.metrics_prometheus mgr)
          | [ "checkpoint" ] ->
            if Runtime.durability_attached mgr then begin
              Runtime.checkpoint mgr;
@@ -262,9 +288,17 @@ let trace_arg =
            and fragment executions, tagging, dispatch); dump with the \
            $(b,trace) command.")
 
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Enable the firing-provenance audit log from the start; inspect \
+           with the $(b,audit) and $(b,why) commands.")
+
 let cmd =
   Cmd.v
     (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
-    Term.(const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg)
+    Term.(const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg $ audit_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -38,9 +38,17 @@ let apply t fi =
   (match fi.Runtime.fi_old with
   | Some old_node -> remove_node t.store old_node
   | None -> ());
-  match fi.Runtime.fi_new with
+  (match fi.Runtime.fi_new with
   | Some new_node -> add_node t.store new_node
-  | None -> ()
+  | None -> ());
+  (* close the provenance loop: the audit record that caused this delta
+     learns that a maintained copy consumed it *)
+  if fi.Runtime.fi_audit_id > 0 then
+    Obs.Audit.annotate
+      (Relkit.Database.audit (Runtime.database t.mgr))
+      ~firing_id:fi.Runtime.fi_audit_id
+      (Printf.sprintf "maintained copy applied delta #%d (store now %d node(s))"
+         t.deltas (Hashtbl.length t.store))
 
 let attach mgr ~path =
   let id = next_id () in

@@ -239,6 +239,24 @@ let rec shred (op : Op.t) : t =
     in
     { plan = Ra.Union { all = false; inputs = parts }; out_cols = cols; xml = [] }
 
+(* --- fragment link keys (for audit/provenance) ---
+
+   The child-level link columns of every fragment in a shredded graph, one
+   entry per distinct fragment, outermost first.  Static per plan: the
+   runtime computes this once at trigger-group construction and stamps it
+   on every audit record, so the hot path never walks templates. *)
+
+let rec template_frag_keys acc = function
+  | T_atom _ -> acc
+  | T_elem { content; _ } -> List.fold_left template_frag_keys acc content
+  | T_frag f ->
+    let key = String.concat "," (List.map snd f.f_link) in
+    let acc = if List.mem key acc then acc else acc @ [ key ] in
+    template_frag_keys acc f.f_template
+
+let frag_keys (t : t) =
+  List.fold_left (fun acc (_, tpl) -> template_frag_keys acc tpl) [] t.xml
+
 (* --- GROUPED-AGG: invert aggregates over OLD-OF (§5.2) --- *)
 
 let rec plan_scans_old table = function

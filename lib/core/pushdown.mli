@@ -58,6 +58,11 @@ val shred : Xqgm.Op.t -> t
 (** Rewrites every invertible GroupBy-over-OLD-OF in the shredded plans. *)
 val invert_old_aggregates : table:string -> t -> t
 
+(** The child-level link-key signature of every fragment in the shredded
+    graph (one ["k1,k2"] entry per distinct fragment, outermost first).
+    Static per plan; audit records stamp it as the delta query's lineage. *)
+val frag_keys : t -> string list
+
 (** Evaluates; [cols] defaults to all output columns. *)
 val render : ?cols:string list -> Relkit.Ra_eval.ctx -> t -> Xqgm.Eval.xrel
 

@@ -27,6 +27,7 @@ type firing = {
   fi_old : Xml.t option;
   fi_new : Xml.t option;
   fi_args : Xval.t list;
+  fi_audit_id : int;  (* audit record this firing links to; 0 when auditing off *)
 }
 
 type action = firing -> unit
@@ -66,6 +67,9 @@ type table_plan = {
   tp_graph : Op.t;  (* the affected-node graph, for middleware / display *)
   tp_rel_events : Database.event list;
   tp_relevant_cols : string list;  (* UPDATE transition pruning *)
+  tp_frag_keys : string list;
+      (* the delta query's fragment link-key signature, static per plan;
+         audit records stamp it so [why] can name the fragments involved *)
   tp_sql : string Lazy.t;  (* rendering deep plans is expensive: on demand *)
 }
 
@@ -92,6 +96,10 @@ and group = {
          constants table when the 100 000th similar trigger arrives *)
   g_monitored : Compose.monitored;
   g_view : string;
+  g_cond_mode : string;
+      (* how member conditions are evaluated — "pushed" (in the plan),
+         "fallback" (per dispatch), "none"; shared by all members because
+         the condition shape is part of the group signature *)
 }
 
 and t = {
@@ -414,12 +422,33 @@ let decode_node = function
   | Xval.Seq [] -> None
   | v -> fail "unexpected node value %s" (Xval.to_string v)
 
-let dispatch t group ~trig_ids ~old_node ~new_node =
+(* Record the outcome of one member dispatch on a live audit record.  Only
+   reached when auditing is on, so the allocations here are off the
+   audit-disabled hot path. *)
+let audit_action (r : Obs.Audit.record) m ~outcome ~old_node ~new_node =
+  (match outcome with
+  | Obs.Audit.Fired -> r.Obs.Audit.dispatched <- r.Obs.Audit.dispatched + 1
+  | Obs.Audit.Condition_rejected ->
+    r.Obs.Audit.cond_rejected <- r.Obs.Audit.cond_rejected + 1
+  | Obs.Audit.No_action -> ());
+  r.Obs.Audit.actions <-
+    { Obs.Audit.a_trigger = m.m_trigger.Trigger.name;
+      a_action = m.m_trigger.Trigger.action;
+      a_outcome = outcome;
+      a_condition =
+        (match m.m_fallback_cond with Some c -> Ast.expr_to_string c | None -> "");
+      a_has_old = old_node <> None;
+      a_has_new = new_node <> None;
+    }
+    :: r.Obs.Audit.actions
+
+let dispatch ?audit t group ~trig_ids ~old_node ~new_node =
   let members =
     match List.assoc_opt trig_ids group.g_members with
     | Some ms -> ms
     | None -> []
   in
+  let audit_id = match audit with Some r -> r.Obs.Audit.id | None -> 0 in
   List.iter
     (fun m ->
       let t0 = Obs.Trace.now () in
@@ -428,9 +457,21 @@ let dispatch t group ~trig_ids ~old_node ~new_node =
         | None -> true
         | Some cond -> Compose.condition_fallback cond ~old_node ~new_node
       in
+      let callback =
+        if passes then List.assoc_opt m.m_trigger.Trigger.action t.actions else None
+      in
+      (match audit with
+      | Some r ->
+        let outcome =
+          if not passes then Obs.Audit.Condition_rejected
+          else if Option.is_none callback then Obs.Audit.No_action
+          else Obs.Audit.Fired
+        in
+        audit_action r m ~outcome ~old_node ~new_node
+      | None -> ());
       if passes then begin
         t.counters.actions_dispatched <- t.counters.actions_dispatched + 1;
-        (match List.assoc_opt m.m_trigger.Trigger.action t.actions with
+        (match callback with
         | Some action ->
           action
             { fi_trigger = m.m_trigger.Trigger.name;
@@ -438,6 +479,7 @@ let dispatch t group ~trig_ids ~old_node ~new_node =
               fi_old = old_node;
               fi_new = new_node;
               fi_args = List.map (eval_arg ~old_node ~new_node) m.m_args;
+              fi_audit_id = audit_id;
             }
         | None -> ())
       end;
@@ -471,6 +513,53 @@ let install_sql_triggers t group =
         in
         if not empty then begin
           let t0 = Obs.Trace.now () in
+          (* audit record, inserted before dispatch so action callbacks can
+             link back by id; its counters are mutated as the firing
+             proceeds.  One boolean load when auditing is off. *)
+          let audit_log = Database.audit t.db in
+          let arec =
+            if Obs.Audit.enabled audit_log then begin
+              let delta_rows, nabla_rows =
+                match List.assoc_opt tp.tp_table ctx.Ra_eval.trans with
+                | Some (d, n) -> (List.length d, List.length n)
+                | None -> (0, 0)
+              in
+              let r =
+                { Obs.Audit.id = Obs.Audit.fresh_id audit_log;
+                  ts_ns = Obs.Trace.now ();
+                  stmt_id = tc.Database.stmt_id;
+                  stmt_event = Database.string_of_event tc.Database.event;
+                  stmt_table = tc.Database.target;
+                  sql_trigger =
+                    Printf.sprintf "xmltrig$g%d$%s$%s" group.g_id tp.tp_table
+                      (Database.string_of_event tc.Database.event);
+                  strategy = strategy_to_string t.strat;
+                  group_id = group.g_id;
+                  view = group.g_view;
+                  plan_table = tp.tp_table;
+                  plan_mode =
+                    (match tp.tp_exec, tp.tp_shred with
+                    | Some _, _ -> "compiled"
+                    | None, Some _ -> "interpreted"
+                    | None, None -> "middleware");
+                  frag_keys = tp.tp_frag_keys;
+                  cond_mode = group.g_cond_mode;
+                  delta_rows;
+                  nabla_rows;
+                  pairs_computed = 0;
+                  pairs_spurious = 0;
+                  pairs_kept = 0;
+                  cond_rejected = 0;
+                  dispatched = 0;
+                  actions = [];
+                  notes = [];
+                }
+              in
+              Obs.Audit.add audit_log r;
+              Some r
+            end
+            else None
+          in
           let cols =
             [ "trig_ids" ]
             @ (if !(group.g_needs_old) || group.g_node_compare then [ "old_node" ] else [])
@@ -491,6 +580,9 @@ let install_sql_triggers t group =
               }
           in
           t.counters.rows_computed <- t.counters.rows_computed + List.length rel.Eval.rows;
+          (match arec with
+          | Some r -> r.Obs.Audit.pairs_computed <- List.length rel.Eval.rows
+          | None -> ());
           let idx c = Eval.col_index rel c in
           let ti = idx "trig_ids" in
           let oi = if List.mem "old_node" cols then Some (idx "old_node") else None in
@@ -516,13 +608,21 @@ let install_sql_triggers t group =
                     verdict)
                 | _ -> false
               in
-              if not spurious then
+              if spurious then (
+                match arec with
+                | Some r -> r.Obs.Audit.pairs_spurious <- r.Obs.Audit.pairs_spurious + 1
+                | None -> ())
+              else begin
+                (match arec with
+                | Some r -> r.Obs.Audit.pairs_kept <- r.Obs.Audit.pairs_kept + 1
+                | None -> ());
                 let trig_ids =
                   match row.(ti) with
                   | Xval.Atom (Value.String s) -> s
                   | v -> fail "bad trig_ids value %s" (Xval.to_string v)
                 in
-                dispatch t group ~trig_ids ~old_node ~new_node)
+                dispatch ?audit:arec t group ~trig_ids ~old_node ~new_node
+              end)
             rel.Eval.rows;
           Obs.Metrics.observe_in t.histograms
             (Printf.sprintf "firing:g%d:%s" group.g_id tp.tp_table)
@@ -717,6 +817,8 @@ let instantiate_template t tmpl ~consts_table =
         tp_graph = graph;
         tp_rel_events = rel_events;
         tp_relevant_cols = relevant;
+        tp_frag_keys =
+          (match shred with Some s -> Pushdown.frag_keys s | None -> []);
         tp_sql = sql;
       })
     tmpl.tmpl_plans
@@ -786,11 +888,49 @@ let install_materialized t (tr : Trigger.t) view_name m =
       s
   in
   let events = Event_pushdown.source_events m.Compose.m_op tr.Trigger.event in
-  let body _tc =
+  let body tc =
     t.counters.sql_firings <- t.counters.sql_firings + 1;
     let before = !snap in
     let after = level_snapshot t m in
     snap := after;
+    let audit_log = Database.audit t.db in
+    let arec =
+      if Obs.Audit.enabled audit_log then begin
+        let r =
+          { Obs.Audit.id = Obs.Audit.fresh_id audit_log;
+            ts_ns = Obs.Trace.now ();
+            stmt_id = tc.Database.stmt_id;
+            stmt_event = Database.string_of_event tc.Database.event;
+            stmt_table = tc.Database.target;
+            sql_trigger =
+              Printf.sprintf "xmltrig$mat$%s$%s$%s" tr.Trigger.name
+                tc.Database.target
+                (Database.string_of_event tc.Database.event);
+            strategy = strategy_to_string t.strat;
+            group_id = -1;  (* materialized triggers are not grouped *)
+            view = view_name;
+            plan_table = tc.Database.target;
+            plan_mode = "materialized";
+            frag_keys = [];
+            cond_mode =
+              (if tr.Trigger.condition <> None then "fallback" else "none");
+            delta_rows = List.length tc.Database.inserted;
+            nabla_rows = List.length tc.Database.deleted;
+            pairs_computed = 0;
+            pairs_spurious = 0;
+            pairs_kept = 0;
+            cond_rejected = 0;
+            dispatched = 0;
+            actions = [];
+            notes = [];
+          }
+        in
+        Obs.Audit.add audit_log r;
+        Some r
+      end
+      else None
+    in
+    let audit_id = match arec with Some r -> r.Obs.Audit.id | None -> 0 in
     let fire ~old_node ~new_node =
       let t0 = Obs.Trace.now () in
       t.counters.rows_computed <- t.counters.rows_computed + 1;
@@ -799,9 +939,38 @@ let install_materialized t (tr : Trigger.t) view_name m =
         | None -> true
         | Some c -> Compose.condition_fallback c ~old_node ~new_node
       in
+      let callback =
+        if passes then List.assoc_opt tr.Trigger.action t.actions else None
+      in
+      (match arec with
+      | Some r ->
+        r.Obs.Audit.pairs_kept <- r.Obs.Audit.pairs_kept + 1;
+        let outcome =
+          if not passes then Obs.Audit.Condition_rejected
+          else if Option.is_none callback then Obs.Audit.No_action
+          else Obs.Audit.Fired
+        in
+        (match outcome with
+        | Obs.Audit.Fired -> r.Obs.Audit.dispatched <- r.Obs.Audit.dispatched + 1
+        | Obs.Audit.Condition_rejected ->
+          r.Obs.Audit.cond_rejected <- r.Obs.Audit.cond_rejected + 1
+        | Obs.Audit.No_action -> ());
+        r.Obs.Audit.actions <-
+          { Obs.Audit.a_trigger = tr.Trigger.name;
+            a_action = tr.Trigger.action;
+            a_outcome = outcome;
+            a_condition =
+              (match tr.Trigger.condition with
+              | Some c -> Ast.expr_to_string c
+              | None -> "");
+            a_has_old = old_node <> None;
+            a_has_new = new_node <> None;
+          }
+          :: r.Obs.Audit.actions
+      | None -> ());
       if passes then begin
         t.counters.actions_dispatched <- t.counters.actions_dispatched + 1;
-        (match List.assoc_opt tr.Trigger.action t.actions with
+        (match callback with
         | Some action ->
           action
             { fi_trigger = tr.Trigger.name;
@@ -810,11 +979,23 @@ let install_materialized t (tr : Trigger.t) view_name m =
               fi_new = new_node;
               fi_args =
                 List.map (eval_arg ~old_node ~new_node) tr.Trigger.args;
+              fi_audit_id = audit_id;
             }
         | None -> ())
       end;
       Obs.Metrics.observe_in t.histograms tr.Trigger.name
         (Int64.sub (Obs.Trace.now ()) t0)
+    in
+    (* pair accounting for the audit record: every candidate the diff
+       examines is "computed"; UPDATE candidates whose before/after nodes
+       are structurally equal are the spurious ones the diff suppresses *)
+    let seen_pair spurious =
+      match arec with
+      | Some r ->
+        r.Obs.Audit.pairs_computed <- r.Obs.Audit.pairs_computed + 1;
+        if spurious then
+          r.Obs.Audit.pairs_spurious <- r.Obs.Audit.pairs_spurious + 1
+      | None -> ()
     in
     match tr.Trigger.event with
     | Database.Update ->
@@ -822,18 +1003,26 @@ let install_materialized t (tr : Trigger.t) view_name m =
         (fun (k, old_n) ->
           match List.assoc_opt k after with
           | Some new_n when not (Xml.equal old_n new_n) ->
+            seen_pair false;
             fire ~old_node:(Some old_n) ~new_node:(Some new_n)
-          | _ -> ())
+          | Some _ -> seen_pair true
+          | None -> ())
         before
     | Database.Insert ->
       List.iter
         (fun (k, new_n) ->
-          if not (List.mem_assoc k before) then fire ~old_node:None ~new_node:(Some new_n))
+          if not (List.mem_assoc k before) then begin
+            seen_pair false;
+            fire ~old_node:None ~new_node:(Some new_n)
+          end)
         after
     | Database.Delete ->
       List.iter
         (fun (k, old_n) ->
-          if not (List.mem_assoc k after) then fire ~old_node:(Some old_n) ~new_node:None)
+          if not (List.mem_assoc k after) then begin
+            seen_pair false;
+            fire ~old_node:(Some old_n) ~new_node:None
+          end)
         before
   in
   List.iter
@@ -903,6 +1092,7 @@ let create_trigger_internal t text =
         g_consts_index = Hashtbl.create 1;
         g_monitored = m;
         g_view = view_name;
+        g_cond_mode = (if tr.Trigger.condition <> None then "fallback" else "none");
       }
     in
     t.next_group <- t.next_group + 1;
@@ -1038,6 +1228,10 @@ let create_trigger_internal t text =
             g_consts_index = Hashtbl.create 64;
             g_monitored = m;
             g_view = view_name;
+            g_cond_mode =
+              (if fallback_cond <> None then "fallback"
+               else if cond_rel <> None || nested <> None then "pushed"
+               else "none");
           }
         in
         t.groups <- g :: t.groups;
@@ -1214,6 +1408,23 @@ let reset_latencies t = Obs.Metrics.reset_registry t.histograms
 let durability_timings t =
   match t.store with None -> [] | Some s -> Durability.Store.timings s
 
+(* --- firing provenance: the audit trail --- *)
+
+let set_audit t on = Obs.Audit.set_enabled (Database.audit t.db) on
+let audit_enabled t = Obs.Audit.enabled (Database.audit t.db)
+let audit_clear t = Obs.Audit.clear (Database.audit t.db)
+let audit_records t = Obs.Audit.records (Database.audit t.db)
+let audit t = Obs.Audit.render (Database.audit t.db)
+let audit_json t = Obs.Audit.to_json (Database.audit t.db)
+let why t id = Obs.Audit.why (Database.audit t.db) id
+
+(* --- export: Chrome trace (Perfetto) and Prometheus text exposition --- *)
+
+let trace_chrome_json t =
+  Obs.Trace.to_chrome_json
+    ~instants:(Obs.Audit.chrome_instants (Database.audit t.db))
+    (Database.tracer t.db)
+
 (* Grouped members live in g_members; materialized triggers only in the
    trigger index — merge both. *)
 let group_trigger_names t g =
@@ -1301,6 +1512,52 @@ let probe_reports t =
         let rep = Relkit.Table.probe_report tbl in
         if List.for_all (fun (_, n) -> n = 0) rep then None else Some (name, rep))
     (List.sort compare (Database.table_names t.db))
+
+(* Everything scrape-worthy in Prometheus text exposition format: runtime
+   counters, per-source scan rows, per-table probe counts, the latency
+   registry, durability timings, and audit-log totals.  Histogram names are
+   not legal metric names ([firing:g0:product]), so each section is one
+   family carrying the name as a label. *)
+let metrics_prometheus t =
+  let s = stats t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Obs.Metrics.prometheus_counters ~metric:"trigview_runtime_total"
+       [ ("sql_firings", s.sql_firings);
+         ("rows_computed", s.rows_computed);
+         ("actions_dispatched", s.actions_dispatched);
+         ("plans_compiled", s.plans_compiled);
+         ("compiled_execs", s.compiled_execs);
+         ("build_cache_hits", s.build_cache_hits);
+         ("build_cache_misses", s.build_cache_misses);
+       ]);
+  (match scan_rows_report t with
+  | [] -> ()
+  | rep ->
+    Buffer.add_string buf
+      (Obs.Metrics.prometheus_counters ~metric:"trigview_scan_rows_total" rep));
+  (match probe_reports t with
+  | [] -> ()
+  | reps ->
+    let flat =
+      List.concat_map
+        (fun (tbl, rep) -> List.map (fun (k, v) -> (tbl ^ "/" ^ k, v)) rep)
+        reps
+    in
+    Buffer.add_string buf
+      (Obs.Metrics.prometheus_counters ~metric:"trigview_probe_total" flat));
+  Buffer.add_string buf
+    (Obs.Metrics.registry_to_prometheus ~metric:"trigview_latency_ns" t.histograms);
+  (match durability_timings t with
+  | [] -> ()
+  | timings ->
+    Buffer.add_string buf
+      (Obs.Metrics.to_prometheus ~metric:"trigview_durability_ns" timings));
+  let a = Database.audit t.db in
+  Buffer.add_string buf
+    (Obs.Metrics.prometheus_counters ~metric:"trigview_audit_total"
+       [ ("records", Obs.Audit.total a); ("dropped", Obs.Audit.dropped a) ]);
+  Buffer.contents buf
 
 let report t =
   let s = stats t in

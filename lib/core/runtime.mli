@@ -30,6 +30,9 @@ type firing = {
   fi_old : Xmlkit.Xml.t option;  (** OLD_NODE (absent for INSERT) *)
   fi_new : Xmlkit.Xml.t option;  (** NEW_NODE (absent for DELETE) *)
   fi_args : Xqgm.Xval.t list;  (** the Action's evaluated parameters *)
+  fi_audit_id : int;
+      (** id of the audit record this firing links to (see {!why}); [0]
+          when auditing is disabled *)
 }
 
 type action = firing -> unit
@@ -156,6 +159,49 @@ val report : t -> string
 
 (** The machine-readable form; includes {!explain_json} under ["explain"]. *)
 val report_json : t -> string
+
+(** {2 Firing provenance: "why did this trigger fire?"}
+
+    The audit log (off by default, one boolean load per probe while
+    disabled) records one structured {!Obs.Audit.record} per SQL-trigger
+    activation that reached a delta query, carrying the full lineage chain:
+    DML statement (id, event, table, Δ/∇ transition row counts) → generated
+    SQL trigger → delta query (plan mode, fragment link keys) → (OLD_NODE,
+    NEW_NODE) pair counts split into kept / spurious (OLD = NEW) /
+    condition-rejected → action invocations with per-dispatch condition
+    outcomes.  Action callbacks receive the record's id as
+    {!firing.fi_audit_id} and downstream consumers (e.g. {!Maintain}) can
+    annotate the record through it. *)
+
+val set_audit : t -> bool -> unit
+val audit_enabled : t -> bool
+val audit_clear : t -> unit
+
+(** The live records, oldest first (bounded ring; oldest evicted). *)
+val audit_records : t -> Obs.Audit.record list
+
+(** One summary line per record, plus an eviction note when the ring
+    overflowed. *)
+val audit : t -> string
+
+(** The records as a JSON array. *)
+val audit_json : t -> string
+
+(** Renders the full lineage chain of one firing by audit id; explains
+    itself when the id was evicted or never existed. *)
+val why : t -> int -> string
+
+(** {2 Export: Perfetto and Prometheus}
+
+    [trace_chrome_json] renders the recorded spans as Chrome trace-event
+    JSON (load in Perfetto / chrome://tracing): spans become ["ph": "X"]
+    complete events, audit records become instant events carrying the full
+    record as [args].  [metrics_prometheus] renders counters, scan rows,
+    probe counts, the latency registry, durability timings and audit totals
+    in Prometheus text exposition format. *)
+
+val trace_chrome_json : t -> string
+val metrics_prometheus : t -> string
 
 (** {2 Durability: WAL + snapshots + crash recovery}
 

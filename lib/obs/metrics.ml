@@ -56,7 +56,12 @@ let mean_ns h = if h.count = 0 then 0.0 else h.sum_ns /. float_of_int h.count
 let max_ns h = if h.count = 0 then 0L else h.max_ns
 let min_ns h = if h.count = 0 then 0L else h.min_ns
 
-(* Geometric midpoint of the bucket holding rank [q * count]. *)
+(* Geometric midpoint of the bucket holding rank [q * count], clamped into
+   [min_ns, max_ns]: the raw midpoint 2^(i+0.5) can exceed the recorded
+   maximum (the rank lands in the top occupied bucket but max_ns sits in
+   its lower half) or undershoot the minimum (bucket 0's midpoint is
+   ~1.4 ns regardless of the actual samples), and a percentile outside the
+   observed range is a lie. *)
 let percentile_ns h q =
   if h.count = 0 then 0.0
   else begin
@@ -64,13 +69,16 @@ let percentile_ns h q =
       let r = int_of_float (ceil (q *. float_of_int h.count)) in
       if r < 1 then 1 else if r > h.count then h.count else r
     in
+    let clamp v =
+      Float.max (Int64.to_float h.min_ns) (Float.min v (Int64.to_float h.max_ns))
+    in
     let rec go i seen =
       if i >= n_buckets then Int64.to_float h.max_ns
       else
         let seen = seen + h.buckets.(i) in
         if seen >= rank then
           (* midpoint of [2^i, 2^(i+1)) in log space *)
-          2.0 ** (float_of_int i +. 0.5)
+          clamp (2.0 ** (float_of_int i +. 0.5))
         else go (i + 1) seen
     in
     go 0 0
@@ -152,3 +160,71 @@ let registry_json (reg : registry) =
       (histograms reg)
   in
   "[" ^ String.concat ", " entries ^ "]"
+
+(* --- Prometheus text exposition format ---
+
+   Histogram names like "firing:g0:product" are not legal metric names, so
+   each set of named histograms becomes ONE histogram family ([metric]) with
+   the original name carried in a {name="..."} label.  Buckets are the
+   cumulative power-of-two boundaries; trailing all-zero buckets below the
+   top occupied one are elided per series (the +Inf bucket always closes the
+   series, so the parse stays valid). *)
+
+let prometheus_escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prometheus_histogram buf ~metric ~label h =
+  let lbl = prometheus_escape_label label in
+  let top =
+    let rec go i best = if i >= n_buckets then best else go (i + 1) (if h.buckets.(i) > 0 then i else best) in
+    go 0 (-1)
+  in
+  let cum = ref 0 in
+  for i = 0 to top do
+    cum := !cum + h.buckets.(i);
+    (* boundary of bucket i is exclusive 2^(i+1); report le as inclusive *)
+    Buffer.add_string buf
+      (Printf.sprintf "%s_bucket{name=\"%s\",le=\"%.0f\"} %d\n" metric lbl
+         (2.0 ** float_of_int (i + 1))
+         !cum)
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{name=\"%s\",le=\"+Inf\"} %d\n" metric lbl h.count);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum{name=\"%s\"} %.0f\n" metric lbl h.sum_ns);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count{name=\"%s\"} %d\n" metric lbl h.count)
+
+(* [to_prometheus ~metric named] renders named histograms as one labelled
+   histogram family in text exposition format. *)
+let to_prometheus ?(metric = "trigview_latency_ns") (named : (string * histogram) list) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" metric);
+  List.iter
+    (fun (name, h) -> prometheus_histogram buf ~metric ~label:name h)
+    (List.sort (fun (a, _) (b, _) -> compare a b) named);
+  Buffer.contents buf
+
+let registry_to_prometheus ?metric (reg : registry) =
+  to_prometheus ?metric (histograms reg)
+
+(* One labelled counter family: [# TYPE m counter] then one line per
+   (label, value).  Values are int64-ish monotone counts. *)
+let prometheus_counters ~metric (pairs : (string * int) list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" metric);
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s{name=\"%s\"} %d\n" metric (prometheus_escape_label label) v))
+    pairs;
+  Buffer.contents buf

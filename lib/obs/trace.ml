@@ -8,6 +8,10 @@
    Call sites that build label strings must guard on [enabled] so the
    string is never allocated when tracing is off.
 
+   The sink is a true ring: when full, recording evicts the *oldest* span
+   (a long run keeps its most recent window, not its startup), and
+   [dropped] counts evictions.
+
    Nesting is not tracked at record time (that would need exception-safe
    enter/leave pairs on hot paths); the renderer reconstructs the span tree
    from interval containment, which is exact for single-threaded nesting. *)
@@ -21,31 +25,39 @@ type event = {
 
 type t = {
   mutable enabled : bool;
-  mutable events : event list;  (* newest first *)
+  mutable buf : event array;  (* ring storage; length 0 until first record *)
+  mutable head : int;  (* index of the oldest event *)
   mutable count : int;
-  mutable dropped : int;
+  mutable dropped : int;  (* oldest events evicted since [clear] *)
   limit : int;
 }
 
 let now () = Monotonic_clock.now ()
 
 let create ?(limit = 8192) () =
-  { enabled = false; events = []; count = 0; dropped = 0; limit }
+  { enabled = false; buf = [||]; head = 0; count = 0; dropped = 0; limit = max 1 limit }
 
 let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
 
 let clear t =
-  t.events <- [];
+  t.buf <- [||];
+  t.head <- 0;
   t.count <- 0;
   t.dropped <- 0
 
 let dropped t = t.dropped
 
 let record t ev =
-  if t.count >= t.limit then t.dropped <- t.dropped + 1
+  if Array.length t.buf = 0 then t.buf <- Array.make (max 1 t.limit) ev;
+  if t.count >= t.limit then begin
+    (* full: overwrite the oldest slot and advance the head *)
+    t.buf.(t.head) <- ev;
+    t.head <- (t.head + 1) mod t.limit;
+    t.dropped <- t.dropped + 1
+  end
   else begin
-    t.events <- ev :: t.events;
+    t.buf.((t.head + t.count) mod Array.length t.buf) <- ev;
     t.count <- t.count + 1
   end
 
@@ -66,7 +78,9 @@ let span t ?(note = "") name f =
     Fun.protect ~finally:(fun () -> finish_note t t0 name note) f
   end
 
-let events t = List.rev t.events |> List.sort (fun a b -> Int64.compare a.ev_start_ns b.ev_start_ns)
+let events t =
+  List.init t.count (fun i -> t.buf.((t.head + i) mod Array.length t.buf))
+  |> List.sort (fun a b -> Int64.compare a.ev_start_ns b.ev_start_ns)
 
 (* Depth from interval containment: an event is nested under every earlier
    event whose [start, start+dur) interval still covers its start. *)
@@ -116,3 +130,47 @@ let to_json t =
       (with_depths t)
   in
   "[" ^ String.concat ", " entries ^ "]"
+
+(* --- Chrome trace-event export (load in Perfetto / chrome://tracing) ---
+
+   Spans become "ph":"X" complete events; [instants] (caller-supplied, e.g.
+   audit records) become "ph":"i" instant events with a JSON args payload.
+   Timestamps are microseconds as the format requires; fractional µs keep
+   the ns resolution.  All events share pid 1 / tid 1 — the engine is
+   single-threaded, and Perfetto reconstructs nesting from containment. *)
+
+let chrome_ts ns = Int64.to_float ns /. 1_000.0
+
+let to_chrome_json ?(instants = []) t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string buf ", ";
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun ev ->
+      emit
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \
+            \"pid\": 1, \"tid\": 1%s}"
+           (Metrics.json_escape ev.ev_name)
+           (chrome_ts ev.ev_start_ns)
+           (chrome_ts ev.ev_dur_ns)
+           (if ev.ev_note = "" then ""
+            else
+              Printf.sprintf ", \"args\": {\"note\": \"%s\"}"
+                (Metrics.json_escape ev.ev_note))))
+    (events t);
+  List.iter
+    (fun (name, ts_ns, args_json) ->
+      emit
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"ph\": \"i\", \"ts\": %.3f, \"pid\": 1, \
+            \"tid\": 1, \"s\": \"g\", \"args\": %s}"
+           (Metrics.json_escape name) (chrome_ts ts_ns)
+           (if args_json = "" then "{}" else args_json)))
+    (List.sort (fun (_, a, _) (_, b, _) -> Int64.compare a b) instants);
+  Buffer.add_string buf "], \"displayTimeUnit\": \"ns\"}";
+  Buffer.contents buf

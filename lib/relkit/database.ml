@@ -27,16 +27,24 @@ type t = {
   mutable on_change : (change -> unit) option;
   mutable change_paused : bool;
   mutable triggers_suppressed : bool;
+  mutable stmt_seq : int;
+      (* statement id: bumped at the start of every DML statement (an int
+         store, free) and carried into each trigger_ctx, so audit records
+         can name the exact statement a firing derives from *)
   trace : Obs.Trace.t;
       (* one tracer per database; every layer holding a [t] (runtime,
          pushdown fragment engines via Ra_eval.ctx, durability) records
          spans here so a firing is observable end-to-end *)
+  audit : Obs.Audit.t;
+      (* one audit log per database, same ownership story as the tracer:
+         the runtime's SQL-trigger bodies append firing records here *)
 }
 
 and trigger_ctx = {
   db : t;
   target : string;
   event : event;
+  stmt_id : int;  (* id of the DML statement that fired this trigger *)
   inserted : Value.t array list;
   deleted : Value.t array list;
 }
@@ -58,10 +66,18 @@ let create () =
     on_change = None;
     change_paused = false;
     triggers_suppressed = false;
+    stmt_seq = 0;
     trace = Obs.Trace.create ();
+    audit = Obs.Audit.create ();
   }
 
 let tracer t = t.trace
+let audit t = t.audit
+let statement_count t = t.stmt_seq
+
+let next_stmt t =
+  t.stmt_seq <- t.stmt_seq + 1;
+  t.stmt_seq
 
 (* --- durability hook --- *)
 
@@ -176,7 +192,7 @@ let check_uniques tbl row =
 
 (* --- trigger firing --- *)
 
-let fire_triggers t ~target ~event ~inserted ~deleted =
+let fire_triggers t ~target ~event ~stmt_id ~inserted ~deleted =
   if t.triggers_suppressed then ()
   else
   let to_fire =
@@ -186,7 +202,7 @@ let fire_triggers t ~target ~event ~inserted ~deleted =
     if t.firing_depth >= max_firing_depth then
       invalid_arg "Database: trigger recursion depth exceeded";
     t.firing_depth <- t.firing_depth + 1;
-    let ctx = { db = t; target; event; inserted; deleted } in
+    let ctx = { db = t; target; event; stmt_id; inserted; deleted } in
     Fun.protect
       ~finally:(fun () -> t.firing_depth <- t.firing_depth - 1)
       (fun () ->
@@ -236,8 +252,10 @@ let dml_note op table n = Printf.sprintf "%s %s n=%d" op table n
 
 let insert_rows t ~table rows =
   let t0 = Obs.Trace.start t.trace in
+  let sid = next_stmt t in
   insert_no_fire t ~table rows;
-  if rows <> [] then fire_triggers t ~target:table ~event:Insert ~inserted:rows ~deleted:[];
+  if rows <> [] then
+    fire_triggers t ~target:table ~event:Insert ~stmt_id:sid ~inserted:rows ~deleted:[];
   if Obs.Trace.enabled t.trace then
     Obs.Trace.finish_note t.trace t0 "dml" (dml_note "INSERT" table (List.length rows))
 
@@ -245,6 +263,7 @@ let load_rows = insert_no_fire
 
 let update_rows t ~table ~where ~set =
   let t0 = Obs.Trace.start t.trace in
+  let sid = next_stmt t in
   let tbl = get_table t table in
   let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
   let pairs = List.map (fun old -> (old, set old)) victims in
@@ -265,7 +284,7 @@ let update_rows t ~table ~where ~set =
     notify t
       (Ch_update
          { table; before = List.map fst pairs; after = List.map snd pairs });
-    fire_triggers t ~target:table ~event:Update
+    fire_triggers t ~target:table ~event:Update ~stmt_id:sid
       ~inserted:(List.map snd pairs)
       ~deleted:(List.map fst pairs)
   end;
@@ -275,6 +294,7 @@ let update_rows t ~table ~where ~set =
 
 let update_pk t ~table ~pk ~set =
   let t0 = Obs.Trace.start t.trace in
+  let sid = next_stmt t in
   let tbl = get_table t table in
   match Table.find_pk tbl pk with
   | None -> false
@@ -290,20 +310,21 @@ let update_pk t ~table ~pk ~set =
     end;
     check_foreign_keys t tbl row;
     notify t (Ch_update { table; before = [ old ]; after = [ row ] });
-    fire_triggers t ~target:table ~event:Update ~inserted:[ row ] ~deleted:[ old ];
+    fire_triggers t ~target:table ~event:Update ~stmt_id:sid ~inserted:[ row ] ~deleted:[ old ];
     if Obs.Trace.enabled t.trace then
       Obs.Trace.finish_note t.trace t0 "dml" (dml_note "UPDATE_PK" table 1);
     true
 
 let delete_rows t ~table ~where =
   let t0 = Obs.Trace.start t.trace in
+  let sid = next_stmt t in
   let tbl = get_table t table in
   let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
   let schema = Table.schema tbl in
   List.iter (fun row -> ignore (Table.delete_pk tbl (Schema.pk_of_row schema row))) victims;
   if victims <> [] then begin
     notify t (Ch_delete { table; rows = victims });
-    fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:victims
+    fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:victims
   end;
   if Obs.Trace.enabled t.trace then
     Obs.Trace.finish_note t.trace t0 "dml" (dml_note "DELETE" table (List.length victims));
@@ -311,12 +332,13 @@ let delete_rows t ~table ~where =
 
 let delete_pk t ~table ~pk =
   let t0 = Obs.Trace.start t.trace in
+  let sid = next_stmt t in
   let tbl = get_table t table in
   match Table.delete_pk tbl pk with
   | None -> false
   | Some old ->
     notify t (Ch_delete { table; rows = [ old ] });
-    fire_triggers t ~target:table ~event:Delete ~inserted:[] ~deleted:[ old ];
+    fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:[ old ];
     if Obs.Trace.enabled t.trace then
       Obs.Trace.finish_note t.trace t0 "dml" (dml_note "DELETE_PK" table 1);
     true

@@ -20,6 +20,10 @@ type trigger_ctx = {
   db : t;
   target : string;  (** table the statement modified *)
   event : event;
+  stmt_id : int;
+      (** id of the DML statement that fired this trigger (1-based,
+          monotone per database); audit records use it to name the exact
+          statement a firing derives from *)
   inserted : Value.t array list;  (** Δtable: new versions (empty on DELETE) *)
   deleted : Value.t array list;  (** ∇table: old versions (empty on INSERT) *)
 }
@@ -53,6 +57,15 @@ val create : unit -> t
     execution, the durability hook — record their spans here, so enabling it
     observes a statement end-to-end. *)
 val tracer : t -> Obs.Trace.t
+
+(** The database's firing-provenance audit log (one per database, created
+    disabled, same ownership story as {!tracer}): the runtime's generated
+    SQL-trigger bodies append one structured record per firing. *)
+val audit : t -> Obs.Audit.t
+
+(** Number of DML statements executed so far (= the id stamped on the most
+    recent one; see {!trigger_ctx.stmt_id}). *)
+val statement_count : t -> int
 
 (** [attach_durability db f] calls [f] after every committed DML/DDL
     statement (insert/update/delete with full row images, table and index

@@ -1,0 +1,360 @@
+(* Observability-layer unit tests: the trace ring's eviction policy, the
+   percentile clamp, and well-formedness of every JSON/Prometheus export
+   (report_json, trace json, audit_json, Chrome trace-event, text
+   exposition).  JSON is checked with a minimal recursive-descent parser —
+   enough to reject anything a real parser would reject. *)
+
+open Relkit
+
+(* --- a tiny JSON parser (validation + value extraction) --- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          Buffer.add_char buf 'x';
+          advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some c
+              when (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+                   || (c >= 'A' && c <= 'F') ->
+              advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); J_obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or }"
+        in
+        J_obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); J_arr [])
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        J_arr (items [])
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let check_valid_json label s =
+  match parse_json s with
+  | _ -> ()
+  | exception Bad_json msg -> Alcotest.failf "%s: invalid JSON: %s\n%s" label msg s
+
+(* --- trace ring: a full buffer evicts the OLDEST event --- *)
+
+let ev name start =
+  { Obs.Trace.ev_name = name; ev_note = ""; ev_start_ns = Int64.of_int start;
+    ev_dur_ns = 1L }
+
+let test_trace_ring_eviction () =
+  let tr = Obs.Trace.create ~limit:4 () in
+  for i = 1 to 6 do
+    Obs.Trace.record tr (ev (Printf.sprintf "e%d" i) (i * 10))
+  done;
+  Alcotest.(check (list string)) "newest window kept"
+    [ "e3"; "e4"; "e5"; "e6" ]
+    (List.map (fun e -> e.Obs.Trace.ev_name) (Obs.Trace.events tr));
+  Alcotest.(check int) "dropped counts evictions" 2 (Obs.Trace.dropped tr);
+  (* draining continues to rotate: two more evictions *)
+  Obs.Trace.record tr (ev "e7" 70);
+  Obs.Trace.record tr (ev "e8" 80);
+  Alcotest.(check (list string)) "window advanced"
+    [ "e5"; "e6"; "e7"; "e8" ]
+    (List.map (fun e -> e.Obs.Trace.ev_name) (Obs.Trace.events tr));
+  Alcotest.(check int) "dropped accumulated" 4 (Obs.Trace.dropped tr)
+
+let test_audit_ring_eviction () =
+  let a = Obs.Audit.create ~limit:2 () in
+  Obs.Audit.set_enabled a true;
+  let mk id =
+    { Obs.Audit.id; ts_ns = 0L; stmt_id = id; stmt_event = "UPDATE";
+      stmt_table = "t"; sql_trigger = "trig"; strategy = "GROUPED";
+      group_id = 0; view = "v"; plan_table = "t"; plan_mode = "compiled";
+      frag_keys = []; cond_mode = "none"; delta_rows = 0; nabla_rows = 0;
+      pairs_computed = 0; pairs_spurious = 0; pairs_kept = 0;
+      cond_rejected = 0; dispatched = 0; actions = []; notes = [];
+    }
+  in
+  List.iter (fun id -> Obs.Audit.add a (mk id)) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "newest two kept" [ 2; 3 ]
+    (List.map (fun r -> r.Obs.Audit.id) (Obs.Audit.records a));
+  Alcotest.(check int) "dropped" 1 (Obs.Audit.dropped a);
+  Alcotest.(check bool) "evicted id explained" true
+    (String.length (Obs.Audit.why a 1) > 0 && Obs.Audit.find a 1 = None)
+
+(* --- percentile clamp: the geometric midpoint cannot leave [min, max] --- *)
+
+let test_percentile_empty () =
+  let h = Obs.Metrics.create_histogram () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Obs.Metrics.percentile_ns h 0.5)
+
+let test_percentile_single_sample () =
+  let h = Obs.Metrics.create_histogram () in
+  Obs.Metrics.observe h 1000L;
+  (* raw midpoint of bucket [512, 1024) is ~724 ns — below the only sample;
+     the clamp pins every percentile to it *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single-sample p%.0f" (q *. 100.0))
+        1000.0
+        (Obs.Metrics.percentile_ns h q))
+    [ 0.5; 0.95; 0.99 ]
+
+let test_percentile_same_bucket () =
+  let h = Obs.Metrics.create_histogram () in
+  List.iter (fun ns -> Obs.Metrics.observe h ns) [ 600L; 700L; 800L ];
+  List.iter
+    (fun q ->
+      let p = Obs.Metrics.percentile_ns h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within observed range" (q *. 100.0))
+        true
+        (p >= 600.0 && p <= 800.0))
+    [ 0.01; 0.5; 0.99 ]
+
+(* --- export formats over a live runtime --- *)
+
+let product_schema =
+  Schema.make ~name:"product"
+    ~columns:
+      [ ("pid", Schema.TString); ("pname", Schema.TString); ("price", Schema.TFloat) ]
+    ~primary_key:[ "pid" ] ()
+
+let view_text =
+  {|<catalog>
+    {for $p in view("default")/product/row
+     return <product name="{$p/pname}"><price>{$p/price}</price></product>}
+  </catalog>|}
+
+let setup_live () =
+  let db = Database.create () in
+  Database.create_table db product_schema;
+  Database.insert_rows db ~table:"product"
+    [ [| Value.String "P1"; Value.String "crt"; Value.Float 10.0 |];
+      [| Value.String "P2"; Value.String "lcd"; Value.Float 20.0 |];
+    ];
+  let mgr = Trigview.Runtime.create ~strategy:Trigview.Runtime.Grouped db in
+  Trigview.Runtime.define_view mgr ~name:"catalog" view_text;
+  Trigview.Runtime.register_action mgr ~name:"rec" (fun _ -> ());
+  Trigview.Runtime.set_tracing mgr true;
+  Trigview.Runtime.set_audit mgr true;
+  Trigview.Runtime.create_trigger mgr
+    "CREATE TRIGGER t AFTER UPDATE ON view('catalog')/product DO rec(NEW_NODE)";
+  ignore
+    (Database.update_pk db ~table:"product" ~pk:[ Value.String "P1" ]
+       ~set:(fun r -> [| r.(0); r.(1); Value.Float 11.0 |]));
+  mgr
+
+let test_json_exports_well_formed () =
+  let mgr = setup_live () in
+  check_valid_json "report_json" (Trigview.Runtime.report_json mgr);
+  check_valid_json "explain_json" (Trigview.Runtime.explain_json mgr);
+  check_valid_json "trace_json" (Trigview.Runtime.trace_json mgr);
+  check_valid_json "audit_json" (Trigview.Runtime.audit_json mgr);
+  check_valid_json "trace_chrome_json" (Trigview.Runtime.trace_chrome_json mgr)
+
+let test_chrome_trace_structure () =
+  let mgr = setup_live () in
+  let events =
+    match parse_json (Trigview.Runtime.trace_chrome_json mgr) with
+    | J_obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (J_arr evs) -> evs
+      | _ -> Alcotest.fail "no traceEvents array")
+    | _ -> Alcotest.fail "chrome trace is not an object"
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let field name = function
+    | J_obj fs -> List.assoc_opt name fs
+    | _ -> None
+  in
+  let num = function Some (J_num f) -> f | _ -> Alcotest.fail "missing number" in
+  let str = function Some (J_str s) -> s | _ -> Alcotest.fail "missing string" in
+  (* every event: non-negative ts; complete events also non-negative dur;
+     per-phase ts sequences are monotone (spans sort by start, instants by
+     timestamp) *)
+  let last_span = ref neg_infinity and last_instant = ref neg_infinity in
+  let spans = ref 0 and instants = ref 0 in
+  List.iter
+    (fun e ->
+      let ts = num (field "ts" e) in
+      Alcotest.(check bool) "ts non-negative" true (ts >= 0.0);
+      match str (field "ph" e) with
+      | "X" ->
+        incr spans;
+        let dur = num (field "dur" e) in
+        Alcotest.(check bool) "dur non-negative" true (dur >= 0.0);
+        Alcotest.(check bool) "span ts monotone" true (ts >= !last_span);
+        last_span := ts
+      | "i" ->
+        incr instants;
+        Alcotest.(check bool) "instant ts monotone" true (ts >= !last_instant);
+        last_instant := ts
+      | ph -> Alcotest.failf "unexpected phase %S" ph)
+    events;
+  Alcotest.(check bool) "has span events" true (!spans > 0);
+  (* auditing was on and the update fired: its record must be an instant *)
+  Alcotest.(check bool) "audit records exported as instants" true (!instants > 0)
+
+let test_prometheus_exposition () =
+  let mgr = setup_live () in
+  let out = Trigview.Runtime.metrics_prometheus mgr in
+  let lines = String.split_on_char '\n' out in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "metric line starts with family name: %s" line)
+          true
+          (String.length line > 9 && String.sub line 0 9 = "trigview_");
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "no value on line %S" line
+        | Some i ->
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          if float_of_string_opt v = None then
+            Alcotest.failf "non-numeric value %S on line %S" v line
+      end)
+    lines;
+  let contains needle =
+    let nh = String.length out and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub out i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains needle))
+    [ "# TYPE trigview_runtime_total counter";
+      "# TYPE trigview_latency_ns histogram";
+      "trigview_runtime_total{name=\"sql_firings\"}";
+      "trigview_latency_ns_bucket{name=";
+      "le=\"+Inf\"";
+      "trigview_audit_total{name=\"records\"} 1";
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "ring",
+        [ Alcotest.test_case "trace eviction" `Quick test_trace_ring_eviction;
+          Alcotest.test_case "audit eviction" `Quick test_audit_ring_eviction;
+        ] );
+      ( "percentiles",
+        [ Alcotest.test_case "empty" `Quick test_percentile_empty;
+          Alcotest.test_case "single sample" `Quick test_percentile_single_sample;
+          Alcotest.test_case "same bucket" `Quick test_percentile_same_bucket;
+        ] );
+      ( "exports",
+        [ Alcotest.test_case "JSON well-formed" `Quick test_json_exports_well_formed;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_structure;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_exposition;
+        ] );
+    ]
