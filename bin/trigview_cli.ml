@@ -9,6 +9,8 @@
 
 open Relkit
 module Runtime = Trigview.Runtime
+module Hub = Subscribe
+module Server = Subscribe.Server
 
 let catalog_view =
   {|<catalog>
@@ -84,8 +86,21 @@ let help_text =
   why ID                      full lineage of firing ID: statement, SQL trigger,
                               delta query, pair counts, condition, actions
   metrics-prom                counters + latency histograms in Prometheus
-                              text exposition format
+                              text exposition format (includes subscription
+                              delivery metrics)
   checkpoint                  snapshot the database and truncate the WAL
+  subscribe NAME AFTER EV ON PATH [WHERE C] [QUEUE n] [OVERFLOW p] [COALESCE on]
+                              register a change-feed subscription over the view
+  unsubscribe NAME            drop a subscription (and its trigger)
+  subscriptions               per-subscription delivery counters and depths
+  flush                       end the coalescing window: deliver pending
+                              notifications to all sinks
+  autoflush on|off            flush automatically after every command (on by
+                              default; turn off to demo coalescing windows)
+  serve PATH                  start the notification socket server on Unix
+                              socket PATH (also: --socket)
+  pump [MS]                   run the socket server event loop for MS
+                              milliseconds (default 100)
   quit                        exit|}
 
 let notify_action fi =
@@ -98,8 +113,8 @@ let notify_action fi =
     (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
     fi.Runtime.fi_new
 
-let run strategy script data_dir trace audit =
-  let mgr =
+let run strategy script data_dir trace audit socket =
+  let mgr, recovered_meta =
     match data_dir with
     | Some dir when Durability.Recovery.has_state ~data_dir:dir ->
       (* a previous session left durable state: crash-recover it *)
@@ -118,7 +133,7 @@ let run strategy script data_dir trace audit =
       List.iter
         (fun e -> Printf.printf "recovery warning: %s\n" e)
         (r.Runtime.recovery.Durability.Recovery.errors @ r.Runtime.rearm_errors);
-      r.Runtime.runtime
+      (r.Runtime.runtime, Some r.Runtime.recovery.Durability.Recovery.meta)
     | _ ->
       let db = make_db () in
       let mgr = Runtime.create ~strategy db in
@@ -129,10 +144,42 @@ let run strategy script data_dir trace audit =
           Runtime.attach_durability mgr ~data_dir:dir;
           Printf.printf "durability attached at %s\n" dir)
         data_dir;
-      mgr
+      (mgr, None)
   in
   if trace then Runtime.set_tracing mgr true;
   if audit then Runtime.set_audit mgr true;
+  let hub = Hub.attach mgr in
+  (match recovered_meta with
+  | None -> ()
+  | Some meta ->
+    List.iter (fun e -> Printf.printf "subscription warning: %s\n" e) (Hub.rearm hub ~meta);
+    let n = List.length (Hub.subscription_names hub) in
+    if n > 0 then Printf.printf "%d subscription(s) re-armed\n" n);
+  let autoflush = ref true in
+  (* echo delivered notifications in the shell, NDJSON as on the wire *)
+  Hub.add_callback hub (fun n -> Printf.printf "~ %s\n" (Subscribe.Notification.to_ndjson n));
+  Option.iter
+    (fun path ->
+      Hub.add_server hub (Server.create ~path ());
+      Printf.printf "notification server listening on %s\n" path)
+    socket;
+  (* pump the socket event loop until it goes idle (bounded) *)
+  let pump ms =
+    match Hub.server hub with
+    | None -> ()
+    | Some srv ->
+      let budget = ref (max 1 (ms / 10)) in
+      ignore (Server.step ~timeout_ms:(min ms 10) srv);
+      while !budget > 0 do
+        decr budget;
+        if Server.step ~timeout_ms:10 srv = 0 then budget := 0
+      done
+  in
+  let flush_now ~verbose () =
+    let n = Hub.flush hub in
+    pump 50;
+    if verbose || n > 0 then Printf.printf "%d notification(s) delivered\n" n
+  in
   let db = Runtime.database mgr in
   let schema_of name = Table.schema (Database.get_table db name) in
   let view = Xquery.Compile.view_of_string ~schema_of ~name:"catalog" catalog_view in
@@ -215,7 +262,29 @@ let run strategy script data_dir trace audit =
            match int_of_string_opt id with
            | Some id -> print_string (Runtime.why mgr id)
            | None -> Printf.printf "usage: why <firing id>\n")
-         | [ "metrics-prom" ] -> print_string (Runtime.metrics_prometheus mgr)
+         | [ "metrics-prom" ] ->
+           print_string (Runtime.metrics_prometheus mgr);
+           print_string (Hub.metrics_prometheus hub)
+         | "subscribe" :: _ ->
+           Hub.subscribe hub (String.sub line 10 (String.length line - 10));
+           Printf.printf "subscribed; %d SQL triggers now registered\n"
+             (Runtime.sql_trigger_count mgr)
+         | [ "unsubscribe"; name ] -> Hub.unsubscribe hub name
+         | [ "subscriptions" ] -> print_string (Hub.report hub)
+         | [ "flush" ] -> flush_now ~verbose:true ()
+         | [ "autoflush"; "on" ] -> autoflush := true
+         | [ "autoflush"; "off" ] -> autoflush := false
+         | [ "serve"; path ] ->
+           if Hub.server hub <> None then Printf.printf "server already running\n"
+           else begin
+             Hub.add_server hub (Server.create ~path ());
+             Printf.printf "notification server listening on %s\n" path
+           end
+         | [ "pump" ] -> pump 100
+         | [ "pump"; ms ] -> (
+           match int_of_string_opt ms with
+           | Some ms -> pump ms
+           | None -> Printf.printf "usage: pump <milliseconds>\n")
          | [ "checkpoint" ] ->
            if Runtime.durability_attached mgr then begin
              Runtime.checkpoint mgr;
@@ -242,13 +311,19 @@ let run strategy script data_dir trace audit =
        with
       | Exit -> raise Exit
       | Runtime.Error msg -> Printf.printf "error: %s\n" msg
+      | Hub.Error msg -> Printf.printf "subscription error: %s\n" msg
       | Sql.Error msg -> Printf.printf "sql error: %s\n" msg
       | Invalid_argument msg -> Printf.printf "error: %s\n" msg
       | Failure msg -> Printf.printf "error: %s\n" msg);
+      if !autoflush then flush_now ~verbose:false ();
       loop ()
   in
   (try loop () with Exit -> ());
-  (* orderly shutdown: make everything appended so far durable *)
+  (* orderly shutdown: deliver what is pending, then make everything
+     appended so far durable *)
+  if Hub.subscription_names hub <> [] then flush_now ~verbose:false ();
+  Option.iter Server.stop (Hub.server hub);
+  Hub.close_sinks hub;
   Runtime.durability_sync mgr;
   if not interactive then close_in input
 
@@ -296,9 +371,22 @@ let audit_arg =
           "Enable the firing-provenance audit log from the start; inspect \
            with the $(b,audit) and $(b,why) commands.")
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ]
+        ~doc:
+          "Serve notifications over the Unix-domain socket $(docv): \
+           subscriptions' notifications are published to connected clients \
+           as length-prefixed NDJSON frames (see the $(b,subscribe) and \
+           $(b,pump) commands).")
+
 let cmd =
   Cmd.v
     (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
-    Term.(const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg $ audit_arg)
+    Term.(
+      const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg
+      $ audit_arg $ socket_arg)
 
 let () = exit (Cmd.eval cmd)

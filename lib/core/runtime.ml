@@ -28,6 +28,7 @@ type firing = {
   fi_new : Xml.t option;
   fi_args : Xval.t list;
   fi_audit_id : int;  (* audit record this firing links to; 0 when auditing off *)
+  fi_stmt_id : int;  (* DML statement this firing derives from *)
 }
 
 type action = firing -> unit
@@ -182,17 +183,26 @@ let record_ddl t ~kind ~name ~payload =
   | Some s -> Durability.Store.log_meta s ~kind ~name ~payload
   | None -> ()
 
-(* The current logical catalog: the DDL log with dropped triggers compacted
-   away.  This is the meta a checkpoint embeds in its snapshot. *)
+(* The current logical catalog: the DDL log with dropped entries compacted
+   away — a ["drop_<kind>"] record cancels the earlier ["<kind>"] record of
+   the same name, for any kind (xmltrigger, subscription, ...).  This is the
+   meta a checkpoint embeds in its snapshot. *)
 let current_meta t =
   List.rev
     (List.fold_left
        (fun acc (kind, name, payload) ->
-         match kind with
-         | "drop_xmltrigger" ->
-           List.filter (fun (k, n, _) -> not (k = "xmltrigger" && n = name)) acc
-         | _ -> (kind, name, payload) :: acc)
+         if String.length kind > 5 && String.sub kind 0 5 = "drop_" then
+           let dropped = String.sub kind 5 (String.length kind - 5) in
+           List.filter (fun (k, n, _) -> not (k = dropped && n = name)) acc
+         else (kind, name, payload) :: acc)
        [] (List.rev t.ddl_log))
+
+(* Layers above the runtime (e.g. the subscription hub) persist their own
+   DDL through the runtime's log so it rides the same WAL/checkpoint/replay
+   machinery.  [reopen] ignores kinds it does not know; the owning layer
+   replays them from [recovery_meta] after reopen.  A ["drop_<kind>"] record
+   compacts away the matching ["<kind>"] record at checkpoint time. *)
+let record_custom_ddl t ~kind ~name ~payload = record_ddl t ~kind ~name ~payload
 
 let database t = t.db
 let strategy t = t.strat
@@ -313,6 +323,40 @@ let rec expr_mentions_var name (e : Ast.expr) =
     || (match where with Some w -> expr_mentions_var name w | None -> false)
     || expr_mentions_var name return
 
+(* Constant-fold literal arithmetic in action arguments.  The expression
+   parser has no unary minus, so a negative literal like [-5] arrives as
+   [Arith (Sub, Lit 0, Lit 5)]; folding turns it (and any other
+   all-literal arithmetic) back into a single [Lit] that [validate_arg]
+   accepts and [eval_arg] returns as an atom. *)
+let rec fold_arg (a : Ast.expr) : Ast.expr =
+  match a with
+  | Ast.Arith (op, l, r) -> (
+    match fold_arg l, fold_arg r with
+    | Ast.Lit (Value.Int x), Ast.Lit (Value.Int y) -> (
+      match op with
+      | Ast.Add -> Ast.Lit (Value.Int (x + y))
+      | Ast.Sub -> Ast.Lit (Value.Int (x - y))
+      | Ast.Mul -> Ast.Lit (Value.Int (x * y))
+      | Ast.Div when y <> 0 -> Ast.Lit (Value.Int (x / y))
+      | Ast.Mod when y <> 0 -> Ast.Lit (Value.Int (x mod y))
+      | _ -> a)
+    | l', r' -> (
+      let as_float = function
+        | Ast.Lit (Value.Float f) -> Some f
+        | Ast.Lit (Value.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      match as_float l', as_float r' with
+      | Some x, Some y -> (
+        match op with
+        | Ast.Add -> Ast.Lit (Value.Float (x +. y))
+        | Ast.Sub -> Ast.Lit (Value.Float (x -. y))
+        | Ast.Mul -> Ast.Lit (Value.Float (x *. y))
+        | Ast.Div -> Ast.Lit (Value.Float (x /. y))
+        | Ast.Mod -> a)
+      | _ -> if l' == l && r' == r then a else Ast.Arith (op, l', r')))
+  | _ -> a
+
 let validate_arg (a : Ast.expr) =
   let rec ok = function
     | Ast.Lit _ -> true
@@ -320,8 +364,9 @@ let validate_arg (a : Ast.expr) =
     | Ast.Call (("count" | "sum" | "min" | "max" | "avg"), [ p ]) -> ok p
     | _ -> false
   in
-  if not (ok a) then
-    fail "unsupported action argument %s (use OLD_NODE/NEW_NODE paths)" (Ast.expr_to_string a)
+  if not (ok (fold_arg a)) then
+    fail "unsupported action argument %s (use literals or OLD_NODE/NEW_NODE paths)"
+      (Ast.expr_to_string a)
 
 let eval_arg ~old_node ~new_node (a : Ast.expr) : Xval.t =
   let nodes_of (p : Ast.path) =
@@ -354,7 +399,7 @@ let eval_arg ~old_node ~new_node (a : Ast.expr) : Xval.t =
         in
         Xmlkit.Xpath.eval node { Xmlkit.Xpath.absolute = false; steps }
   in
-  match a with
+  match fold_arg a with
   | Ast.Lit v -> Xval.atom v
   | Ast.Path p -> Xval.seq (List.map Xval.node (nodes_of p))
   | Ast.Call ("count", [ Ast.Path p ]) -> Xval.atom (Value.Int (List.length (nodes_of p)))
@@ -442,7 +487,7 @@ let audit_action (r : Obs.Audit.record) m ~outcome ~old_node ~new_node =
     }
     :: r.Obs.Audit.actions
 
-let dispatch ?audit t group ~trig_ids ~old_node ~new_node =
+let dispatch ?audit ?(stmt_id = 0) t group ~trig_ids ~old_node ~new_node =
   let members =
     match List.assoc_opt trig_ids group.g_members with
     | Some ms -> ms
@@ -480,6 +525,7 @@ let dispatch ?audit t group ~trig_ids ~old_node ~new_node =
               fi_new = new_node;
               fi_args = List.map (eval_arg ~old_node ~new_node) m.m_args;
               fi_audit_id = audit_id;
+              fi_stmt_id = stmt_id;
             }
         | None -> ())
       end;
@@ -621,7 +667,8 @@ let install_sql_triggers t group =
                   | Xval.Atom (Value.String s) -> s
                   | v -> fail "bad trig_ids value %s" (Xval.to_string v)
                 in
-                dispatch ?audit:arec t group ~trig_ids ~old_node ~new_node
+                dispatch ?audit:arec ~stmt_id:tc.Database.stmt_id t group
+                  ~trig_ids ~old_node ~new_node
               end)
             rel.Eval.rows;
           Obs.Metrics.observe_in t.histograms
@@ -980,6 +1027,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
               fi_args =
                 List.map (eval_arg ~old_node ~new_node) tr.Trigger.args;
               fi_audit_id = audit_id;
+              fi_stmt_id = tc.Database.stmt_id;
             }
         | None -> ())
       end;
@@ -1250,27 +1298,82 @@ let create_trigger_internal t text =
   end;
   tr.Trigger.name
 
-let create_trigger t text =
+(* [log]: whether the DDL lands in the durability log.  Layers that manage
+   trigger lifecycle themselves (the subscription hub logs one
+   ["subscription"] record instead and re-creates the trigger on re-arm)
+   pass ~log:false so recovery does not arm the same trigger twice. *)
+let create_trigger ?(log = true) t text =
   (* The constants-table DDL/DML below is system state: recovery re-arms
      triggers from the logged DDL text, which recreates it, so it must not
      also be replayed from the WAL. *)
   let name = Database.without_logging t.db (fun () -> create_trigger_internal t text) in
-  record_ddl t ~kind:"xmltrigger" ~name ~payload:text
+  if log then record_ddl t ~kind:"xmltrigger" ~name ~payload:text
 
-let drop_trigger t name =
+(* Remove [name] from the comma-joined member list [ids]. *)
+let remove_from_ids ids name =
+  String.concat ","
+    (List.filter (fun n -> n <> name) (String.split_on_char ',' ids))
+
+(* Drop the member's share of the group's constants table: the row whose
+   trig_ids names it alone disappears; a row shared with other triggers is
+   rewritten without it.  Without this, unsubscribe/resubscribe churn under
+   GROUPED leaks one constants row (and one index entry) per cycle — and a
+   leaked row keeps firing plans for a trigger that no longer exists. *)
+let remove_member_constants t group ~name ~old_ids =
+  if group.g_consts_table <> "" then
+    let hit =
+      Hashtbl.fold
+        (fun key (cid, ids) acc -> if ids = old_ids then Some (key, cid) else acc)
+        group.g_consts_index None
+    in
+    match hit with
+    | None -> ()
+    | Some (key, cid) ->
+      let new_ids = remove_from_ids old_ids name in
+      if new_ids = "" then begin
+        ignore
+          (Database.delete_pk t.db ~table:group.g_consts_table
+             ~pk:[ Value.Int cid ]);
+        Hashtbl.remove group.g_consts_index key
+      end
+      else begin
+        ignore
+          (Database.update_pk t.db ~table:group.g_consts_table
+             ~pk:[ Value.Int cid ]
+             ~set:(fun r ->
+               let r = Array.copy r in
+               r.(1) <- Value.String new_ids;
+               r));
+        Hashtbl.replace group.g_consts_index key (cid, new_ids)
+      end
+
+let drop_trigger ?(log = true) t name =
   match List.assoc_opt name t.trigger_index with
   | None -> ()
   | Some group ->
-    record_ddl t ~kind:"drop_xmltrigger" ~name ~payload:"";
+    if log then record_ddl t ~kind:"drop_xmltrigger" ~name ~payload:"";
     t.trigger_index <- List.remove_assoc name t.trigger_index;
-    group.g_members <-
-      List.filter_map
-        (fun (ids, ms) ->
-          let ms =
-            List.filter (fun m -> m.m_trigger.Trigger.name <> name) ms
-          in
-          if ms = [] then None else Some (ids, ms))
-        group.g_members;
+    (* constants bookkeeping happens inside without_logging for the same
+       reason as in create_trigger: it is re-derived state, not user data *)
+    Database.without_logging t.db (fun () ->
+        (match
+           List.find_opt
+             (fun (_, ms) ->
+               List.exists (fun m -> m.m_trigger.Trigger.name = name) ms)
+             group.g_members
+         with
+        | Some (old_ids, _) -> remove_member_constants t group ~name ~old_ids
+        | None -> ());
+        group.g_members <-
+          List.filter_map
+            (fun (ids, ms) ->
+              let ms' =
+                List.filter (fun m -> m.m_trigger.Trigger.name <> name) ms
+              in
+              if ms' == ms then Some (ids, ms)
+              else if ms' = [] then None
+              else Some (remove_from_ids ids name, ms'))
+            group.g_members);
     (* Materialized triggers installed their SQL triggers under their own
        name; grouped ones share the group's. *)
     if group.g_members = [] then begin
@@ -1283,6 +1386,10 @@ let drop_trigger t name =
                    (Database.string_of_event ev)))
             tp.tp_rel_events)
         group.g_plans;
+      (* the constants table is group state: gone with its group, or
+         create/drop churn would accrete one orphan table per generation *)
+      if group.g_consts_table <> "" then
+        Database.drop_table t.db group.g_consts_table;
       t.groups <- List.filter (fun g -> g.g_id <> group.g_id) t.groups
     end;
     List.iter

@@ -33,6 +33,10 @@ type firing = {
   fi_audit_id : int;
       (** id of the audit record this firing links to (see {!why}); [0]
           when auditing is disabled *)
+  fi_stmt_id : int;
+      (** id of the DML statement this firing derives from
+          ({!Relkit.Database.statement_count} at execution time); lets
+          downstream consumers order notifications by statement *)
 }
 
 type action = firing -> unit
@@ -79,13 +83,24 @@ val define_view : t -> name:string -> string -> unit
 (** Registers an external function callable from trigger actions. *)
 val register_action : t -> name:string -> action -> unit
 
-(** Parses and installs an XML trigger (syntax of §2.2).
+(** Parses and installs an XML trigger (syntax of §2.2).  [log] (default
+    true) controls whether the DDL is recorded for durability; layers that
+    persist their own lifecycle records (see {!record_custom_ddl}) pass
+    [~log:false] so recovery does not arm the trigger twice.
     @raise Error on syntax errors, unknown views/actions, paths over
     non-trigger-specifiable views (Theorem 1), or unsupported conditions. *)
-val create_trigger : t -> string -> unit
+val create_trigger : ?log:bool -> t -> string -> unit
 
-val drop_trigger : t -> string -> unit
+val drop_trigger : ?log:bool -> t -> string -> unit
 val trigger_names : t -> string list
+
+(** Appends a custom DDL record to the runtime's durability log, so
+    subsystems layered above the runtime (e.g. the subscription hub) ride
+    the same WAL/checkpoint/recovery machinery.  {!reopen} ignores kinds it
+    does not know; the owning layer replays them from
+    [reopened.recovery.meta].  A later record of kind ["drop_<kind>"] with
+    the same name compacts the pair away at the next checkpoint. *)
+val record_custom_ddl : t -> kind:string -> name:string -> payload:string -> unit
 
 (** Number of SQL triggers currently registered underneath. *)
 val sql_trigger_count : t -> int

@@ -25,3 +25,8 @@ exception Parse_error of string
 val parse : string -> t
 
 val to_string : t -> string
+
+(** Finds a top-level keyword (outside quotes, parentheses and brackets),
+    case-insensitively, at word boundaries; returns its offset.  Exposed for
+    layers with trigger-like DDL of their own (the subscription language). *)
+val find_keyword : string -> string -> from:int -> int option

@@ -228,3 +228,14 @@ let prometheus_counters ~metric (pairs : (string * int) list) =
         (Printf.sprintf "%s{name=\"%s\"} %d\n" metric (prometheus_escape_label label) v))
     pairs;
   Buffer.contents buf
+
+(* Same shape for point-in-time values (queue depths, client counts). *)
+let prometheus_gauges ~metric (pairs : (string * int) list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" metric);
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s{name=\"%s\"} %d\n" metric (prometheus_escape_label label) v))
+    pairs;
+  Buffer.contents buf

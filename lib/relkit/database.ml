@@ -111,6 +111,12 @@ let create_table t schema =
   Hashtbl.add t.tables name (Table.create schema);
   notify t (Ch_create_table schema)
 
+(* Removes a table from the catalog.  No change notification is emitted:
+   this exists for runtime-owned derived state (the trigger-grouping
+   constants tables, regenerated when triggers are re-armed), which
+   durability already excludes from the WAL and snapshots. *)
+let drop_table t name = Hashtbl.remove t.tables name
+
 let find_table t name = Hashtbl.find_opt t.tables name
 
 (* Content version of a table (0 when absent).  Bumped by Table on every

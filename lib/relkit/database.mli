@@ -89,6 +89,11 @@ val with_triggers_suppressed : t -> (unit -> 'a) -> 'a
 (** @raise Invalid_argument on duplicate table name. *)
 val create_table : t -> Schema.t -> unit
 
+(** Removes a table from the catalog without emitting a change notification:
+    meant for runtime-owned derived state (e.g. trigger-grouping constants
+    tables), which durability already excludes; a no-op when absent. *)
+val drop_table : t -> string -> unit
+
 (** @raise Not_found if absent. *)
 val get_table : t -> string -> Table.t
 

@@ -440,6 +440,95 @@ let test_trigger_parser () =
   Alcotest.(check string) "roundtrip name" t.Trigview.Trigger.name t'.Trigview.Trigger.name;
   Alcotest.(check int) "roundtrip args" 2 (List.length t'.Trigview.Trigger.args)
 
+(* --- literal action arguments (subscription payload tags) --- *)
+
+let test_literal_action_args () =
+  List.iter
+    (fun strategy ->
+      let db = Fixtures.mk_db () in
+      let mgr = Trigview.Runtime.create ~strategy db in
+      Trigview.Runtime.define_view mgr ~name:"catalog" catalog_text;
+      let seen = ref [] in
+      Trigview.Runtime.register_action mgr ~name:"tagged" (fun fi ->
+          seen := fi.Trigview.Runtime.fi_args :: !seen);
+      (* string and int literals, a negative literal (parsed as 0 - 5 and
+         constant-folded back), and folded literal arithmetic *)
+      Trigview.Runtime.create_trigger mgr
+        "CREATE TRIGGER lit AFTER UPDATE ON view('catalog')/product WHERE \
+         NEW_NODE/@name = 'CRT 15' DO tagged('feed-1', 42, -5, 2 + 3 * 4, NEW_NODE)";
+      Fixtures.update_vendor_price db ~vid:"Amazon" ~pid:"P1" ~price:75.0;
+      let name = Trigview.Runtime.strategy_to_string strategy in
+      match !seen with
+      | [ [ a; b; c; d; e ] ] ->
+        Alcotest.(check bool) (name ^ ": string literal") true
+          (a = Xqgm.Xval.Atom (Value.String "feed-1"));
+        Alcotest.(check bool) (name ^ ": int literal") true
+          (b = Xqgm.Xval.Atom (Value.Int 42));
+        Alcotest.(check bool) (name ^ ": negative literal") true
+          (c = Xqgm.Xval.Atom (Value.Int (-5)));
+        Alcotest.(check bool) (name ^ ": folded arithmetic") true
+          (d = Xqgm.Xval.Atom (Value.Int 14));
+        Alcotest.(check bool) (name ^ ": node arg alongside literals") true
+          (match e with
+          | Xqgm.Xval.Node n -> Xmlkit.Xml.attr n "name" = Some "CRT 15"
+          | _ -> false)
+      | l -> Alcotest.failf "%s: expected 1 firing with 5 args, got %d" name (List.length l))
+    strategies
+
+(* --- GROUPED unsubscribe churn: constants rows and SQL triggers --- *)
+
+let test_drop_trigger_constants_hygiene () =
+  let db = Fixtures.mk_db () in
+  let mgr = Trigview.Runtime.create ~strategy:Trigview.Runtime.Grouped db in
+  Trigview.Runtime.define_view mgr ~name:"catalog" catalog_text;
+  let log = ref [] in
+  Trigview.Runtime.register_action mgr ~name:"notify" (fun fi ->
+      log := fi.Trigview.Runtime.fi_trigger :: !log);
+  let mk name pname =
+    Printf.sprintf
+      "CREATE TRIGGER %s AFTER UPDATE ON view('catalog')/product WHERE \
+       NEW_NODE/@name = '%s' DO notify(NEW_NODE)"
+      name pname
+  in
+  Trigview.Runtime.create_trigger mgr (mk "a" "CRT 15");
+  Trigview.Runtime.create_trigger mgr (mk "b" "LCD 19");
+  Trigview.Runtime.create_trigger mgr (mk "c" "CRT 15") (* shares a's row *);
+  let consts_tables () =
+    List.filter
+      (fun n -> String.length n >= 10 && String.sub n 0 10 = "trigconsts")
+      (Database.table_names db)
+  in
+  let consts_table =
+    match consts_tables () with
+    | [ t ] -> t
+    | l -> Alcotest.failf "expected one constants table, got %d" (List.length l)
+  in
+  let rows () = Table.row_count (Database.get_table db consts_table) in
+  Alcotest.(check int) "two rows: a+c share one" 2 (rows ());
+  Trigview.Runtime.drop_trigger mgr "c";
+  Alcotest.(check int) "shared row survives c's drop" 2 (rows ());
+  (* the rewritten row must route to a alone, not to the dropped c *)
+  Fixtures.update_vendor_price db ~vid:"Amazon" ~pid:"P1" ~price:75.0;
+  Alcotest.(check (list string)) "only a fires after c dropped" [ "a" ] !log;
+  Trigview.Runtime.drop_trigger mgr "a";
+  Alcotest.(check int) "a's row removed with its last member" 1 (rows ());
+  log := [];
+  Fixtures.update_vendor_price db ~vid:"Amazon" ~pid:"P1" ~price:76.0;
+  Alcotest.(check (list string)) "no stale firings" [] !log;
+  Trigview.Runtime.drop_trigger mgr "b";
+  Alcotest.(check int) "group empty: shared SQL triggers dropped" 0
+    (Trigview.Runtime.sql_trigger_count mgr);
+  Alcotest.(check (list string)) "constants table dropped with its group" []
+    (consts_tables ());
+  (* unsubscribe churn: repeated create/drop must not accrete state *)
+  for _ = 1 to 10 do
+    Trigview.Runtime.create_trigger mgr (mk "churn" "CRT 15");
+    Trigview.Runtime.drop_trigger mgr "churn"
+  done;
+  Alcotest.(check (list string)) "churn leaves no tables" [] (consts_tables ());
+  Alcotest.(check int) "churn leaves no SQL triggers" 0
+    (Trigview.Runtime.sql_trigger_count mgr)
+
 let test_trigger_parser_errors () =
   let bad s =
     match Trigview.Trigger.parse s with
@@ -488,5 +577,8 @@ let () =
           Alcotest.test_case "drop trigger" `Quick test_drop_trigger;
           Alcotest.test_case "generated SQL" `Quick test_generated_sql_inspectable;
           Alcotest.test_case "stats" `Quick test_stats_counters;
+          Alcotest.test_case "literal action args" `Quick test_literal_action_args;
+          Alcotest.test_case "drop-trigger constants hygiene" `Quick
+            test_drop_trigger_constants_hygiene;
         ] );
     ]
