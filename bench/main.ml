@@ -528,6 +528,98 @@ let overhead ~full =
       ("audit-on", false, true);
     ]
 
+(* --- view_update: write-through view DML vs direct base DML (PR 6) ---
+
+   Not a paper figure: it gates the updatable-view translator.  The same
+   leaf-price updates run (a) as direct base-table UPDATEs and (b) as
+   REPLACE NODE view DML through the Viewupdate planner — parse, path
+   composition, anchoring, the static safety proof, then the identical
+   base UPDATE — with the full trigger load installed on both.  The
+   planner work is per-statement and data-independent, so the translation
+   must stay within a few percent of direct DML; CI gates it at <= 15%. *)
+
+let view_update_point ~updates p ~via_view =
+  let built = Workloadlib.Workload.build p in
+  let mgr = mgr_of Runtime.Grouped_agg built in
+  Workloadlib.Workload.install_triggers mgr p
+    ~target_name:built.Workloadlib.Workload.top_names.(0);
+  let leaves = built.Workloadlib.Workload.leaf_ids_of_top.(0) in
+  let leaf_table = Workloadlib.Workload.table_name p.Workloadlib.Workload.depth in
+  let apply step price =
+    let leaf = leaves.(step mod Array.length leaves) in
+    if via_view then
+      ignore
+        (Viewupdate.execute mgr
+           (Printf.sprintf
+              "REPLACE NODE view('doc')/e1/e2/e3[./id = '%s'] WITH \
+               <e3><id>%s</id><price>%d</price></e3>"
+              leaf leaf price))
+    else
+      ignore
+        (Relkit.Database.update_pk built.Workloadlib.Workload.db ~table:leaf_table
+           ~pk:[ Relkit.Value.String leaf ]
+           ~set:(fun row ->
+             let row = Array.copy row in
+             row.(Array.length row - 1) <- Relkit.Value.Float (float_of_int price);
+             row))
+  in
+  (* warm up with changing values so neither side plans a no-op *)
+  for step = 0 to 2 do apply step (500 + step) done;
+  Runtime.reset_stats mgr;
+  let w0 = Monotonic_clock.now () in
+  let c0 = Sys.time () in
+  for step = 3 to 3 + updates - 1 do apply step (1000 + step) done;
+  let c1 = Sys.time () in
+  let w1 = Monotonic_clock.now () in
+  let n = float_of_int updates in
+  { wall_ms = Int64.to_float (Int64.sub w1 w0) /. 1e6 /. n;
+    cpu_ms = (c1 -. c0) *. 1000.0 /. n;
+  }
+
+let view_update_fig ~full =
+  let base =
+    if full then Workloadlib.Workload.paper_defaults else Workloadlib.Workload.quick_defaults
+  in
+  let p =
+    { base with Workloadlib.Workload.num_triggers = (if full then 1_000 else 200);
+      num_satisfied = 10 }
+  in
+  let updates = if full then 60 else 40 in
+  print_header_s
+    "View-update translation overhead (GROUPED-AGG; wall/cpu ms per update)"
+    [ "variant"; "GROUPED-AGG" ];
+  let direct = view_update_point ~updates p ~via_view:false in
+  print_row_s "direct-dml"
+    [ record ~fig:"view_update" ~row:"direct-dml" ~series:"GROUPED-AGG" direct ];
+  let view = view_update_point ~updates p ~via_view:true in
+  print_row_s "view-dml"
+    [ record ~fig:"view_update" ~row:"view-dml" ~series:"GROUPED-AGG" view ];
+  let pct =
+    if direct.wall_ms > 0.0 then (view.wall_ms -. direct.wall_ms) /. direct.wall_ms *. 100.0
+    else Float.nan
+  in
+  let ups s = if s.wall_ms > 0.0 then 1000.0 /. s.wall_ms else Float.nan in
+  Printf.printf
+    "view-DML overhead vs direct base DML: %.2f%% (%.0f vs %.0f updates/sec)\n" pct
+    (ups view) (ups direct);
+  if !json_requested then begin
+    let oc = open_out "BENCH_6.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"mode\": \"%s\",\n\
+      \  \"view_update_overhead_pct\": %s,\n\
+      \  \"direct_updates_per_sec\": %s,\n\
+      \  \"view_dml_updates_per_sec\": %s,\n\
+      \  \"direct_wall_ms_per_update\": %s,\n\
+      \  \"view_dml_wall_ms_per_update\": %s\n\
+       }\n"
+      (if full then "full" else "quick")
+      (json_float pct) (json_float (ups direct)) (json_float (ups view))
+      (json_float direct.wall_ms) (json_float view.wall_ms);
+    close_out oc;
+    Printf.printf "wrote BENCH_6.json\n"
+  end
+
 (* --- fanout: subscription fan-out and delivery throughput (PR 5) ---
 
    Not a paper figure: it sizes the notification-delivery subsystem layered
@@ -764,7 +856,7 @@ let () =
     | Some s -> String.split_on_char ',' s
     | None ->
       [ "17"; "18"; "22"; "23"; "24"; "compile"; "ablation"; "recovery";
-        "phases"; "overhead"; "fanout" ]
+        "phases"; "overhead"; "fanout"; "view_update" ]
   in
   Printf.printf
     "Triggers over XML Views of Relational Data — benchmark harness (%s mode)\n"
@@ -785,6 +877,7 @@ let () =
         | "phases" -> phases ~full
         | "overhead" -> overhead ~full
         | "fanout" -> fanout_fig ~full
+        | "view_update" -> view_update_fig ~full
         | other -> Printf.printf "unknown figure %S\n" other)
       figs;
   if !json_requested then write_json ~full "BENCH_5.json";

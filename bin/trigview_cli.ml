@@ -85,6 +85,15 @@ let help_text =
   audit clear                 drop recorded audit records
   why ID                      full lineage of firing ID: statement, SQL trigger,
                               delta query, pair counts, condition, actions
+  update STMT                 run a view-DML statement against a published view:
+                                INSERT NODE <xml> INTO view("v")/path
+                                REPLACE NODE view("v")/path WITH <xml>
+                                DELETE NODE view("v")/path [WHERE cond]
+                              translated to base DML; rejected with a diagnostic
+                              when ambiguous or side-effecting
+  explain-update STMT         print the translated base DML and the injectivity /
+                              safety verdict without executing
+  update-strategy VIEW S      ambiguity strategy for VIEW: reject | first | all
   metrics-prom                counters + latency histograms in Prometheus
                               text exposition format (includes subscription
                               delivery metrics)
@@ -291,6 +300,31 @@ let run strategy script data_dir trace audit socket =
              Printf.printf "checkpoint written; WAL truncated\n"
            end
            else Printf.printf "no durability attached (start with --data-dir DIR)\n"
+         | "update" :: verb :: _
+           when List.mem (String.uppercase_ascii verb) [ "INSERT"; "REPLACE"; "DELETE" ] ->
+           let text = String.sub line 7 (String.length line - 7) in
+           let p = Viewupdate.execute mgr text in
+           Printf.printf "%d base statement(s) executed\n" (List.length p.Viewupdate.p_ops);
+           List.iter
+             (fun op -> Printf.printf "  %s\n" (Viewupdate.base_op_render db op))
+             p.Viewupdate.p_ops
+         | "explain-update" :: _ when String.length line > 15 ->
+           let text = String.sub line 15 (String.length line - 15) in
+           print_string (Viewupdate.explain mgr text)
+         | [ "update-strategy"; vname; s ] -> (
+           let strat =
+             match s with
+             | "reject" -> Some Viewupdate.Reject_ambiguous
+             | "first" -> Some Viewupdate.First_candidate
+             | "all" -> Some Viewupdate.All_candidates
+             | _ -> None
+           in
+           match strat with
+           | Some strat ->
+             Viewupdate.set_strategy ~view:vname strat;
+             Printf.printf "strategy for view %S: %s\n" vname
+               (Viewupdate.strategy_to_string strat)
+           | None -> Printf.printf "usage: update-strategy VIEW reject|first|all\n")
          | first :: _
            when List.mem
                   (String.uppercase_ascii first)
@@ -311,6 +345,8 @@ let run strategy script data_dir trace audit socket =
        with
       | Exit -> raise Exit
       | Runtime.Error msg -> Printf.printf "error: %s\n" msg
+      | Viewupdate.Error msg -> Printf.printf "view-update error: %s\n" msg
+      | Viewupdate.Rejected d -> print_string (Viewupdate.render_diagnostic d)
       | Hub.Error msg -> Printf.printf "subscription error: %s\n" msg
       | Sql.Error msg -> Printf.printf "sql error: %s\n" msg
       | Invalid_argument msg -> Printf.printf "error: %s\n" msg

@@ -251,6 +251,8 @@ let define_view t ~name text =
   | exception Xqgm.Keys.Not_trigger_specifiable msg ->
     fail "view %S is not trigger-specifiable (Theorem 1): %s" name msg
 
+let find_view t name = List.assoc_opt name t.views
+
 let register_action t ~name action =
   t.actions <- (name, action) :: List.remove_assoc name t.actions
 
@@ -590,6 +592,7 @@ let install_sql_triggers t group =
                     | None, None -> "middleware");
                   frag_keys = tp.tp_frag_keys;
                   cond_mode = group.g_cond_mode;
+                  origin = Database.statement_origin t.db;
                   delta_rows;
                   nabla_rows;
                   pairs_computed = 0;
@@ -961,6 +964,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
             frag_keys = [];
             cond_mode =
               (if tr.Trigger.condition <> None then "fallback" else "none");
+            origin = Database.statement_origin t.db;
             delta_rows = List.length tc.Database.inserted;
             nabla_rows = List.length tc.Database.deleted;
             pairs_computed = 0;

@@ -80,6 +80,10 @@ val strategy : t -> strategy
     paths.  @raise Error on parse/compile problems. *)
 val define_view : t -> name:string -> string -> unit
 
+(** The compiled form of a published view, for layers that plan against its
+    XQGM graph directly (the view-update translator). *)
+val find_view : t -> string -> Xquery.Compile.view option
+
 (** Registers an external function callable from trigger actions. *)
 val register_action : t -> name:string -> action -> unit
 

@@ -52,6 +52,9 @@ type record = {
   plan_mode : string;  (* compiled / interpreted / middleware / materialized *)
   frag_keys : string list;  (* delta-query fragment link keys *)
   cond_mode : string;  (* none / pushed / fallback *)
+  origin : string;
+      (* source text of the higher-level statement (view DML) the firing
+         statement was translated from; "" for direct relational DML *)
   mutable delta_rows : int;  (* Δ transition rows handed to the delta query *)
   mutable nabla_rows : int;  (* ∇ transition rows *)
   mutable pairs_computed : int;  (* (OLD_NODE, NEW_NODE) pairs the query produced *)
@@ -159,6 +162,7 @@ let render_record r =
     (if r.delta_rows = 1 then "" else "s")
     r.nabla_rows
     (if r.nabla_rows = 1 then "" else "s");
+  if r.origin <> "" then line "  origin      : %s" r.origin;
   line "  sql trigger : %s" r.sql_trigger;
   line "  delta query : %s plan over %s%s" r.plan_mode r.plan_table
     (match r.frag_keys with
@@ -221,7 +225,8 @@ let record_json r =
     "{\"id\": %d, \"ts_ns\": %Ld, \"stmt_id\": %d, \"stmt_event\": \"%s\", \
      \"stmt_table\": \"%s\", \"sql_trigger\": \"%s\", \"strategy\": \"%s\", \
      \"group\": %d, \"view\": \"%s\", \"plan_table\": \"%s\", \"plan_mode\": \
-     \"%s\", \"frag_keys\": [%s], \"cond_mode\": \"%s\", \"delta_rows\": %d, \
+     \"%s\", \"frag_keys\": [%s], \"cond_mode\": \"%s\", \"origin\": \"%s\", \
+     \"delta_rows\": %d, \
      \"nabla_rows\": %d, \"pairs_computed\": %d, \"pairs_spurious\": %d, \
      \"pairs_kept\": %d, \"cond_rejected\": %d, \"dispatched\": %d, \
      \"actions\": [%s], \"notes\": [%s]}"
@@ -229,7 +234,7 @@ let record_json r =
     (esc r.sql_trigger) (esc r.strategy) r.group_id (esc r.view)
     (esc r.plan_table) (esc r.plan_mode)
     (String.concat ", " (List.map (fun k -> "\"" ^ esc k ^ "\"") r.frag_keys))
-    (esc r.cond_mode) r.delta_rows r.nabla_rows r.pairs_computed
+    (esc r.cond_mode) (esc r.origin) r.delta_rows r.nabla_rows r.pairs_computed
     r.pairs_spurious r.pairs_kept r.cond_rejected r.dispatched
     (String.concat ", " (List.map action_json (List.rev r.actions)))
     (String.concat ", " (List.map (fun n -> "\"" ^ esc n ^ "\"") (List.rev r.notes)))

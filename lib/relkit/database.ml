@@ -31,6 +31,12 @@ type t = {
       (* statement id: bumped at the start of every DML statement (an int
          store, free) and carried into each trigger_ctx, so audit records
          can name the exact statement a firing derives from *)
+  mutable stmt_origin : string;
+      (* provenance of the statement currently executing: layers that
+         translate a higher-level statement into base DML (the view-update
+         translator) set this to the source text around their DML calls, so
+         triggers and audit records fired underneath can name the true
+         cause.  "" = a direct relational statement *)
   trace : Obs.Trace.t;
       (* one tracer per database; every layer holding a [t] (runtime,
          pushdown fragment engines via Ra_eval.ctx, durability) records
@@ -67,6 +73,7 @@ let create () =
     change_paused = false;
     triggers_suppressed = false;
     stmt_seq = 0;
+    stmt_origin = "";
     trace = Obs.Trace.create ();
     audit = Obs.Audit.create ();
   }
@@ -74,6 +81,17 @@ let create () =
 let tracer t = t.trace
 let audit t = t.audit
 let statement_count t = t.stmt_seq
+
+let statement_origin t = t.stmt_origin
+
+(* Run [f] with every statement it issues stamped as originating from
+   [origin] (e.g. the view-DML text a translator compiled into base DML).
+   Restores the previous origin even on exceptions, so a failed translation
+   cannot leak its stamp onto later direct statements. *)
+let with_statement_origin t origin f =
+  let saved = t.stmt_origin in
+  t.stmt_origin <- origin;
+  Fun.protect ~finally:(fun () -> t.stmt_origin <- saved) f
 
 let next_stmt t =
   t.stmt_seq <- t.stmt_seq + 1;

@@ -67,6 +67,18 @@ val audit : t -> Obs.Audit.t
     recent one; see {!trigger_ctx.stmt_id}). *)
 val statement_count : t -> int
 
+(** Provenance of the statement currently executing: layers that translate a
+    higher-level statement into base DML (the view-update translator) set
+    this to the source text around their DML calls, so triggers and audit
+    records fired underneath can name the true cause.  [""] = a direct
+    relational statement. *)
+val statement_origin : t -> string
+
+(** [with_statement_origin db origin f] runs [f] with {!statement_origin}
+    set to [origin], restoring the previous value afterwards (also on
+    exceptions). *)
+val with_statement_origin : t -> string -> (unit -> 'a) -> 'a
+
 (** [attach_durability db f] calls [f] after every committed DML/DDL
     statement (insert/update/delete with full row images, table and index
     creation).  One observer at a time; see [lib/relkit/durability] for the

@@ -1,0 +1,121 @@
+(* Column provenance: which base-table column does each output column copy?
+
+   The walk parallels {!Injective.classify} but answers a finer question —
+   per-column identity rather than per-table coverage — and is deliberately
+   conservative: anything that is not a verbatim copy (expressions,
+   aggregates, multi-input unions) is [Computed].  Join minimization is not
+   applied: after [pid = v_pid] each side still reports its own source, so a
+   caller anchoring a level to one table sees that table's own columns. *)
+
+type source =
+  | Base of { table : string; column : string }
+  | Computed
+
+let rec columns (op : Op.t) : (string * source) list =
+  match op.Op.node with
+  | Op.Table { table; cols; _ } ->
+    List.map (fun (src, out) -> (out, Base { table; column = src })) cols
+  | Op.Select { input; _ } -> columns input
+  | Op.Project { input; defs } ->
+    let inner = columns input in
+    List.map
+      (fun (out, e) ->
+        match e with
+        | Expr.Col src -> (
+          match List.assoc_opt src inner with
+          | Some s -> (out, s)
+          | None -> (out, Computed))
+        | _ -> (out, Computed))
+      defs
+  | Op.Join { left; right; _ } -> columns left @ columns right
+  | Op.Group_by { input; keys; aggs; _ } ->
+    let inner = columns input in
+    List.map
+      (fun k ->
+        match List.assoc_opt k inner with
+        | Some s -> (k, s)
+        | None -> (k, Computed))
+      keys
+    @ List.map (fun (out, _) -> (out, Computed)) aggs
+  | Op.Union { cols = outs; inputs } -> (
+    match inputs with
+    | [ (input, mapping) ] ->
+      let inner = columns input in
+      List.map2
+        (fun out src ->
+          match List.assoc_opt src inner with
+          | Some s -> (out, s)
+          | None -> (out, Computed))
+        outs mapping
+    | _ -> List.map (fun out -> (out, Computed)) outs)
+
+(* --- dependency scan --- *)
+
+(* Does any referenced input column of a site carry one of the watched base
+   columns?  [inner] is the lineage of the site's input relation. *)
+let hits ~table ~cols inner refs =
+  List.filter_map
+    (fun r ->
+      match List.assoc_opt r inner with
+      | Some (Base { table = t; column = c }) when t = table && List.mem c cols ->
+        Some (Printf.sprintf "%s.%s via %s" t c r)
+      | _ -> None)
+    refs
+
+let dependents ~table ~cols ?exempt (op : Op.t) : string list =
+  let sites = ref [] in
+  let site op_id what found =
+    match found with
+    | [] -> ()
+    | hs ->
+      sites :=
+        Printf.sprintf "op#%d %s [%s]" op_id what
+          (String.concat ", " (List.sort_uniq compare hs))
+        :: !sites
+  in
+  let exempted op_id out =
+    match exempt with Some (i, c) -> i = op_id && c = out | None -> false
+  in
+  ignore
+    (Op.fold op ~init:() ~f:(fun () o ->
+         match o.Op.node with
+         | Op.Table _ -> ()
+         | Op.Select { input; pred } ->
+           site o.Op.id "selection predicate" (hits ~table ~cols (columns input) (Expr.cols pred))
+         | Op.Join { left; right; pred; _ } ->
+           let inner = columns left @ columns right in
+           site o.Op.id "join predicate" (hits ~table ~cols inner (Expr.cols pred))
+         | Op.Group_by { input; keys; aggs; order } ->
+           let inner = columns input in
+           site o.Op.id "grouping keys" (hits ~table ~cols inner keys);
+           site o.Op.id "group order" (hits ~table ~cols inner order);
+           List.iter
+             (fun (out, agg) ->
+               match agg with
+               | Expr.Xml_frag e ->
+                 (* the fragment collects node columns built one level
+                    below; direct base-column references inside it render
+                    per row and count as a dependency *)
+                 site o.Op.id
+                   (Printf.sprintf "aggregate %s" out)
+                   (hits ~table ~cols inner (Expr.cols e))
+               | Expr.Count -> ()
+               | Expr.Sum e | Expr.Min e | Expr.Max e | Expr.Avg e ->
+                 site o.Op.id
+                   (Printf.sprintf "aggregate %s" out)
+                   (hits ~table ~cols inner (Expr.cols e)))
+             aggs
+         | Op.Project { input; defs } ->
+           let inner = columns input in
+           List.iter
+             (fun (out, e) ->
+               match e with
+               | Expr.Col _ -> ()  (* copy-through: harmless *)
+               | _ ->
+                 if not (exempted o.Op.id out) then
+                   site o.Op.id
+                     (Printf.sprintf "computed column %s" out)
+                     (hits ~table ~cols inner (Expr.cols e)))
+             defs
+         | Op.Union _ -> ()));
+  List.rev !sites

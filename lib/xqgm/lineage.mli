@@ -1,0 +1,32 @@
+(** Column provenance over XQGM graphs, for the view-update translator.
+
+    {!Injective.analyze} answers a yes/no question per base table; view
+    updates additionally need to know {e which} base column each output
+    column carries, and whether a set of base columns feeds anything in the
+    graph beyond a single level's element constructor (a predicate, a
+    grouping key, a scalar aggregate, another level's field) — the
+    side-effect analysis of Liu et al.'s updatable-XML-view translation. *)
+
+type source =
+  | Base of { table : string; column : string }
+      (** the output column is a verbatim copy of this base column *)
+  | Computed  (** anything else: expressions, aggregates, constructors *)
+
+(** Provenance of every output column of [op], in output order.  A column
+    surviving a multi-input union, an aggregate, or any computation is
+    [Computed]; equality-join minimization is {e not} applied (each side
+    keeps its own source). *)
+val columns : Op.t -> (string * source) list
+
+(** The graph sites whose result depends on the given base columns, other
+    than plain copy-through projections and the one element-constructor
+    definition [exempt] (operator id, output column) — the targeted level's
+    own node template, which necessarily embeds the columns it displays.
+    Returns human-readable site descriptions; [[]] means a change to those
+    base columns can only re-render that single constructor. *)
+val dependents :
+  table:string ->
+  cols:string list ->
+  ?exempt:int * string ->
+  Op.t ->
+  string list

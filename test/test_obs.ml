@@ -179,7 +179,7 @@ let test_audit_ring_eviction () =
     { Obs.Audit.id; ts_ns = 0L; stmt_id = id; stmt_event = "UPDATE";
       stmt_table = "t"; sql_trigger = "trig"; strategy = "GROUPED";
       group_id = 0; view = "v"; plan_table = "t"; plan_mode = "compiled";
-      frag_keys = []; cond_mode = "none"; delta_rows = 0; nabla_rows = 0;
+      frag_keys = []; cond_mode = "none"; origin = ""; delta_rows = 0; nabla_rows = 0;
       pairs_computed = 0; pairs_spurious = 0; pairs_kept = 0;
       cond_rejected = 0; dispatched = 0; actions = []; notes = [];
     }
