@@ -538,7 +538,7 @@ let overhead ~full =
    planner work is per-statement and data-independent, so the translation
    must stay within a few percent of direct DML; CI gates it at <= 15%. *)
 
-let view_update_point ~updates p ~via_view =
+let view_update_setup p ~via_view =
   let built = Workloadlib.Workload.build p in
   let mgr = mgr_of Runtime.Grouped_agg built in
   Workloadlib.Workload.install_triggers mgr p
@@ -563,18 +563,7 @@ let view_update_point ~updates p ~via_view =
              row.(Array.length row - 1) <- Relkit.Value.Float (float_of_int price);
              row))
   in
-  (* warm up with changing values so neither side plans a no-op *)
-  for step = 0 to 2 do apply step (500 + step) done;
-  Runtime.reset_stats mgr;
-  let w0 = Monotonic_clock.now () in
-  let c0 = Sys.time () in
-  for step = 3 to 3 + updates - 1 do apply step (1000 + step) done;
-  let c1 = Sys.time () in
-  let w1 = Monotonic_clock.now () in
-  let n = float_of_int updates in
-  { wall_ms = Int64.to_float (Int64.sub w1 w0) /. 1e6 /. n;
-    cpu_ms = (c1 -. c0) *. 1000.0 /. n;
-  }
+  (mgr, apply)
 
 let view_update_fig ~full =
   let base =
@@ -584,14 +573,48 @@ let view_update_fig ~full =
     { base with Workloadlib.Workload.num_triggers = (if full then 1_000 else 200);
       num_satisfied = 10 }
   in
-  let updates = if full then 60 else 40 in
+  (* per-update cost is well under a millisecond, so a short run is mostly
+     scheduler noise: time enough updates for a stable per-update figure, and
+     interleave the two variants in batches so machine-load drift during the
+     run lands on both sides instead of skewing the ratio *)
+  let updates = if full then 200 else 400 in
+  let batches = 8 in
+  let batch = updates / batches in
   print_header_s
     "View-update translation overhead (GROUPED-AGG; wall/cpu ms per update)"
     [ "variant"; "GROUPED-AGG" ];
-  let direct = view_update_point ~updates p ~via_view:false in
+  let dmgr, direct_apply = view_update_setup p ~via_view:false in
+  let vmgr, view_apply = view_update_setup p ~via_view:true in
+  (* warm up with changing values so neither side plans a no-op *)
+  for step = 0 to 2 do
+    direct_apply step (500 + step);
+    view_apply step (500 + step)
+  done;
+  Runtime.reset_stats dmgr;
+  Runtime.reset_stats vmgr;
+  let timed apply step0 n =
+    let w0 = Monotonic_clock.now () in
+    let c0 = Sys.time () in
+    for step = step0 to step0 + n - 1 do apply step (1000 + step) done;
+    let c1 = Sys.time () in
+    let w1 = Monotonic_clock.now () in
+    (Int64.to_float (Int64.sub w1 w0) /. 1e6, (c1 -. c0) *. 1000.0)
+  in
+  let dwall = ref 0.0 and dcpu = ref 0.0 and vwall = ref 0.0 and vcpu = ref 0.0 in
+  for b = 0 to batches - 1 do
+    let step0 = 3 + (b * batch) in
+    let w, c = timed direct_apply step0 batch in
+    dwall := !dwall +. w;
+    dcpu := !dcpu +. c;
+    let w, c = timed view_apply step0 batch in
+    vwall := !vwall +. w;
+    vcpu := !vcpu +. c
+  done;
+  let n = float_of_int (batches * batch) in
+  let direct = { wall_ms = !dwall /. n; cpu_ms = !dcpu /. n } in
+  let view = { wall_ms = !vwall /. n; cpu_ms = !vcpu /. n } in
   print_row_s "direct-dml"
     [ record ~fig:"view_update" ~row:"direct-dml" ~series:"GROUPED-AGG" direct ];
-  let view = view_update_point ~updates p ~via_view:true in
   print_row_s "view-dml"
     [ record ~fig:"view_update" ~row:"view-dml" ~series:"GROUPED-AGG" view ];
   let pct =

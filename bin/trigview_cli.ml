@@ -321,7 +321,7 @@ let run strategy script data_dir trace audit socket =
            in
            match strat with
            | Some strat ->
-             Viewupdate.set_strategy ~view:vname strat;
+             Viewupdate.set_strategy mgr ~view:vname strat;
              Printf.printf "strategy for view %S: %s\n" vname
                (Viewupdate.strategy_to_string strat)
            | None -> Printf.printf "usage: update-strategy VIEW reject|first|all\n")

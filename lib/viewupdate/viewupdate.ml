@@ -34,6 +34,7 @@ module Xval = Xqgm.Xval
 module Eval = Xqgm.Eval
 module Lineage = Xqgm.Lineage
 module Runtime = Trigview.Runtime
+module Pushdown = Trigview.Pushdown
 
 type stmt =
   | Insert_node of { xml : Xml.t; into : Ast.path }
@@ -98,12 +99,35 @@ let strategy_to_string = function
   | All_candidates -> "all-candidates"
   | Custom _ -> "custom"
 
-let strategies : (string, strategy) Hashtbl.t = Hashtbl.create 8
-let set_strategy ~view strat = Hashtbl.replace strategies view strat
-let clear_strategy ~view = Hashtbl.remove strategies view
+(* Keyed by runtime identity: a strategy registered for view "v" on one
+   runtime must not leak to a same-named view of another runtime in the
+   process.  The association list is pruned when a runtime's last strategy
+   is cleared, so it does not pin abandoned runtimes forever. *)
+let strategies : (Runtime.t * (string, strategy) Hashtbl.t) list ref = ref []
 
-let strategy_for ~view =
-  Option.value ~default:Reject_ambiguous (Hashtbl.find_opt strategies view)
+let set_strategy rt ~view strat =
+  let tbl =
+    match List.assq_opt rt !strategies with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 8 in
+      strategies := (rt, tbl) :: !strategies;
+      tbl
+  in
+  Hashtbl.replace tbl view strat
+
+let clear_strategy rt ~view =
+  match List.assq_opt rt !strategies with
+  | None -> ()
+  | Some tbl ->
+    Hashtbl.remove tbl view;
+    if Hashtbl.length tbl = 0 then
+      strategies := List.filter (fun (rt', _) -> rt' != rt) !strategies
+
+let strategy_for rt ~view =
+  match List.assq_opt rt !strategies with
+  | None -> Reject_ambiguous
+  | Some tbl -> Option.value ~default:Reject_ambiguous (Hashtbl.find_opt tbl view)
 
 (* --- parsing --- *)
 
@@ -127,10 +151,33 @@ let rec strip_ws = function
 let scan_xml s i =
   let n = String.length s in
   if i >= n || s.[i] <> '<' then fail "expected an XML literal";
+  let starts_with j p =
+    let lp = String.length p in
+    j + lp <= n && String.sub s j lp = p
+  in
+  (* comments and CDATA may contain markup ('<!-- see <b>note</b> -->');
+     skip to their closing delimiter without counting element depth *)
+  let skip_past j close =
+    let lc = String.length close in
+    let rec go j =
+      if j + lc > n then fail "unterminated %s in XML literal" close
+      else if String.sub s j lc = close then j + lc
+      else go (j + 1)
+    in
+    go j
+  in
   let depth = ref 0 and j = ref i and fin = ref (-1) in
   while !fin < 0 do
     if !j >= n then fail "unterminated XML literal";
     if s.[!j] <> '<' then incr j
+    else if starts_with !j "<!--" then begin
+      j := skip_past (!j + 4) "-->";
+      if !depth = 0 then fin := !j
+    end
+    else if starts_with !j "<![CDATA[" then begin
+      j := skip_past (!j + 9) "]]>";
+      if !depth = 0 then fin := !j
+    end
     else begin
       let closing = !j + 1 < n && s.[!j + 1] = '/' in
       let special = !j + 1 < n && (s.[!j + 1] = '!' || s.[!j + 1] = '?') in
@@ -383,6 +430,20 @@ let eval_targets db (m : Compose.monitored) ~(where : Ast.expr option) =
 
 (* --- anchoring --- *)
 
+(* Lineage walks the level's whole op graph (the root op embeds every
+   descendant level), so deriving it per statement is the planner's largest
+   repeated cost.  Ops are immutable and ids process-unique, so the result
+   is memoized across statements. *)
+let lineage_memo : (int, (string * Lineage.source) list) Hashtbl.t = Hashtbl.create 16
+
+let lin_of (op : Op.t) =
+  match Hashtbl.find_opt lineage_memo op.Op.id with
+  | Some l -> l
+  | None ->
+    let l = Lineage.columns op in
+    Hashtbl.add lineage_memo op.Op.id l;
+    l
+
 type anchor =
   | Anchored of {
       table : string;
@@ -396,8 +457,8 @@ type anchor =
    ancestor keys through joins); prefer the table carrying the most key
    columns, then the one whose key column appears last — the iterated
    (deepest) side of the level's joins. *)
-let anchor_of_level db (tree : Compile.view_tree) =
-  let lin = Lineage.columns tree.Compile.op in
+let anchor_of_level_uncached db (tree : Compile.view_tree) =
+  let lin = lin_of tree.Compile.op in
   let keyed =
     List.filter_map (fun k -> Option.map (fun b -> (k, b)) (lineage_base lin k)) tree.Compile.key
   in
@@ -459,6 +520,24 @@ let anchor_of_level db (tree : Compile.view_tree) =
         schema;
         pk_slots = List.map (fun c -> (c, List.assoc c carried)) schema.Schema.primary_key;
       }
+
+(* Anchoring is pure in the (immutable) level op and the database's schemas,
+   and the planner consults it for the target level and every ancestor on
+   each statement — memoize per (database, level op).  Entries are keyed by
+   database identity; stale databases' entries are shed on the next probe of
+   the same op. *)
+let anchor_memo : (int, (Database.t * anchor) list) Hashtbl.t = Hashtbl.create 16
+
+let anchor_of_level db (tree : Compile.view_tree) =
+  let id = tree.Compile.op.Op.id in
+  let entries = Option.value ~default:[] (Hashtbl.find_opt anchor_memo id) in
+  match List.assq_opt db entries with
+  | Some a -> a
+  | None ->
+    let a = anchor_of_level_uncached db tree in
+    Hashtbl.replace anchor_memo id
+      ((db, a) :: List.filter (fun (db', _) -> db' == db) entries);
+    a
 
 (* Base rows of [table] matching the target tuple on every level column that
    copies one of [table]'s columns — the candidate rows of an ambiguous
@@ -595,23 +674,38 @@ let replace_changes db ~anchor lin (tree : Compile.view_tree)
 (* --- static side-effect analysis --- *)
 
 (* The Project definition that constructs this level's elements — the one
-   graph site allowed to depend on the changed columns. *)
-let constructor_site (tree : Compile.view_tree) =
+   graph site allowed to depend on the changed columns.  Returns the
+   Project's id, the constructor expression, and the Project's input (the
+   operator the constructor's column references are resolved against). *)
+let constructor_memo : (int, (int * Expr.t * Op.t) option) Hashtbl.t = Hashtbl.create 16
+
+let constructor_def (tree : Compile.view_tree) =
   let rec find (op : Op.t) =
     match op.Op.node with
-    | Op.Project { defs; _ }
-      when (match List.assoc_opt tree.Compile.node_col defs with
-           | Some (Expr.Elem _) -> true
-           | _ -> false) ->
-      Some (op.Op.id, tree.Compile.node_col)
+    | Op.Project { defs; input } -> (
+      match List.assoc_opt tree.Compile.node_col defs with
+      | Some (Expr.Elem _ as e) -> Some (op.Op.id, e, input)
+      | _ -> find input)
     | Op.Select { input; _ } -> find input
-    | Op.Project { input; _ } -> find input
     | _ -> None
   in
-  find tree.Compile.op
+  let id = tree.Compile.op.Op.id in
+  match Hashtbl.find_opt constructor_memo id with
+  | Some r -> r
+  | None ->
+    let r = find tree.Compile.op in
+    Hashtbl.add constructor_memo id r;
+    r
+
+let constructor_site (tree : Compile.view_tree) =
+  Option.map (fun (id, _, _) -> (id, tree.Compile.node_col)) (constructor_def tree)
 
 (* [None] = statically safe; [Some sites] = inconclusive, listing the
    dependent graph sites (fall through to the dynamic check). *)
+let dependents_memo :
+    (int * string * (int * string) * string list, string list) Hashtbl.t =
+  Hashtbl.create 16
+
 let static_unsafe (view : Compile.view) (tree : Compile.view_tree) lin ~table ~cols =
   let key_base =
     List.filter_map
@@ -625,7 +719,23 @@ let static_unsafe (view : Compile.view) (tree : Compile.view_tree) lin ~table ~c
     match constructor_site tree with
     | None -> Some [ "could not locate the level's element constructor" ]
     | Some exempt -> (
-      match Lineage.dependents ~table ~cols ~exempt view.Compile.tree.Compile.op with
+      (* the dependency scan re-derives lineage at every graph site, so it
+         dominates per-statement planning; the scan is pure in the (immutable)
+         op graph and its parameters, so memoize per (root op, table, column
+         set, exempt site) — repeated updates touching the same columns, the
+         common case, pay it once *)
+      let key =
+        (view.Compile.tree.Compile.op.Op.id, table, exempt, List.sort_uniq compare cols)
+      in
+      let sites =
+        match Hashtbl.find_opt dependents_memo key with
+        | Some s -> s
+        | None ->
+          let s = Lineage.dependents ~table ~cols ~exempt view.Compile.tree.Compile.op in
+          Hashtbl.add dependents_memo key s;
+          s
+      in
+      match sites with
       | [] -> None
       | sites -> Some sites)
 
@@ -700,6 +810,17 @@ let rec remove_first node ~target =
     in
     let children, found = go [] false children in
     (Xml.elem ~attrs tag children, found)
+
+(* Whether [target] occurs in [doc] (structural equality).  The level
+   relation can contain rows whose nodes never reach the document — an
+   ancestor level's predicate (a count() WHERE, say) can hide the whole
+   subtree — and such rows are not valid view-DML targets. *)
+let rec node_occurs doc ~target =
+  Xml.equal doc target
+  ||
+  match doc with
+  | Xml.Text _ -> false
+  | Xml.Element { children; _ } -> List.exists (fun c -> node_occurs c ~target) children
 
 (* [f] must equal [c] up to exactly one extra node somewhere below; returns
    the added node.  Any other difference — a second addition, a modified
@@ -1047,11 +1168,331 @@ let pred_constraints (pred : Ast.expr option) =
   in
   match pred with None -> None | Some e -> go e
 
+(* Shredding a level op is pure in the op (ops are immutable, ids are
+   process-unique), so the result is memoized across statements — the
+   fast path's visibility probes pay planner work once per view level. *)
+let shred_memo : (int, Pushdown.t option) Hashtbl.t = Hashtbl.create 16
+
+let shred_of (op : Op.t) =
+  match Hashtbl.find_opt shred_memo op.Op.id with
+  | Some r -> r
+  | None ->
+    let r = try Some (Pushdown.shred op) with Pushdown.Not_pushable _ -> None in
+    Hashtbl.add shred_memo op.Op.id r;
+    r
+
+(* A probe asks whether a level has a row matching some key values.  The
+   restricted plan is built and physically planned ONCE per (database,
+   level op, key column set) — {!Ra_opt.push_semijoin} over the shredded
+   scalar plan with the keys delivered through a [Ra.Rel] binding, the same
+   parameterized-semijoin trick the trigger path uses for fragment
+   restriction — so the per-statement cost is a few index accesses, not
+   plan construction.  (The memo holds the database of each entry to keep
+   compiled table handles honest; entries of abandoned runtimes are shed
+   when the op id is next probed.) *)
+type probe = {
+  pr_rel : string;  (* the [Ra.Rel] binding name carrying the key values *)
+  pr_run : Ra_eval.ctx -> Ra_eval.rel;
+}
+
+let probe_memo : (int, (Database.t * string list * probe) list) Hashtbl.t =
+  Hashtbl.create 16
+
+let probe_name =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "vuprobe$%d" !n
+
+let probe_for db (tree : Compile.view_tree) kcols =
+  match shred_of tree.Compile.op with
+  | None -> None
+  | Some sh ->
+    let plan_cols = Ra.columns sh.Pushdown.plan in
+    if kcols = [] || not (List.for_all (fun c -> List.mem c plan_cols) kcols) then None
+    else begin
+      let id = tree.Compile.op.Op.id in
+      let entries = Option.value ~default:[] (Hashtbl.find_opt probe_memo id) in
+      match List.find_opt (fun (db', ks, _) -> db' == db && ks = kcols) entries with
+      | Some (_, _, p) -> Some p
+      | None ->
+        let name = probe_name () in
+        let plan =
+          Ra_opt.push_semijoin
+            ~keys:(Ra.Scan (Ra.Rel name, List.map (fun c -> (c, c)) kcols))
+            ~on:(List.map (fun c -> (c, c)) kcols)
+            sh.Pushdown.plan
+        in
+        let run =
+          match Ra_compile.compile db plan with
+          | exec -> fun ctx -> Ra_compile.exec exec ctx
+          | exception (Not_found | Invalid_argument _) ->
+            fun ctx -> Ra_eval.eval ctx plan
+        in
+        let p = { pr_rel = name; pr_run = run } in
+        let entries = List.filter (fun (db', _, _) -> db' == db) entries in
+        Hashtbl.replace probe_memo id ((db, kcols, p) :: entries);
+        Some p
+    end
+
+(* Does the level have a row matching [keys]?  [None] = cannot decide here
+   (unshreddable op, or a key column missing from the scalar plan);
+   [Some None] = no such row; [Some (Some (cols, row))] = the first
+   matching row's scalar columns. *)
+let level_probe db (tree : Compile.view_tree) (keys : (string * Value.t) list) =
+  match probe_for db tree (List.map fst keys) with
+  | None -> None
+  | Some p ->
+    let krel =
+      { Ra_eval.cols = Array.of_list (List.map fst keys);
+        rows = [ Array.of_list (List.map snd keys) ];
+      }
+    in
+    let ctx = { (Ra_eval.ctx_of_db db) with Ra_eval.rels = [ (p.pr_rel, krel) ] } in
+    let rel = p.pr_run ctx in
+    (match rel.Ra_eval.rows with
+    | [] -> Some None
+    | row :: _ -> Some (Some (rel.Ra_eval.cols, row)))
+
+(* Whether every row of the anchor [table] reaches the level relation — the
+   shredded level plan applies no filter to the anchor's rows: no Select,
+   and the anchor reached only through Project / Distinct / Order_by /
+   Shared and the LEFT side of left-outer joins.  For such a level, a
+   node's visibility in the level relation is exactly base-row existence,
+   so visibility checks can replace the compiled probe with a primary-key
+   lookup.  (Left-outer right sides may duplicate left rows; that affects
+   multiplicity, never existence, which is all the callers ask.) *)
+let rec anchor_preserving ~table (plan : Ra.t) =
+  match plan with
+  | Ra.Scan (Ra.Base t, _) -> t = table
+  | Ra.Project (_, p) | Ra.Distinct p | Ra.Order_by (_, p) | Ra.Shared (_, p) ->
+    anchor_preserving ~table p
+  | Ra.Join (Ra.Left_outer, _, l, _) -> anchor_preserving ~table l
+  | _ -> false
+
+(* Column equivalences induced by the plan's join equalities and renames:
+   after [t2.parent = t1.id] the child-side correlation column carries the
+   ancestor's key, but lineage deliberately reports each side's own source
+   — the existence shortcut must cross that equality to reach the anchor's
+   primary key. *)
+let rec plan_equalities (plan : Ra.t) acc =
+  match plan with
+  | Ra.Scan _ | Ra.Values _ -> acc
+  | Ra.Select (_, p)
+  | Ra.Distinct p
+  | Ra.Order_by (_, p)
+  | Ra.Shared (_, p)
+  | Ra.Group_by (_, _, p) ->
+    plan_equalities p acc
+  | Ra.Project (defs, p) ->
+    let acc =
+      List.fold_left
+        (fun acc (out, e) ->
+          match e with Ra.Col src when src <> out -> (out, src) :: acc | _ -> acc)
+        acc defs
+    in
+    plan_equalities p acc
+  | Ra.Join (_, pred, l, r) ->
+    let rec eqs e acc =
+      match e with
+      | Ra.Binop (Ra.And, a, b) -> eqs a (eqs b acc)
+      | Ra.Binop (Ra.Eq, Ra.Col a, Ra.Col b) -> (a, b) :: acc
+      | _ -> acc
+    in
+    plan_equalities l (plan_equalities r (eqs pred acc))
+  | Ra.Union { inputs; _ } ->
+    List.fold_left (fun acc p -> plan_equalities p acc) acc inputs
+
+let equalities_memo : (int, (string * string) list) Hashtbl.t = Hashtbl.create 16
+
+let level_equalities (tree : Compile.view_tree) =
+  let id = tree.Compile.op.Op.id in
+  match Hashtbl.find_opt equalities_memo id with
+  | Some e -> e
+  | None ->
+    let e =
+      match shred_of tree.Compile.op with
+      | None -> []
+      | Some sh -> plan_equalities sh.Pushdown.plan []
+    in
+    Hashtbl.add equalities_memo id e;
+    e
+
+let equiv_class eqs c =
+  let rec go frontier seen =
+    match frontier with
+    | [] -> List.rev seen
+    | x :: rest ->
+      if List.mem x seen then go rest seen
+      else
+        let nbrs =
+          List.filter_map
+            (fun (a, b) ->
+              if a = x then Some b else if b = x then Some a else None)
+            eqs
+        in
+        go (nbrs @ rest) (x :: seen)
+  in
+  go [ c ] []
+
+(* Does the level relation trivially contain the rows of its anchor table
+   (see {!anchor_preserving})?  Memoized per level op. *)
+let filter_free_memo : (int, bool) Hashtbl.t = Hashtbl.create 16
+
+let level_filter_free (tree : Compile.view_tree) ~table =
+  let id = tree.Compile.op.Op.id in
+  match Hashtbl.find_opt filter_free_memo id with
+  | Some b -> b
+  | None ->
+    let b =
+      match shred_of tree.Compile.op with
+      | None -> false
+      | Some sh -> anchor_preserving ~table sh.Pushdown.plan
+    in
+    Hashtbl.add filter_free_memo id b;
+    b
+
+(* Primary-key shortcut for filter-free ancestors: when the ancestor level
+   keeps every row of its anchor table, its node for [corr] is visible iff
+   the anchor row exists — one hashtable lookup instead of running the
+   compiled probe (which for grouped ancestors re-aggregates the whole
+   subtree per statement).  [None] = not applicable here, use the probe;
+   [Some None] = no such row; [Some (Some corr')] = visible, with the
+   ancestor's own correlation values for the next link of the chain. *)
+let fast_ancestor_visible db (a : Compile.view_tree) (corr : (string * Value.t) list) =
+  match anchor_of_level db a with
+  | Unanchored _ -> None
+  | Anchored { table; schema; _ } ->
+    if not (level_filter_free a ~table) then None
+    else
+      let lin = lin_of a.Compile.op in
+      let eqs = level_equalities a in
+      let base_of c =
+        List.find_map
+          (fun c' ->
+            match lineage_base lin c' with
+            | Some (t, bc) when t = table -> Some bc
+            | _ -> None)
+          (equiv_class eqs c)
+      in
+      let base_kv =
+        List.filter_map
+          (fun (c, v) -> Option.map (fun bc -> (bc, v)) (base_of c))
+          corr
+      in
+      if
+        not
+          (List.for_all
+             (fun pk -> List.mem_assoc pk base_kv)
+             schema.Schema.primary_key)
+      then None
+      else
+        let pk = List.map (fun c -> List.assoc c base_kv) schema.Schema.primary_key in
+        (match Table.find_pk (Database.get_table db table) pk with
+        | None -> Some None
+        | Some row ->
+          let corr' =
+            List.filter_map
+              (fun c ->
+                Option.map
+                  (fun bc -> (c, row.(Schema.col_index schema bc)))
+                  (base_of c))
+              a.Compile.corr
+          in
+          if List.length corr' <> List.length a.Compile.corr then None
+          else Some (Some corr'))
+
+(* Ancestors of [tree] inside [view], nearest first (the document root
+   comes last); [tree] itself is excluded. *)
+let ancestor_chain (view : Compile.view) (tree : Compile.view_tree) =
+  let rec go t acc =
+    if t == tree then Some acc
+    else List.find_map (fun c -> go c (t :: acc)) t.Compile.children
+  in
+  Option.value ~default:[] (go view.Compile.tree [])
+
+(* Whether the ancestor chain above a level row renders — i.e. whether the
+   row's node actually reaches the document.  [corr] carries the child's
+   correlation values linking it to the nearest ancestor; each verified
+   ancestor hands its own correlation values up the chain.  An empty [corr]
+   means the level iterates at the top of the document, under the root
+   element, which always renders its single row.  [Some b] = decided;
+   [None] = undecidable here (callers fall back to a document check). *)
+let rec chain_visible db chain (corr : (string * Value.t) list) =
+  match (chain, corr) with
+  | [], _ -> Some true
+  | [ _root ], [] -> Some true
+  | _, [] -> None
+  | a :: rest, _ -> (
+    match fast_ancestor_visible db a corr with
+    | Some None -> Some false
+    | Some (Some corr') -> chain_visible db rest corr'
+    | None -> probe_ancestor db a rest corr)
+
+and probe_ancestor db a rest corr =
+  match level_probe db a corr with
+  | None -> None
+  | Some None -> Some false
+  | Some (Some (cols, row)) ->
+    let corr' =
+      List.filter_map
+        (fun c ->
+          let rec idx i =
+            if i >= Array.length cols then None
+            else if cols.(i) = c then Some (c, row.(i))
+            else idx (i + 1)
+          in
+          idx 0)
+        a.Compile.corr
+    in
+    if List.length corr' <> List.length a.Compile.corr then None
+    else chain_visible db rest corr'
+
+(* Renders the level element for one base row straight from the level's
+   constructor expression, mirroring {!Eval}'s [Elem] semantics (attribute
+   values atomize and drop NULLs; atom children become text nodes).  Covers
+   the Col/Const/Elem fragment the compiler emits for levels whose columns
+   all copy the anchor table; [None] = unsupported shape. *)
+let render_node_of_row ~table ~schema lin row (elem : Expr.t) =
+  let rec all f = function
+    | [] -> Some []
+    | x :: rest -> (
+      match f x with
+      | None -> None
+      | Some y -> Option.map (fun ys -> y :: ys) (all f rest))
+  in
+  let rec go e =
+    match e with
+    | Expr.Const v -> Some (Xval.Atom v)
+    | Expr.Col c -> (
+      match lineage_base lin c with
+      | Some (t, bc) when t = table ->
+        Some (Xval.Atom row.(Schema.col_index schema bc))
+      | _ -> None)
+    | Expr.Elem { tag; attrs; content } ->
+      Option.bind (all (fun (k, e) -> Option.map (fun v -> (k, v)) (go e)) attrs)
+        (fun avs ->
+          Option.map
+            (fun cvs ->
+              let attrs =
+                List.filter_map
+                  (fun (k, v) ->
+                    match Xval.atomize v with
+                    | Value.Null -> None
+                    | a -> Some (k, Value.to_string a))
+                  avs
+              in
+              Xval.Node (Xml.elem ~attrs tag (List.concat_map Xval.to_nodes cvs)))
+            (all go content))
+    | _ -> None
+  in
+  match go elem with Some (Xval.Node n) -> Some n | _ -> None
+
 let try_fast_replace db view tree pred xml text level_str =
   match anchor_of_level db tree with
   | Unanchored _ -> None
-  | Anchored { table; schema; pk_slots = _ } -> (
-    let lin = Lineage.columns tree.Compile.op in
+  | Anchored { table; schema; pk_slots } -> (
+    let lin = lin_of tree.Compile.op in
     let all_fields_anchored =
       List.for_all
         (fun (f, out) ->
@@ -1101,7 +1542,50 @@ let try_fast_replace db view tree pred xml text level_str =
         | [] -> fail "no node matches the path"
         | _ :: _ :: _ -> None (* ambiguous: let the generic path build the diagnostic *)
         | [ row ] -> (
-          check_insert_shape tree xml;
+          (* the base row alone does not prove the node is in the view: the
+             level's own predicates and any ancestor level's (say a count()
+             WHERE on the parent) must hold.  Probe the level relation and
+             the ancestor chain through the pushdown engine — index probes,
+             not scans; anything undecidable falls back to the generic
+             path's document check (Exit). *)
+          (* the row is known to exist, so a filter-free level needs no probe *)
+          (if not (level_filter_free tree ~table) then
+             let probe_keys =
+               List.map (fun (c, out) -> (out, row.(Schema.col_index schema c))) pk_slots
+             in
+             match level_probe db tree probe_keys with
+             | None -> raise Exit
+             | Some None ->
+               fail "no node matches the path (a level predicate excludes the node \
+                     from the view)"
+             | Some (Some _) -> ());
+          let corr_vals =
+            List.map
+              (fun c ->
+                match lineage_base lin c with
+                | Some (t, bc) when t = table -> (c, row.(Schema.col_index schema bc))
+                | _ -> raise Exit)
+              tree.Compile.corr
+          in
+          (match chain_visible db (ancestor_chain view tree) corr_vals with
+          | None -> raise Exit
+          | Some false ->
+            fail "no node matches the path (an ancestor level's predicate hides the \
+                  node from the view)"
+          | Some true -> ());
+          (* the replacement must pass the same shape check as the generic
+             path, against the node this row currently renders *)
+          let old_node =
+            match constructor_def tree with
+            | None -> raise Exit
+            | Some (_, elem, input) -> (
+              match
+                render_node_of_row ~table ~schema (lin_of input) row elem
+              with
+              | Some n -> n
+              | None -> raise Exit)
+          in
+          check_replace_shape tree ~old_node xml;
           let get out =
             match lineage_base lin out with
             | Some (t, c) when t = table -> row.(Schema.col_index schema c)
@@ -1159,7 +1643,14 @@ let plan_replace db view strat path xml text =
         (List.length targets)
     | [ tgt ] ->
       check_replace_shape tree ~old_node:tgt.t_node xml;
-      let lin = Lineage.columns tree.Compile.op in
+      (* the level relation can hold rows an ancestor level's predicate
+         hides from the document; those are not valid REPLACE targets *)
+      let cdoc = current_doc db view in
+      if not (node_occurs cdoc ~target:tgt.t_node) then
+        fail "no node matches %s: the targeted node is not in the view document (an \
+              ancestor level's predicate hides it)"
+          (Ast.path_to_string path);
+      let lin = lin_of tree.Compile.op in
       let get_opt out = List.assoc_opt out tgt.t_row in
       let get out =
         match get_opt out with
@@ -1215,9 +1706,11 @@ let plan_replace db view strat path xml text =
                     ("the targeted node disappears from the view after the update"
                     :: sites)
             in
-            let cdoc = current_doc db view in
             let expected, found = replace_first cdoc ~target:tgt.t_node ~repl:new_node in
-            let expected = if found then expected else cdoc in
+            if not found then
+              (* unreachable after the occurrence check above; defensive *)
+              reject_side_effects ~stmt_text:text ~view ~level_str ~table
+                ~sides:("the targeted node is not visible in the view document" :: sites);
             if Xml.equal fdoc expected then
               [ how;
                 "verified dynamically: only the targeted node re-renders (dependent sites \
@@ -1249,7 +1742,16 @@ let plan_delete db view strat path where text =
   let level_str = level_path view tree in
   let targets = eval_targets db m ~where in
   if targets = [] then fail "no node matches %s" (Ast.path_to_string path);
-  let lin = Lineage.columns tree.Compile.op in
+  (* the level relation can hold rows an ancestor level's predicate hides
+     from the document; path semantics are over the document, so those rows
+     are not DELETE targets *)
+  let cdoc = current_doc db view in
+  let targets = List.filter (fun tgt -> node_occurs cdoc ~target:tgt.t_node) targets in
+  if targets = [] then
+    fail "no node matches %s: the matching nodes are not in the view document (an \
+          ancestor level's predicate hides them)"
+      (Ast.path_to_string path);
+  let lin = lin_of tree.Compile.op in
   let anchor_desc = ref "" in
   let verdicts = ref [] in
   let ops =
@@ -1273,11 +1775,14 @@ let plan_delete db view strat path where text =
   (* dynamic verification: the future document must equal the current one
      with exactly the targeted nodes removed *)
   let fdoc = future_doc db view ops in
-  let cdoc = current_doc db view in
   let expected =
     List.fold_left
       (fun doc tgt ->
-        let doc', _found = remove_first doc ~target:tgt.t_node in
+        let doc', found = remove_first doc ~target:tgt.t_node in
+        if not found then
+          (* unreachable after the occurrence filter above; defensive *)
+          reject_side_effects ~stmt_text:text ~view ~level_str ~table:!anchor_desc
+            ~sides:[ "a targeted node is not visible in the view document" ];
         doc')
       cdoc targets
   in
@@ -1327,7 +1832,7 @@ let plan_insert db view strat into xml text =
   in
   let level_str = level_path view tree in
   check_insert_shape tree xml;
-  let lin = Lineage.columns tree.Compile.op in
+  let lin = lin_of tree.Compile.op in
   let build_row table schema =
     let row = Array.make (Schema.arity schema) Value.Null in
     let setc c v =
@@ -1527,7 +2032,7 @@ let plan rt ?strategy text =
     | None -> fail "unknown view %S" vname
   in
   let db = Runtime.database rt in
-  let strat = match strategy with Some s -> s | None -> strategy_for ~view:vname in
+  let strat = match strategy with Some s -> s | None -> strategy_for rt ~view:vname in
   match stmt with
   | Replace_node { path; xml } -> plan_replace db view strat path xml (String.trim text)
   | Delete_node { path; where } -> plan_delete db view strat path where (String.trim text)
@@ -1548,15 +2053,84 @@ let execute rt ?strategy text =
       ~finally:(fun () -> Runtime.record_custom_ddl rt ~kind:"drop_viewdml" ~name ~payload:"")
       (fun () ->
         Database.with_statement_origin db p.p_text (fun () ->
-            List.iter
-              (fun op ->
-                match op with
-                | Ins { table; row } -> Database.insert_rows db ~table [ row ]
-                | Upd { table; pk; after; _ } ->
-                  if not (Database.update_pk db ~table ~pk ~set:(fun _ -> after)) then
-                    fail "row of %s vanished during execution" table
-                | Del { table; pk; _ } -> ignore (Database.delete_pk db ~table ~pk))
-              ops));
+            (* The plan was verified as one atomic unit, so it must not be
+               left half-applied: each op re-validates its plan-time before
+               image (a trigger may have written the row since planning),
+               and any failure — validation, an FK rejection, a trigger
+               raising — compensates the already-applied ops in reverse,
+               through the Database path so the rollback also lands in the
+               WAL and fires triggers symmetrically. *)
+            let rows_equal a b =
+              Array.length a = Array.length b
+              && Array.for_all2 Value.equal a b
+            in
+            let check_before table pk expect =
+              match Table.find_pk (Database.get_table db table) pk with
+              | None -> fail "row of %s vanished during execution" table
+              | Some cur ->
+                if not (rows_equal cur expect) then
+                  fail "a row of %s changed between planning and execution (a trigger \
+                        wrote it); the view update is aborted"
+                    table
+            in
+            let apply op =
+              match op with
+              | Ins { table; row } -> Database.insert_rows db ~table [ row ]
+              | Upd { table; pk; before; after } ->
+                check_before table pk before;
+                if not (Database.update_pk db ~table ~pk ~set:(fun _ -> after)) then
+                  fail "row of %s vanished during execution" table
+              | Del { table; pk; row } ->
+                check_before table pk row;
+                ignore (Database.delete_pk db ~table ~pk)
+            in
+            (* An exception can escape mid-write (a trigger raising after
+               the row landed), so the op being applied when the failure hit
+               is compensated too — undo inspects the current state to tell
+               whether the write actually took effect. *)
+            let undo op =
+              match op with
+              | Ins { table; row } ->
+                let schema = Table.schema (Database.get_table db table) in
+                ignore (Database.delete_pk db ~table ~pk:(Schema.pk_of_row schema row))
+              | Upd { table; pk; before; after } ->
+                let schema = Table.schema (Database.get_table db table) in
+                (* key by the after image: the update may have changed PK
+                   columns; falls back to the before key when the write
+                   never landed *)
+                let apk = Schema.pk_of_row schema after in
+                if
+                  not (Database.update_pk db ~table ~pk:apk ~set:(fun _ -> before))
+                then (
+                  match Table.find_pk (Database.get_table db table) pk with
+                  | Some cur when rows_equal cur before -> ()
+                  | _ -> fail "cannot restore a row of %s" table)
+              | Del { table; pk; row } -> (
+                match Table.find_pk (Database.get_table db table) pk with
+                | Some _ -> () (* the delete never landed *)
+                | None -> Database.insert_rows db ~table [ row ])
+            in
+            let applied = ref [] in
+            try
+              List.iter
+                (fun op ->
+                  applied := op :: !applied;
+                  apply op)
+                ops
+            with exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              let failures = ref [] in
+              List.iter
+                (fun op ->
+                  try undo op with e -> failures := Printexc.to_string e :: !failures)
+                !applied;
+              (match !failures with
+              | [] -> ()
+              | fs ->
+                fail "view update failed (%s) and compensation also failed (%s); the \
+                      database may hold a partial translation"
+                  (Printexc.to_string exn) (String.concat "; " fs));
+              Printexc.raise_with_backtrace exn bt));
     p
 
 let explain rt text =

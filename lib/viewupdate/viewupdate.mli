@@ -105,11 +105,13 @@ type strategy =
 
 val strategy_to_string : strategy -> string
 
-(** Per-view strategy registry; {!execute}'s [?strategy] overrides it. *)
-val set_strategy : view:string -> strategy -> unit
+(** Per-runtime, per-view strategy registry; {!execute}'s [?strategy]
+    overrides it.  Keyed by runtime identity so a strategy set for a view on
+    one runtime never applies to a same-named view of another. *)
+val set_strategy : Trigview.Runtime.t -> view:string -> strategy -> unit
 
-val clear_strategy : view:string -> unit
-val strategy_for : view:string -> strategy
+val clear_strategy : Trigview.Runtime.t -> view:string -> unit
+val strategy_for : Trigview.Runtime.t -> view:string -> strategy
 
 (** {2 Parsing, planning, execution} *)
 

@@ -68,7 +68,15 @@ let test_parse () =
   expect_error "TRUNCATE NODE view('v')/a";
   expect_error "INSERT NODE <a/> view('v')/a";
   expect_error "REPLACE NODE view('v')/a WITH not-xml";
-  expect_error "INSERT NODE <a><b></a> INTO view('v')/a"
+  expect_error "INSERT NODE <a><b></a> INTO view('v')/a";
+  (* a comment containing markup must not corrupt the literal scan: the
+     stray </b> inside it used to count toward element depth and cut the
+     literal short of the INTO keyword *)
+  match Vu.parse "INSERT NODE <a><!-- see <b>note</b> --><x>1</x></a> INTO view('v')/a" with
+  | Vu.Insert_node { xml; _ } ->
+    Alcotest.(check bool) "comment skipped, content kept" true
+      (contains (Xml.to_string xml) "<x>1</x>")
+  | _ -> Alcotest.fail "expected Insert_node for a commented literal"
 
 (* --- accepted updates --- *)
 
@@ -168,8 +176,8 @@ let test_ambiguous_delete_rejected () =
 
 let test_all_candidates_strategy () =
   let mgr = mk_mgr () in
-  Vu.set_strategy ~view:"catalog" Vu.All_candidates;
-  Fun.protect ~finally:(fun () -> Vu.clear_strategy ~view:"catalog") @@ fun () ->
+  Vu.set_strategy mgr ~view:"catalog" Vu.All_candidates;
+  Fun.protect ~finally:(fun () -> Vu.clear_strategy mgr ~view:"catalog") @@ fun () ->
   let p = Vu.execute mgr delete_crt in
   (* P1 and P3 plus their five vendor offers, vendors deleted first *)
   Alcotest.(check int) "seven base statements" 7 (List.length p.Vu.p_ops);
@@ -218,6 +226,55 @@ let test_visibility_flip_rejected () =
   | exception Vu.Rejected d ->
     Alcotest.(check bool) "side effects reported" true (d.Vu.d_side_effects <> []);
     Alcotest.(check int) "vendors untouched" 7 (List.length (table_rows mgr "vendor"))
+
+(* A vendor whose product group fails the count(>= 2) WHERE exists in the
+   vendor level relation but not in the document: view DML must refuse to
+   touch its base row (it used to update/delete it silently, bypassing the
+   ancestor level's predicate). *)
+let test_hidden_node_rejected () =
+  let mgr = mk_mgr () in
+  let db = Runtime.database mgr in
+  Database.insert_rows db ~table:"product"
+    [ [| Value.String "P4"; Value.String "Plasma 42"; Value.String "LG" |] ];
+  Database.insert_rows db ~table:"vendor"
+    [ [| Value.String "Newegg"; Value.String "P4"; Value.Float 900.0 |] ];
+  Alcotest.(check bool) "the node is not in the document" false
+    (contains (Xml.to_string (doc_of mgr "catalog")) "Newegg");
+  let expect_no_match text =
+    match Vu.execute mgr text with
+    | _ -> Alcotest.failf "%S must fail: the node is not in the view" text
+    | exception Vu.Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S says no node matches" msg)
+        true (contains msg "no node matches")
+  in
+  expect_no_match
+    "REPLACE NODE view('catalog')/product/vendor[./vid = 'Newegg'] WITH \
+     <vendor><vid>Newegg</vid><pid>P4</pid><price>850</price></vendor>";
+  expect_no_match "DELETE NODE view('catalog')/product/vendor WHERE ./vid = 'Newegg'";
+  match
+    Table.find_pk (Database.get_table db "vendor") [ Value.String "Newegg"; Value.String "P4" ]
+  with
+  | Some row ->
+    Alcotest.(check bool) "base row untouched" true (Value.equal row.(2) (Value.Float 900.0))
+  | None -> Alcotest.fail "the hidden node's base row was deleted"
+
+(* A trigger that raises mid-plan must not leave the verified-atomic
+   translation half-applied: the base statements already executed (and the
+   one in flight) are compensated, and the database comes back unchanged. *)
+let test_midplan_abort_rolls_back () =
+  let mgr = mk_mgr () in
+  Runtime.register_action mgr ~name:"boom" (fun _ -> failwith "boom");
+  Runtime.create_trigger mgr
+    "CREATE TRIGGER boom AFTER DELETE ON view('catalog')/product DO boom(OLD_NODE)";
+  let before = Xml.to_string (doc_of mgr "catalog") in
+  (match Vu.execute mgr ~strategy:Vu.All_candidates delete_crt with
+  | _ -> Alcotest.fail "the raising trigger must abort the view update"
+  | exception Failure _ -> ()
+  | exception Vu.Error msg -> Alcotest.failf "compensation must succeed and re-raise: %s" msg);
+  Alcotest.(check int) "products restored" 3 (List.length (table_rows mgr "product"));
+  Alcotest.(check int) "vendors restored" 7 (List.length (table_rows mgr "vendor"));
+  Alcotest.(check string) "document restored" before (Xml.to_string (doc_of mgr "catalog"))
 
 let test_explain () =
   let mgr = mk_mgr () in
@@ -464,6 +521,8 @@ let () =
             test_first_candidate_rejected_dynamically;
           Alcotest.test_case "custom hook" `Quick test_custom_strategy;
           Alcotest.test_case "visibility flip rejected" `Quick test_visibility_flip_rejected;
+          Alcotest.test_case "hidden node rejected" `Quick test_hidden_node_rejected;
+          Alcotest.test_case "mid-plan abort rolls back" `Quick test_midplan_abort_rolls_back;
         ] );
       ( "provenance",
         [ Alcotest.test_case "audit origin" `Quick test_audit_origin;
