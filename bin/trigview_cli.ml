@@ -122,13 +122,14 @@ let notify_action fi =
     (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
     fi.Runtime.fi_new
 
-let run strategy script data_dir trace audit socket =
+let run strategy script data_dir trace audit socket domains =
+  let tuning = { Runtime.default_tuning with Runtime.domains } in
   let mgr, recovered_meta =
     match data_dir with
     | Some dir when Durability.Recovery.has_state ~data_dir:dir ->
       (* a previous session left durable state: crash-recover it *)
       let r =
-        Runtime.reopen ~strategy ~actions:[ ("notify", notify_action) ]
+        Runtime.reopen ~strategy ~tuning ~actions:[ ("notify", notify_action) ]
           ~data_dir:dir ()
       in
       Printf.printf
@@ -145,7 +146,7 @@ let run strategy script data_dir trace audit socket =
       (r.Runtime.runtime, Some r.Runtime.recovery.Durability.Recovery.meta)
     | _ ->
       let db = make_db () in
-      let mgr = Runtime.create ~strategy db in
+      let mgr = Runtime.create ~strategy ~tuning db in
       Runtime.define_view mgr ~name:"catalog" catalog_view;
       Runtime.register_action mgr ~name:"notify" notify_action;
       Option.iter
@@ -172,6 +173,8 @@ let run strategy script data_dir trace audit socket =
       Hub.add_server hub (Server.create ~path ());
       Printf.printf "notification server listening on %s\n" path)
     socket;
+  (* at domains > 1 sink I/O moves off the firing thread too *)
+  if domains > 1 then Hub.start_writer hub;
   (* pump the socket event loop until it goes idle (bounded) *)
   let pump ms =
     match Hub.server hub with
@@ -186,6 +189,7 @@ let run strategy script data_dir trace audit socket =
   in
   let flush_now ~verbose () =
     let n = Hub.flush hub in
+    Hub.drain_writer hub;  (* callback echo / socket bytes before the pump *)
     pump 50;
     if verbose || n > 0 then Printf.printf "%d notification(s) delivered\n" n
   in
@@ -358,8 +362,9 @@ let run strategy script data_dir trace audit socket =
   (* orderly shutdown: deliver what is pending, then make everything
      appended so far durable *)
   if Hub.subscription_names hub <> [] then flush_now ~verbose:false ();
-  Option.iter Server.stop (Hub.server hub);
-  Hub.close_sinks hub;
+  let srv = Hub.server hub in
+  Hub.close_sinks hub;  (* stops the writer domain before closing channels *)
+  Option.iter Server.stop srv;
   Runtime.durability_sync mgr;
   if not interactive then close_in input
 
@@ -418,11 +423,23 @@ let socket_arg =
            as length-prefixed NDJSON frames (see the $(b,subscribe) and \
            $(b,pump) commands).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int Runtime.default_tuning.Runtime.domains
+    & info [ "domains" ]
+        ~doc:
+          "Number of OCaml domains for trigger firing: independent trigger \
+           groups' delta queries run in parallel, large subscriber fan-outs \
+           are sharded, and sink I/O moves to a dedicated writer domain.  \
+           1 (the default) is the sequential path; results are identical at \
+           any value.  Also settable via TRIGVIEW_DOMAINS.")
+
 let cmd =
   Cmd.v
     (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
     Term.(
       const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg
-      $ audit_arg $ socket_arg)
+      $ audit_arg $ socket_arg $ domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,252 @@
+(* A small work-stealing domain pool for the parallel firing pipeline.
+
+   Design notes, in decreasing order of importance:
+
+   - [domains <= 1] means "no parallelism": [run_list] executes the thunks
+     inline, in order, on the calling domain.  That path allocates nothing
+     beyond the result list and is bit-identical to not having a pool at
+     all, which is what makes `tuning.domains = 1` exactly today's
+     sequential engine.
+
+   - Pools are process-global and shared by size ([get ~domains]).  OCaml
+     caps the number of live domains at roughly the hardware limit (~128);
+     test suites create dozens of runtimes, so a pool per runtime would
+     exhaust the cap.  Sharing by size keeps the worst case at a handful of
+     resident worker sets for the whole process, and means runtimes need no
+     teardown hook.
+
+   - Each participant (the [size - 1] workers plus the submitting caller)
+     owns a deque guarded by its own mutex: owner pushes/pops at the front,
+     thieves steal from the back.  Contention is therefore limited to
+     steals, which only happen when somebody ran dry.
+
+   - [run_list] is a scatter/gather barrier: the caller seeds the deques,
+     participates in the work loop itself, and returns when every task has
+     finished.  Task results land in a preallocated array at their own
+     index, so the gathered list order is the submission order regardless
+     of which domain ran what.  The per-batch [remaining] counter is an
+     [Atomic]; its decrement provides the release/acquire edge that makes
+     the result slots safely readable by the caller afterwards.
+
+   - Exceptions raised by tasks are captured with their backtraces and
+     re-raised in the caller once the batch has drained, lowest task index
+     first — again deterministic regardless of scheduling. *)
+
+type task = { run : unit -> unit }
+
+type deque = {
+  dq_lock : Mutex.t;
+  mutable front : task list;  (* owner end *)
+  mutable back : task list;   (* thief end, reversed *)
+}
+
+let deque_create () = { dq_lock = Mutex.create (); front = []; back = [] }
+
+let deque_push d t =
+  Mutex.lock d.dq_lock;
+  d.front <- t :: d.front;
+  Mutex.unlock d.dq_lock
+
+let deque_pop d =
+  Mutex.lock d.dq_lock;
+  let r =
+    match d.front with
+    | t :: rest ->
+      d.front <- rest;
+      Some t
+    | [] -> (
+      match List.rev d.back with
+      | t :: rest ->
+        d.back <- [];
+        d.front <- rest;
+        Some t
+      | [] -> None)
+  in
+  Mutex.unlock d.dq_lock;
+  r
+
+let deque_steal d =
+  Mutex.lock d.dq_lock;
+  let r =
+    match d.back with
+    | t :: rest ->
+      d.back <- rest;
+      Some t
+    | [] -> (
+      match List.rev d.front with
+      | t :: rest ->
+        (* steal the oldest front entry (tail of the reversed list) *)
+        d.front <- List.rev rest;
+        Some t
+      | [] -> None)
+  in
+  Mutex.unlock d.dq_lock;
+  r
+
+type t = {
+  size : int;  (* total participants incl. the caller; >= 2 when real *)
+  deques : deque array;  (* one per participant; index 0 = caller *)
+  lock : Mutex.t;  (* guards [pending] and [stop], pairs with [wake] *)
+  wake : Condition.t;
+  mutable pending : int;  (* tasks submitted and not yet picked up *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Try own deque first, then sweep the others for a steal. *)
+let find_task t me =
+  match deque_pop t.deques.(me) with
+  | Some _ as r -> r
+  | None ->
+    let n = Array.length t.deques in
+    let rec sweep i =
+      if i = n then None
+      else
+        let j = (me + 1 + i) mod n in
+        match deque_steal t.deques.(j) with
+        | Some _ as r -> r
+        | None -> sweep (i + 1)
+    in
+    sweep 0
+
+let run_task task =
+  (* Task exceptions are handled inside [run] (see [run_list]); a raise
+     escaping here is a pool bug, not a user error. *)
+  task.run ()
+
+let worker_loop t me () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while t.pending = 0 && not t.stop do
+      Condition.wait t.wake t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      Mutex.unlock t.lock;
+      (match find_task t me with
+      | Some task ->
+        Mutex.lock t.lock;
+        t.pending <- t.pending - 1;
+        Mutex.unlock t.lock;
+        run_task task
+      | None -> Domain.cpu_relax ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  let size = max 1 domains in
+  if size <= 1 then
+    { size = 1; deques = [||]; lock = Mutex.create (); wake = Condition.create ();
+      pending = 0; stop = false; workers = [] }
+  else begin
+    let t =
+      { size;
+        deques = Array.init size (fun _ -> deque_create ());
+        lock = Mutex.create ();
+        wake = Condition.create ();
+        pending = 0;
+        stop = false;
+        workers = [] }
+    in
+    t.workers <- List.init (size - 1) (fun i -> Domain.spawn (worker_loop t (i + 1)));
+    t
+  end
+
+let shutdown t =
+  if t.size > 1 then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let run_list (type a) t (thunks : (unit -> a) list) : a list =
+  match thunks with
+  | [] -> []
+  | _ when t.size <= 1 || List.length thunks = 1 -> List.map (fun f -> f ()) thunks
+  | _ ->
+    let n = List.length thunks in
+    let results : (a, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let remaining = Atomic.make n in
+    let tasks =
+      List.mapi
+        (fun i f ->
+          { run =
+              (fun () ->
+                let r =
+                  match f () with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+                in
+                results.(i) <- Some r;
+                Atomic.decr remaining) })
+        thunks
+    in
+    (* Seed round-robin across all deques so workers find work without
+       stealing in the common case. *)
+    List.iteri (fun i task -> deque_push t.deques.(i mod t.size) task) tasks;
+    Mutex.lock t.lock;
+    t.pending <- t.pending + n;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    (* The caller participates: drain tasks until the batch is done.  It may
+       run dry while workers still hold the last tasks; spin-relax then. *)
+    let rec drain () =
+      if Atomic.get remaining > 0 then begin
+        (match find_task t 0 with
+        | Some task ->
+          Mutex.lock t.lock;
+          t.pending <- t.pending - 1;
+          Mutex.unlock t.lock;
+          run_task task
+        | None -> Domain.cpu_relax ());
+        drain ()
+      end
+    in
+    drain ();
+    (* [Atomic.decr] on [remaining] orders each task's result store before
+       our read of 0; all slots are now filled and visible. *)
+    let out = ref [] in
+    let pending_exn = ref None in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Some (Ok v) -> out := v :: !out
+      | Some (Error (e, bt)) -> pending_exn := Some (e, bt)
+      | None -> assert false
+    done;
+    (match !pending_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    !out
+
+(* --- process-global shared pools, keyed by size --- *)
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+let registry_lock = Mutex.create ()
+
+let sequential = create ~domains:1
+
+let get ~domains =
+  let domains = max 1 domains in
+  if domains <= 1 then sequential
+  else begin
+    Mutex.lock registry_lock;
+    let pool =
+      match Hashtbl.find_opt registry domains with
+      | Some p -> p
+      | None ->
+        let p = create ~domains in
+        Hashtbl.add registry domains p;
+        p
+    in
+    Mutex.unlock registry_lock;
+    pool
+  end

@@ -1,0 +1,33 @@
+(** A work-stealing pool of OCaml 5 domains for the parallel firing
+    pipeline.
+
+    A pool of size [n] has [n - 1] worker domains; the caller of
+    {!run_list} is the [n]-th participant and helps execute the batch, so
+    a pool of size 4 really uses 4 cores.  A pool of size 1 has no workers
+    and {!run_list} runs the thunks inline in order — that is the
+    sequential engine, bit for bit.
+
+    Pools are cheap to look up and shared process-wide by size
+    ({!get}); they are never torn down (OCaml bounds live domains, and a
+    handful of parked workers cost nothing). *)
+
+type t
+
+(** Shared pool of the given size (clamped to >= 1).  [get ~domains:1]
+    returns a no-worker pool whose {!run_list} is purely sequential. *)
+val get : domains:int -> t
+
+(** A private pool.  Prefer {!get}; use this only for tests that must own
+    their workers.  Pair with {!shutdown}. *)
+val create : domains:int -> t
+
+val shutdown : t -> unit
+
+(** Total participants (workers + caller); 1 for the sequential pool. *)
+val size : t -> int
+
+(** Runs every thunk to completion — on the pool for sizes >= 2, inline
+    for size 1 — and returns their results in submission order.  If any
+    thunk raised, the batch still drains fully and then the exception of
+    the lowest-indexed failed thunk is re-raised with its backtrace. *)
+val run_list : t -> (unit -> 'a) list -> 'a list

@@ -41,6 +41,8 @@ type stats = {
   mutable compiled_execs : int;
   mutable build_cache_hits : int;
   mutable build_cache_misses : int;
+  mutable prefilter_skips : int;
+      (* SQL triggers never examined thanks to the (table, event) index *)
 }
 
 exception Error of string
@@ -51,10 +53,22 @@ type tuning = {
   push_affected_keys : bool;
   share_subplans : bool;
   compile_plans : bool;
+  domains : int;
 }
 
+(* [domains] defaults from TRIGVIEW_DOMAINS so an unmodified test suite can
+   be re-run under the parallel engine (CI does, at 4); absent or invalid
+   means 1 = the sequential path. *)
 let default_tuning =
-  { push_affected_keys = true; share_subplans = true; compile_plans = true }
+  let domains =
+    match Sys.getenv_opt "TRIGVIEW_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+    | None -> 1
+  in
+  { push_affected_keys = true; share_subplans = true; compile_plans = true; domains }
 
 (* --- execution plan per (group, table): pushed-down or middleware --- *)
 
@@ -108,7 +122,12 @@ and t = {
   strat : strategy;
   tuning : tuning;
   mutable views : (string * Compile.view) list;
-  mutable actions : (string * action) list;
+  mutable actions : (string * (action * bool)) list;
+      (* name -> (callback, parallel_safe): the flag asserts the callback
+         may run on a pool domain concurrently with other members'
+         callbacks (it must only touch domain-safe state, e.g. the
+         subscription hub's mutex-guarded queues or atomics) *)
+  pool : Pool.t;  (* shared domain pool; size 1 = strictly sequential *)
   mutable groups : group list;
   mutable trigger_index : (string * group) list;  (* trigger name -> group *)
   (* Materialized baseline: one snapshot per (view, path) *)
@@ -145,11 +164,19 @@ and template_plans = {
 }
 
 let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
+  let pool = Pool.get ~domains:tuning.domains in
+  (* The runner freezes all tables (single-writer snapshot) and runs the
+     statement's prepare thunks on the pool; continuations come back in
+     submission order and the firing path executes them sequentially. *)
+  if Pool.size pool > 1 then
+    Database.set_parallel_runner db
+      (Some (fun thunks -> Database.with_shared_reads db (fun () -> Pool.run_list pool thunks)));
   { db;
     strat = strategy;
     tuning;
     views = [];
     actions = [];
+    pool;
     groups = [];
     trigger_index = [];
     snapshots = [];
@@ -161,6 +188,7 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
         compiled_execs = 0;
         build_cache_hits = 0;
         build_cache_misses = 0;
+        prefilter_skips = 0;
       };
     ra_counters = Relkit.Ra_compile.create_counters ();
     frag_memo = Pushdown.create_frag_memo ();
@@ -214,6 +242,8 @@ let stats t =
   t.counters.compiled_execs <- t.ra_counters.Relkit.Ra_compile.compiled_execs;
   t.counters.build_cache_hits <- t.ra_counters.Relkit.Ra_compile.build_cache_hits;
   t.counters.build_cache_misses <- t.ra_counters.Relkit.Ra_compile.build_cache_misses;
+  (* the prefilter lives in the database's firing path; mirror on read *)
+  t.counters.prefilter_skips <- Database.trigger_skips t.db;
   t.counters
 
 let reset_stats t =
@@ -224,6 +254,8 @@ let reset_stats t =
   t.counters.compiled_execs <- 0;
   t.counters.build_cache_hits <- 0;
   t.counters.build_cache_misses <- 0;
+  t.counters.prefilter_skips <- 0;
+  Database.reset_trigger_skips t.db;
   t.ra_counters.Relkit.Ra_compile.plans_compiled <- 0;
   t.ra_counters.Relkit.Ra_compile.compiled_execs <- 0;
   t.ra_counters.Relkit.Ra_compile.build_cache_hits <- 0;
@@ -253,8 +285,8 @@ let define_view t ~name text =
 
 let find_view t name = List.assoc_opt name t.views
 
-let register_action t ~name action =
-  t.actions <- (name, action) :: List.remove_assoc name t.actions
+let register_action ?(parallel_safe = false) t ~name action =
+  t.actions <- (name, (action, parallel_safe)) :: List.remove_assoc name t.actions
 
 let trigger_names t = List.map fst t.trigger_index
 let sql_trigger_count t = Database.trigger_count t.db
@@ -489,6 +521,11 @@ let audit_action (r : Obs.Audit.record) m ~outcome ~old_node ~new_node =
     }
     :: r.Obs.Audit.actions
 
+(* Fan a dispatch's member sweep out across the pool only when it is worth
+   a batch handoff: the per-member work (condition + args + callback) is a
+   few µs, so small member lists stay inline. *)
+let parallel_dispatch_threshold = 16
+
 let dispatch ?audit ?(stmt_id = 0) t group ~trig_ids ~old_node ~new_node =
   let members =
     match List.assoc_opt trig_ids group.g_members with
@@ -496,47 +533,96 @@ let dispatch ?audit ?(stmt_id = 0) t group ~trig_ids ~old_node ~new_node =
     | None -> []
   in
   let audit_id = match audit with Some r -> r.Obs.Audit.id | None -> 0 in
-  List.iter
-    (fun m ->
-      let t0 = Obs.Trace.now () in
-      let passes =
-        match m.m_fallback_cond with
-        | None -> true
-        | Some cond -> Compose.condition_fallback cond ~old_node ~new_node
+  (* [bump] abstracts the dispatched counter so the parallel path can count
+     into shard-local cells and merge deterministically afterwards. *)
+  let dispatch_one ~bump m =
+    let t0 = Obs.Trace.now () in
+    let passes =
+      match m.m_fallback_cond with
+      | None -> true
+      | Some cond -> Compose.condition_fallback cond ~old_node ~new_node
+    in
+    let callback =
+      if passes then
+        Option.map fst (List.assoc_opt m.m_trigger.Trigger.action t.actions)
+      else None
+    in
+    (match audit with
+    | Some r ->
+      let outcome =
+        if not passes then Obs.Audit.Condition_rejected
+        else if Option.is_none callback then Obs.Audit.No_action
+        else Obs.Audit.Fired
       in
-      let callback =
-        if passes then List.assoc_opt m.m_trigger.Trigger.action t.actions else None
-      in
-      (match audit with
-      | Some r ->
-        let outcome =
-          if not passes then Obs.Audit.Condition_rejected
-          else if Option.is_none callback then Obs.Audit.No_action
-          else Obs.Audit.Fired
-        in
-        audit_action r m ~outcome ~old_node ~new_node
-      | None -> ());
-      if passes then begin
-        t.counters.actions_dispatched <- t.counters.actions_dispatched + 1;
-        (match callback with
-        | Some action ->
-          action
-            { fi_trigger = m.m_trigger.Trigger.name;
-              fi_event = group.g_event;
-              fi_old = old_node;
-              fi_new = new_node;
-              fi_args = List.map (eval_arg ~old_node ~new_node) m.m_args;
-              fi_audit_id = audit_id;
-              fi_stmt_id = stmt_id;
-            }
-        | None -> ())
-      end;
-      let dt = Int64.sub (Obs.Trace.now ()) t0 in
-      Obs.Metrics.observe_in t.histograms m.m_trigger.Trigger.name dt;
-      let tracer = Database.tracer t.db in
-      if Obs.Trace.enabled tracer then
-        Obs.Trace.finish_note tracer t0 "dispatch" m.m_trigger.Trigger.name)
-    members
+      audit_action r m ~outcome ~old_node ~new_node
+    | None -> ());
+    if passes then begin
+      bump ();
+      (match callback with
+      | Some action ->
+        action
+          { fi_trigger = m.m_trigger.Trigger.name;
+            fi_event = group.g_event;
+            fi_old = old_node;
+            fi_new = new_node;
+            fi_args = List.map (eval_arg ~old_node ~new_node) m.m_args;
+            fi_audit_id = audit_id;
+            fi_stmt_id = stmt_id;
+          }
+      | None -> ())
+    end;
+    let dt = Int64.sub (Obs.Trace.now ()) t0 in
+    Obs.Metrics.observe_in t.histograms m.m_trigger.Trigger.name dt;
+    let tracer = Database.tracer t.db in
+    if Obs.Trace.enabled tracer then
+      Obs.Trace.finish_note tracer t0 "dispatch" m.m_trigger.Trigger.name
+  in
+  let pool_size = Pool.size t.pool in
+  let parallel_ok =
+    pool_size > 1 && audit = None
+    && List.length members >= parallel_dispatch_threshold
+    && List.for_all
+         (fun m ->
+           match List.assoc_opt m.m_trigger.Trigger.action t.actions with
+           | Some (_, parallel_safe) -> parallel_safe
+           | None -> true (* no callback: nothing unsafe will run *))
+         members
+  in
+  if not parallel_ok then
+    List.iter
+      (dispatch_one ~bump:(fun () ->
+           t.counters.actions_dispatched <- t.counters.actions_dispatched + 1))
+      members
+  else begin
+    (* Pre-create every member's histogram on this domain so the registry
+       Hashtbl is never structurally mutated from the shards. *)
+    List.iter
+      (fun m -> ignore (Obs.Metrics.ensure_in t.histograms m.m_trigger.Trigger.name))
+      members;
+    let arr = Array.of_list members in
+    let n = Array.length arr in
+    let shard_len = (n + pool_size - 1) / pool_size in
+    let shards =
+      List.init pool_size (fun s ->
+          let lo = s * shard_len in
+          let hi = min n (lo + shard_len) in
+          (lo, hi))
+      |> List.filter (fun (lo, hi) -> lo < hi)
+    in
+    let counts =
+      Pool.run_list t.pool
+        (List.map
+           (fun (lo, hi) () ->
+             let c = ref 0 in
+             for i = lo to hi - 1 do
+               dispatch_one ~bump:(fun () -> incr c) arr.(i)
+             done;
+             !c)
+           shards)
+    in
+    t.counters.actions_dispatched <-
+      t.counters.actions_dispatched + List.fold_left ( + ) 0 counts
+  end
 
 let install_sql_triggers t group =
   List.iter
@@ -546,69 +632,36 @@ let install_sql_triggers t group =
         List.map (Schema.col_index schema) schema.Schema.primary_key
       in
       let relevant_slots = List.map (Schema.col_index schema) tp.tp_relevant_cols in
-      let body tc =
-        t.counters.sql_firings <- t.counters.sql_firings + 1;
-        let ctx = Ra_eval.ctx_of_trigger ~stats:t.scan_stats tc in
+      (* Two-phase body.  [prepare tc] is the read-only half: it builds the
+         evaluation context (over a task-private scan accumulator), runs
+         the delta plans and computes the (OLD, NEW) pairs plus spurious
+         verdicts — everything a reader domain may do against the frozen
+         statement snapshot.  It returns a continuation holding every side
+         effect: counters, scan-stat merge, audit record creation (and its
+         [fresh_id]), action dispatch and any DML those actions cascade.
+         Continuations always run on the statement's domain in trigger
+         creation order, so firing order, audit ids and WAL appends are
+         independent of the domain count. *)
+      let prepare tc =
+        let pstats = Ra_eval.create_scan_stats () in
+        let ctx = Ra_eval.ctx_of_trigger ~stats:pstats tc in
         let ctx =
           if tc.Database.event = Database.Update then
             prune_ctx ctx ~table:tp.tp_table ~pk_slots ~relevant_slots
           else ctx
+        in
+        let finish_empty () =
+          t.counters.sql_firings <- t.counters.sql_firings + 1;
+          Ra_eval.merge_scan_stats ~into:t.scan_stats pstats
         in
         let empty =
           match List.assoc_opt tp.tp_table ctx.Ra_eval.trans with
           | Some ([], []) -> true
           | _ -> false
         in
-        if not empty then begin
+        if empty then finish_empty
+        else begin
           let t0 = Obs.Trace.now () in
-          (* audit record, inserted before dispatch so action callbacks can
-             link back by id; its counters are mutated as the firing
-             proceeds.  One boolean load when auditing is off. *)
-          let audit_log = Database.audit t.db in
-          let arec =
-            if Obs.Audit.enabled audit_log then begin
-              let delta_rows, nabla_rows =
-                match List.assoc_opt tp.tp_table ctx.Ra_eval.trans with
-                | Some (d, n) -> (List.length d, List.length n)
-                | None -> (0, 0)
-              in
-              let r =
-                { Obs.Audit.id = Obs.Audit.fresh_id audit_log;
-                  ts_ns = Obs.Trace.now ();
-                  stmt_id = tc.Database.stmt_id;
-                  stmt_event = Database.string_of_event tc.Database.event;
-                  stmt_table = tc.Database.target;
-                  sql_trigger =
-                    Printf.sprintf "xmltrig$g%d$%s$%s" group.g_id tp.tp_table
-                      (Database.string_of_event tc.Database.event);
-                  strategy = strategy_to_string t.strat;
-                  group_id = group.g_id;
-                  view = group.g_view;
-                  plan_table = tp.tp_table;
-                  plan_mode =
-                    (match tp.tp_exec, tp.tp_shred with
-                    | Some _, _ -> "compiled"
-                    | None, Some _ -> "interpreted"
-                    | None, None -> "middleware");
-                  frag_keys = tp.tp_frag_keys;
-                  cond_mode = group.g_cond_mode;
-                  origin = Database.statement_origin t.db;
-                  delta_rows;
-                  nabla_rows;
-                  pairs_computed = 0;
-                  pairs_spurious = 0;
-                  pairs_kept = 0;
-                  cond_rejected = 0;
-                  dispatched = 0;
-                  actions = [];
-                  notes = [];
-                }
-              in
-              Obs.Audit.add audit_log r;
-              Some r
-            end
-            else None
-          in
           let cols =
             [ "trig_ids" ]
             @ (if !(group.g_needs_old) || group.g_node_compare then [ "old_node" ] else [])
@@ -628,10 +681,6 @@ let install_sql_triggers t group =
                     full.Eval.rows;
               }
           in
-          t.counters.rows_computed <- t.counters.rows_computed + List.length rel.Eval.rows;
-          (match arec with
-          | Some r -> r.Obs.Audit.pairs_computed <- List.length rel.Eval.rows
-          | None -> ());
           let idx c = Eval.col_index rel c in
           let ti = idx "trig_ids" in
           let oi = if List.mem "old_node" cols then Some (idx "old_node") else None in
@@ -640,45 +689,111 @@ let install_sql_triggers t group =
              view node matched by many triggers — and the compiled getters
              share them physically, so remember the last verdict. *)
           let last_cmp = ref None in
-          List.iter
-            (fun row ->
-              let old_node = Option.bind oi (fun i -> decode_node row.(i)) in
-              let new_node = Option.bind ni (fun i -> decode_node row.(i)) in
-              let spurious =
-                group.g_node_compare
-                &&
-                match old_node, new_node with
-                | Some a, Some b -> (
-                  match !last_cmp with
-                  | Some (a', b', verdict) when a' == a && b' == b -> verdict
-                  | _ ->
-                    let verdict = Xml.equal a b in
-                    last_cmp := Some (a, b, verdict);
-                    verdict)
-                | _ -> false
-              in
-              if spurious then (
-                match arec with
-                | Some r -> r.Obs.Audit.pairs_spurious <- r.Obs.Audit.pairs_spurious + 1
-                | None -> ())
-              else begin
-                (match arec with
-                | Some r -> r.Obs.Audit.pairs_kept <- r.Obs.Audit.pairs_kept + 1
-                | None -> ());
-                let trig_ids =
-                  match row.(ti) with
-                  | Xval.Atom (Value.String s) -> s
-                  | v -> fail "bad trig_ids value %s" (Xval.to_string v)
+          let pairs =
+            List.map
+              (fun row ->
+                let old_node = Option.bind oi (fun i -> decode_node row.(i)) in
+                let new_node = Option.bind ni (fun i -> decode_node row.(i)) in
+                let spurious =
+                  group.g_node_compare
+                  &&
+                  match old_node, new_node with
+                  | Some a, Some b -> (
+                    match !last_cmp with
+                    | Some (a', b', verdict) when a' == a && b' == b -> verdict
+                    | _ ->
+                      let verdict = Xml.equal a b in
+                      last_cmp := Some (a, b, verdict);
+                      verdict)
+                  | _ -> false
                 in
-                dispatch ?audit:arec ~stmt_id:tc.Database.stmt_id t group
-                  ~trig_ids ~old_node ~new_node
-              end)
-            rel.Eval.rows;
-          Obs.Metrics.observe_in t.histograms
-            (Printf.sprintf "firing:g%d:%s" group.g_id tp.tp_table)
-            (Int64.sub (Obs.Trace.now ()) t0)
+                let trig_ids =
+                  if spurious then ""
+                  else
+                    match row.(ti) with
+                    | Xval.Atom (Value.String s) -> s
+                    | v -> fail "bad trig_ids value %s" (Xval.to_string v)
+                in
+                (old_node, new_node, trig_ids, spurious))
+              rel.Eval.rows
+          in
+          fun () ->
+            t.counters.sql_firings <- t.counters.sql_firings + 1;
+            Ra_eval.merge_scan_stats ~into:t.scan_stats pstats;
+            (* audit record, inserted before dispatch so action callbacks
+               can link back by id; its counters are mutated as the firing
+               proceeds.  One boolean load when auditing is off. *)
+            let audit_log = Database.audit t.db in
+            let arec =
+              if Obs.Audit.enabled audit_log then begin
+                let delta_rows, nabla_rows =
+                  match List.assoc_opt tp.tp_table ctx.Ra_eval.trans with
+                  | Some (d, n) -> (List.length d, List.length n)
+                  | None -> (0, 0)
+                in
+                let r =
+                  { Obs.Audit.id = Obs.Audit.fresh_id audit_log;
+                    ts_ns = Obs.Trace.now ();
+                    stmt_id = tc.Database.stmt_id;
+                    stmt_event = Database.string_of_event tc.Database.event;
+                    stmt_table = tc.Database.target;
+                    sql_trigger =
+                      Printf.sprintf "xmltrig$g%d$%s$%s" group.g_id tp.tp_table
+                        (Database.string_of_event tc.Database.event);
+                    strategy = strategy_to_string t.strat;
+                    group_id = group.g_id;
+                    view = group.g_view;
+                    plan_table = tp.tp_table;
+                    plan_mode =
+                      (match tp.tp_exec, tp.tp_shred with
+                      | Some _, _ -> "compiled"
+                      | None, Some _ -> "interpreted"
+                      | None, None -> "middleware");
+                    frag_keys = tp.tp_frag_keys;
+                    cond_mode = group.g_cond_mode;
+                    origin = Database.statement_origin t.db;
+                    delta_rows;
+                    nabla_rows;
+                    pairs_computed = 0;
+                    pairs_spurious = 0;
+                    pairs_kept = 0;
+                    cond_rejected = 0;
+                    dispatched = 0;
+                    actions = [];
+                    notes = [];
+                  }
+                in
+                Obs.Audit.add audit_log r;
+                Some r
+              end
+              else None
+            in
+            t.counters.rows_computed <-
+              t.counters.rows_computed + List.length rel.Eval.rows;
+            (match arec with
+            | Some r -> r.Obs.Audit.pairs_computed <- List.length rel.Eval.rows
+            | None -> ());
+            List.iter
+              (fun (old_node, new_node, trig_ids, spurious) ->
+                if spurious then (
+                  match arec with
+                  | Some r ->
+                    r.Obs.Audit.pairs_spurious <- r.Obs.Audit.pairs_spurious + 1
+                  | None -> ())
+                else begin
+                  (match arec with
+                  | Some r -> r.Obs.Audit.pairs_kept <- r.Obs.Audit.pairs_kept + 1
+                  | None -> ());
+                  dispatch ?audit:arec ~stmt_id:tc.Database.stmt_id t group
+                    ~trig_ids ~old_node ~new_node
+                end)
+              pairs;
+            Obs.Metrics.observe_in t.histograms
+              (Printf.sprintf "firing:g%d:%s" group.g_id tp.tp_table)
+              (Int64.sub (Obs.Trace.now ()) t0)
         end
       in
+      let body tc = (prepare tc) () in
       List.iter
         (fun ev ->
           Database.create_trigger t.db
@@ -688,6 +803,7 @@ let install_sql_triggers t group =
               trig_table = tp.tp_table;
               trig_event = ev;
               body;
+              prepare = Some prepare;
               (* the full text is available via [generated_sql]; rendering a
                  deep plan eagerly here would dominate trigger creation *)
               sql_text =
@@ -991,7 +1107,9 @@ let install_materialized t (tr : Trigger.t) view_name m =
         | Some c -> Compose.condition_fallback c ~old_node ~new_node
       in
       let callback =
-        if passes then List.assoc_opt tr.Trigger.action t.actions else None
+        if passes then
+          Option.map fst (List.assoc_opt tr.Trigger.action t.actions)
+        else None
       in
       (match arec with
       | Some r ->
@@ -1086,6 +1204,10 @@ let install_materialized t (tr : Trigger.t) view_name m =
           trig_table = ev.Event_pushdown.ev_table;
           trig_event = ev.Event_pushdown.ev_event;
           body;
+          (* recompute-and-diff mutates the snapshot as it fires: it cannot
+             be split into a read-only prepare, so it opts out of parallel
+             firing (the whole statement falls back to the sequential path) *)
+          prepare = None;
           sql_text = "-- MATERIALIZED baseline: recompute and diff";
         })
     events
@@ -1641,7 +1763,11 @@ let metrics_prometheus t =
          ("compiled_execs", s.compiled_execs);
          ("build_cache_hits", s.build_cache_hits);
          ("build_cache_misses", s.build_cache_misses);
+         ("prefilter_skips", s.prefilter_skips);
        ]);
+  Buffer.add_string buf
+    (Obs.Metrics.prometheus_counters ~metric:"trigview_runtime_domains"
+       [ ("configured", t.tuning.domains) ]);
   (match scan_rows_report t with
   | [] -> ()
   | rep ->
@@ -1683,6 +1809,8 @@ let report t =
       ("compiled_execs", s.compiled_execs);
       ("build_cache_hits", s.build_cache_hits);
       ("build_cache_misses", s.build_cache_misses);
+      ("prefilter_skips", s.prefilter_skips);
+      ("domains", t.tuning.domains);
     ];
   Buffer.add_string buf "scan rows (per source):\n";
   (match scan_rows_report t with
@@ -1723,9 +1851,10 @@ let report_json t =
     Printf.sprintf
       "{\"sql_firings\": %d, \"rows_computed\": %d, \"actions_dispatched\": %d, \
        \"plans_compiled\": %d, \"compiled_execs\": %d, \"build_cache_hits\": \
-       %d, \"build_cache_misses\": %d}"
+       %d, \"build_cache_misses\": %d, \"prefilter_skips\": %d, \"domains\": %d}"
       s.sql_firings s.rows_computed s.actions_dispatched s.plans_compiled
       s.compiled_execs s.build_cache_hits s.build_cache_misses
+      s.prefilter_skips t.tuning.domains
   in
   let scan =
     "{"

@@ -51,6 +51,9 @@ type stats = {
   mutable build_cache_hits : int;
       (** hash-join build sides reused across firings (version check passed) *)
   mutable build_cache_misses : int;  (** build sides (re)materialized *)
+  mutable prefilter_skips : int;
+      (** SQL triggers the (table, event) relevance prefilter never even
+          examined, summed over statements; they are not audited either *)
 }
 
 type t
@@ -58,7 +61,8 @@ type t
 exception Error of string
 
 (** Optimizer-pass toggles, for ablation studies (bench target
-    [ablation]).  All default to on; turning any off is always
+    [ablation]), plus the domain count of the parallel firing pipeline.
+    The boolean toggles default to on; turning any off is always
     semantics-preserving, only slower. *)
 type tuning = {
   push_affected_keys : bool;
@@ -68,8 +72,21 @@ type tuning = {
       (** compile trigger-group plans once with {!Relkit.Ra_compile} and
           execute firings through the compiled form; off = interpret every
           firing with {!Relkit.Ra_eval} *)
+  domains : int;
+      (** domains the firing pipeline may use (a shared work-stealing
+          {!Pool}).  [1] (the default) is exactly the sequential engine.
+          For [> 1], each statement's trigger prepares (plan execution,
+          tagging, pair computation) run concurrently against a frozen
+          snapshot of the tables, and every side effect — counters, audit
+          records, dispatch, cascaded DML, WAL appends — executes
+          sequentially in trigger creation order afterwards, so results
+          are identical at any setting.  Semantics-preserving by
+          construction; see DESIGN.md "Concurrency model". *)
 }
 
+(** [domains] defaults to [$TRIGVIEW_DOMAINS] when set to a positive
+    integer (so a whole test run can be switched to the parallel engine
+    from the environment), else [1]. *)
 val default_tuning : tuning
 
 val create : ?strategy:strategy -> ?tuning:tuning -> Relkit.Database.t -> t
@@ -84,8 +101,14 @@ val define_view : t -> name:string -> string -> unit
     XQGM graph directly (the view-update translator). *)
 val find_view : t -> string -> Xquery.Compile.view option
 
-(** Registers an external function callable from trigger actions. *)
-val register_action : t -> name:string -> action -> unit
+(** Registers an external function callable from trigger actions.
+    [parallel_safe] (default false) asserts the callback tolerates running
+    on a pool domain concurrently with other members' callbacks of the
+    same firing: it must only touch domain-safe state (mutex-guarded
+    queues, atomics) and must not issue DML.  Only firings with
+    [tuning.domains > 1], auditing off, and every member action marked
+    safe are fanned out; everything else dispatches sequentially. *)
+val register_action : ?parallel_safe:bool -> t -> name:string -> action -> unit
 
 (** Parses and installs an XML trigger (syntax of §2.2).  [log] (default
     true) controls whether the DDL is recorded for durability; layers that

@@ -8,13 +8,22 @@
    Call sites that build label strings must guard on [enabled] so the
    string is never allocated when tracing is off.
 
-   The sink is a true ring: when full, recording evicts the *oldest* span
-   (a long run keeps its most recent window, not its startup), and
-   [dropped] counts evictions.
+   Since the firing pipeline can run on several domains (Pool), each
+   domain records into its own ring: rings are created on first record
+   from a domain (under [rings_lock]) and published by swapping the
+   [rings] array pointer, so the record fast path takes no lock — it scans
+   a tiny array for its own ring and appends, and only the owning domain
+   ever mutates a ring's interior.  Readers ([events], [render], exports)
+   run between parallel sections and merge all rings by start timestamp.
+
+   Each ring is a true ring: when full, recording evicts the *oldest*
+   span (a long run keeps its most recent window, not its startup), and
+   [dropped] counts evictions across all rings.
 
    Nesting is not tracked at record time (that would need exception-safe
    enter/leave pairs on hot paths); the renderer reconstructs the span tree
-   from interval containment, which is exact for single-threaded nesting. *)
+   from interval containment, which is exact for single-threaded nesting
+   and approximate across domains. *)
 
 type event = {
   ev_name : string;
@@ -23,42 +32,72 @@ type event = {
   ev_dur_ns : int64;
 }
 
-type t = {
-  mutable enabled : bool;
+type ring = {
+  ring_dom : int;  (* Domain.self of the recording domain *)
   mutable buf : event array;  (* ring storage; length 0 until first record *)
   mutable head : int;  (* index of the oldest event *)
   mutable count : int;
   mutable dropped : int;  (* oldest events evicted since [clear] *)
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable rings : ring array;  (* published by pointer swap under [rings_lock] *)
+  rings_lock : Mutex.t;
   limit : int;
 }
 
 let now () = Monotonic_clock.now ()
 
 let create ?(limit = 8192) () =
-  { enabled = false; buf = [||]; head = 0; count = 0; dropped = 0; limit = max 1 limit }
+  { enabled = false; rings = [||]; rings_lock = Mutex.create (); limit = max 1 limit }
 
 let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
 
 let clear t =
-  t.buf <- [||];
-  t.head <- 0;
-  t.count <- 0;
-  t.dropped <- 0
+  Mutex.lock t.rings_lock;
+  t.rings <- [||];
+  Mutex.unlock t.rings_lock
 
-let dropped t = t.dropped
+let dropped t = Array.fold_left (fun acc r -> acc + r.dropped) 0 t.rings
+
+let my_ring t =
+  let dom = (Domain.self () :> int) in
+  let rings = t.rings in
+  let n = Array.length rings in
+  let rec find i = if i = n then None else if rings.(i).ring_dom = dom then Some rings.(i) else find (i + 1) in
+  match find 0 with
+  | Some r -> r
+  | None ->
+    Mutex.lock t.rings_lock;
+    (* re-check: someone (only ourselves, actually) may have added it *)
+    let rings = t.rings in
+    let n = Array.length rings in
+    let rec find i = if i = n then None else if rings.(i).ring_dom = dom then Some rings.(i) else find (i + 1) in
+    let r =
+      match find 0 with
+      | Some r -> r
+      | None ->
+        let r = { ring_dom = dom; buf = [||]; head = 0; count = 0; dropped = 0 } in
+        t.rings <- Array.append rings [| r |];
+        r
+    in
+    Mutex.unlock t.rings_lock;
+    r
 
 let record t ev =
-  if Array.length t.buf = 0 then t.buf <- Array.make (max 1 t.limit) ev;
-  if t.count >= t.limit then begin
+  let r = my_ring t in
+  if Array.length r.buf = 0 then r.buf <- Array.make (max 1 t.limit) ev;
+  if r.count >= t.limit then begin
     (* full: overwrite the oldest slot and advance the head *)
-    t.buf.(t.head) <- ev;
-    t.head <- (t.head + 1) mod t.limit;
-    t.dropped <- t.dropped + 1
+    r.buf.(r.head) <- ev;
+    r.head <- (r.head + 1) mod t.limit;
+    r.dropped <- r.dropped + 1
   end
   else begin
-    t.buf.((t.head + t.count) mod Array.length t.buf) <- ev;
-    t.count <- t.count + 1
+    r.buf.((r.head + r.count) mod Array.length r.buf) <- ev;
+    r.count <- r.count + 1
   end
 
 let start t = if t.enabled then now () else 0L
@@ -78,9 +117,20 @@ let span t ?(note = "") name f =
     Fun.protect ~finally:(fun () -> finish_note t t0 name note) f
   end
 
+let ring_events r =
+  List.init r.count (fun i -> r.buf.((r.head + i) mod Array.length r.buf))
+
 let events t =
-  List.init t.count (fun i -> t.buf.((t.head + i) mod Array.length t.buf))
+  Array.fold_left (fun acc r -> List.rev_append (ring_events r) acc) [] t.rings
   |> List.sort (fun a b -> Int64.compare a.ev_start_ns b.ev_start_ns)
+
+(* Events paired with the id of the domain that recorded them, merged and
+   sorted; the Chrome export uses the domain id as the thread id. *)
+let events_with_domains t =
+  Array.fold_left
+    (fun acc r -> List.rev_append (List.map (fun ev -> (r.ring_dom, ev)) (ring_events r)) acc)
+    [] t.rings
+  |> List.sort (fun (_, a) (_, b) -> Int64.compare a.ev_start_ns b.ev_start_ns)
 
 (* Depth from interval containment: an event is nested under every earlier
    event whose [start, start+dur) interval still covers its start. *)
@@ -114,8 +164,9 @@ let render t =
              ev.ev_name
              (if ev.ev_note = "" then "" else " " ^ ev.ev_note)))
       devs;
-    if t.dropped > 0 then
-      Buffer.add_string buf (Printf.sprintf "(%d events dropped: buffer limit)\n" t.dropped);
+    let d = dropped t in
+    if d > 0 then
+      Buffer.add_string buf (Printf.sprintf "(%d events dropped: buffer limit)\n" d);
     Buffer.contents buf
 
 let to_json t =
@@ -136,8 +187,9 @@ let to_json t =
    Spans become "ph":"X" complete events; [instants] (caller-supplied, e.g.
    audit records) become "ph":"i" instant events with a JSON args payload.
    Timestamps are microseconds as the format requires; fractional µs keep
-   the ns resolution.  All events share pid 1 / tid 1 — the engine is
-   single-threaded, and Perfetto reconstructs nesting from containment. *)
+   the ns resolution.  All events share pid 1; the tid is the id of the
+   domain that recorded the span, so a parallel run shows one track per
+   domain and Perfetto reconstructs per-track nesting from containment. *)
 
 let chrome_ts ns = Int64.to_float ns /. 1_000.0
 
@@ -150,19 +202,20 @@ let to_chrome_json ?(instants = []) t =
     Buffer.add_string buf s
   in
   List.iter
-    (fun ev ->
+    (fun (dom, ev) ->
       emit
         (Printf.sprintf
            "{\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \
-            \"pid\": 1, \"tid\": 1%s}"
+            \"pid\": 1, \"tid\": %d%s}"
            (Metrics.json_escape ev.ev_name)
            (chrome_ts ev.ev_start_ns)
            (chrome_ts ev.ev_dur_ns)
+           (dom + 1)
            (if ev.ev_note = "" then ""
             else
               Printf.sprintf ", \"args\": {\"note\": \"%s\"}"
                 (Metrics.json_escape ev.ev_note))))
-    (events t);
+    (events_with_domains t);
   List.iter
     (fun (name, ts_ns, args_json) ->
       emit

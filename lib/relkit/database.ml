@@ -23,6 +23,19 @@ type change =
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   mutable triggers : trigger list;  (* in creation order *)
+  trig_index : (string * event, trigger list) Hashtbl.t;
+      (* (table, event) → matching triggers in creation order: a DML
+         statement activates exactly its bucket instead of sweeping the
+         whole catalog (table-relevance prefilter) *)
+  mutable trigger_skips : int;
+      (* triggers the prefilter did not even consider, summed over
+         statements: |catalog| - |bucket| per trigger-firing opportunity *)
+  mutable parallel_runner : ((unit -> unit -> unit) list -> (unit -> unit) list) option;
+      (* installed by the runtime when tuning.domains > 1: runs the given
+         prepare thunks (read-only against the statement snapshot) to
+         completion — on a domain pool, under [with_shared_reads] — and
+         returns their continuations in submission order.  [None] = fire
+         strictly sequentially (the domains=1 path) *)
   mutable firing_depth : int;
   mutable on_change : (change -> unit) option;
   mutable change_paused : bool;
@@ -60,6 +73,14 @@ and trigger = {
   trig_table : string;
   trig_event : event;
   body : trigger_ctx -> unit;
+  prepare : (trigger_ctx -> unit -> unit) option;
+      (* two-phase form of [body] for the parallel pipeline: [prepare ctx]
+         is read-only against the frozen statement snapshot (plan
+         execution, tagging, pair computation) and returns a continuation
+         holding every side effect (counters, audit, dispatch, cascaded
+         DML).  Contract: [body ctx] must behave exactly like
+         [(Option.get prepare) ctx ()].  [None] = the trigger can only run
+         sequentially (e.g. the MATERIALIZED baseline). *)
   sql_text : string;
 }
 
@@ -68,6 +89,9 @@ let max_firing_depth = 16
 let create () =
   { tables = Hashtbl.create 16;
     triggers = [];
+    trig_index = Hashtbl.create 16;
+    trigger_skips = 0;
+    parallel_runner = None;
     firing_depth = 0;
     on_change = None;
     change_paused = false;
@@ -214,29 +238,73 @@ let check_uniques tbl row =
         ())
     schema.Schema.uniques
 
+(* --- shared-read snapshot (single writer / multiple readers) --- *)
+
+(* Freezes every table for the duration of [f]: reader domains may query
+   the database freely (it is a stable statement snapshot — mutation
+   attempts raise), shared per-table memo caches are bypassed.  Thaws on
+   the way out even on exceptions.  Tables created during [f] would escape
+   the freeze, but DDL is itself a mutation of engine state and never runs
+   inside a parallel section. *)
+let with_shared_reads t f =
+  Hashtbl.iter (fun _ tbl -> Table.set_frozen tbl true) t.tables;
+  Fun.protect
+    ~finally:(fun () -> Hashtbl.iter (fun _ tbl -> Table.set_frozen tbl false) t.tables)
+    f
+
+let set_parallel_runner t runner = t.parallel_runner <- runner
+let trigger_skips t = t.trigger_skips
+let reset_trigger_skips t = t.trigger_skips <- 0
+
 (* --- trigger firing --- *)
 
 let fire_triggers t ~target ~event ~stmt_id ~inserted ~deleted =
   if t.triggers_suppressed then ()
-  else
-  let to_fire =
-    List.filter (fun tr -> tr.trig_table = target && tr.trig_event = event) t.triggers
-  in
-  if to_fire <> [] then begin
-    if t.firing_depth >= max_firing_depth then
-      invalid_arg "Database: trigger recursion depth exceeded";
-    t.firing_depth <- t.firing_depth + 1;
-    let ctx = { db = t; target; event; stmt_id; inserted; deleted } in
-    Fun.protect
-      ~finally:(fun () -> t.firing_depth <- t.firing_depth - 1)
-      (fun () ->
+  else begin
+    (* Table-relevance prefilter: only this (table, event) bucket can have
+       non-empty transition tables; the rest of the catalog is skipped
+       without being examined (and without audit probes). *)
+    let to_fire =
+      Option.value ~default:[] (Hashtbl.find_opt t.trig_index (target, event))
+    in
+    t.trigger_skips <- t.trigger_skips + (List.length t.triggers - List.length to_fire);
+    if to_fire <> [] then begin
+      if t.firing_depth >= max_firing_depth then
+        invalid_arg "Database: trigger recursion depth exceeded";
+      t.firing_depth <- t.firing_depth + 1;
+      let ctx = { db = t; target; event; stmt_id; inserted; deleted } in
+      let fire_sequentially () =
         List.iter
           (fun tr ->
             let t0 = Obs.Trace.start t.trace in
             tr.body ctx;
             (* trig_name is a live string: no allocation when disabled *)
             Obs.Trace.finish_note t.trace t0 "trigger" tr.trig_name)
-          to_fire)
+          to_fire
+      in
+      Fun.protect
+        ~finally:(fun () -> t.firing_depth <- t.firing_depth - 1)
+        (fun () ->
+          match t.parallel_runner with
+          | Some run
+            when List.length to_fire >= 2
+                 && List.for_all (fun tr -> tr.prepare <> None) to_fire ->
+            (* Two-phase parallel firing: the read-only prepares run on the
+               pool against the frozen snapshot; the continuations — every
+               side effect — run here, on the statement's domain, in
+               creation order.  Firing order, audit records, WAL appends
+               are therefore identical to the sequential path. *)
+            let ks =
+              run (List.map (fun tr () -> (Option.get tr.prepare) ctx) to_fire)
+            in
+            List.iter2
+              (fun tr k ->
+                let t0 = Obs.Trace.start t.trace in
+                k ();
+                Obs.Trace.finish_note t.trace t0 "trigger" tr.trig_name)
+              to_fire ks
+          | _ -> fire_sequentially ())
+    end
   end
 
 (* --- DML --- *)
@@ -377,13 +445,24 @@ let create_trigger t trigger =
   if not (Hashtbl.mem t.tables trigger.trig_table) then
     invalid_arg
       (Printf.sprintf "Database.create_trigger: unknown table %S" trigger.trig_table);
-  t.triggers <- t.triggers @ [ trigger ]
+  t.triggers <- t.triggers @ [ trigger ];
+  let key = (trigger.trig_table, trigger.trig_event) in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.trig_index key) in
+  Hashtbl.replace t.trig_index key (bucket @ [ trigger ])
 
 let drop_trigger t name =
+  (match List.find_opt (fun tr -> tr.trig_name = name) t.triggers with
+  | None -> ()
+  | Some tr ->
+    let key = (tr.trig_table, tr.trig_event) in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt t.trig_index key) in
+    (match List.filter (fun b -> b.trig_name <> name) bucket with
+    | [] -> Hashtbl.remove t.trig_index key
+    | rest -> Hashtbl.replace t.trig_index key rest));
   t.triggers <- List.filter (fun tr -> tr.trig_name <> name) t.triggers
 
 let triggers_on t ~table ~event =
-  List.filter (fun tr -> tr.trig_table = table && tr.trig_event = event) t.triggers
+  Option.value ~default:[] (Hashtbl.find_opt t.trig_index (table, event))
 
 let trigger_count t = List.length t.triggers
 let trigger_sql t = List.map (fun tr -> (tr.trig_name, tr.sql_text)) t.triggers

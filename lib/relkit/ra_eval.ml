@@ -17,6 +17,12 @@ let count_scan (stats : scan_stats) name n =
 
 let reset_scan_stats (stats : scan_stats) = Hashtbl.reset stats
 
+(* Fold [src] into [dst].  The parallel firing pipeline gives each prepare
+   task a private accumulator and merges them into the manager's shared one
+   from the sequential continuation, so totals are deterministic. *)
+let merge_scan_stats ~into:(dst : scan_stats) (src : scan_stats) =
+  Hashtbl.iter (fun k n -> count_scan dst k n) src
+
 (* Per-operator output-cardinality keys (["op:select"], ["op:join"], ...)
    share the table with source-scan keys but measure something else, so the
    scan total — used by tests to assert pushdown avoided full scans — must

@@ -30,6 +30,11 @@ val count_scan : scan_stats -> string -> int -> unit
 val reset_scan_stats : scan_stats -> unit
 val scan_stats_total : scan_stats -> int
 
+(** Adds every per-source count of [src] into [into].  The parallel firing
+    pipeline accumulates into task-private stats on reader domains and
+    merges them here from the sequential phase. *)
+val merge_scan_stats : into:scan_stats -> scan_stats -> unit
+
 (** Per-source row counts, highest first. *)
 val scan_stats_report : scan_stats -> (string * int) list
 

@@ -27,7 +27,14 @@
    A client whose output buffer exceeds [max_buffered] bytes is dropped
    (slow-consumer protection); it can reconnect and resync via its ack
    cursor.  This mirrors the queue layer's [Disconnect] overflow policy one
-   level down the stack. *)
+   level down the stack.
+
+   Cross-domain use: the hub's dedicated writer domain calls [publish]
+   while the owning thread pumps [step], so the three entry points that
+   touch server state ([publish], [step], [stop]) serialize on one coarse
+   mutex.  [step] holds it across its [select] round — publishers stall at
+   most one timeout (callers pump with 0–10 ms timeouts); a finer lock is
+   not worth the complexity for a fan-out of one writer + one pump. *)
 
 type client = {
   fd : Unix.file_descr;
@@ -40,6 +47,7 @@ type client = {
 
 type t = {
   path : string;
+  lock : Mutex.t;  (* serializes publish / step / stop across domains *)
   listen_fd : Unix.file_descr;
   mutable clients : client list;
   retain : (int * string) option array;  (* (gseq, payload) ring *)
@@ -72,6 +80,7 @@ let create ?(retain = 4096) ?(max_buffered = 4 * 1024 * 1024) ~path () =
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 64;
   { path;
+    lock = Mutex.create ();
     listen_fd = fd;
     clients = [];
     retain = Array.make (max 1 retain) None;
@@ -127,6 +136,8 @@ let replay t c ~cursor =
    client.  Ungreeted clients get it from their hello replay instead —
    sending it twice would break the "frames arrive in gseq order" contract. *)
 let publish t payload =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   t.gseq <- t.gseq + 1;
   t.published <- t.published + 1;
   t.retain.((t.gseq - 1) mod t.retain_cap) <- Some (t.gseq, payload);
@@ -236,6 +247,8 @@ let accept_pending t =
    / read / write whatever is ready.  Returns the number of fds that were
    ready (0 on a pure timeout), so callers can spin while progress lasts. *)
 let step ?(timeout_ms = 0) t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   if t.stopped then 0
   else begin
     let reads = t.listen_fd :: List.map (fun c -> c.fd) t.clients in
@@ -259,6 +272,8 @@ let step ?(timeout_ms = 0) t =
   end
 
 let stop t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   if not t.stopped then begin
     t.stopped <- true;
     List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.clients;

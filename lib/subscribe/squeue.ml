@@ -17,7 +17,13 @@
    holes: [pending = next_seq - head_seq], eviction advances [head_seq],
    coalescing rewrites a slot.  The accounting invariant tests rely on:
 
-     enqueued = delivered + dropped + coalesced + pending                *)
+     enqueued = delivered + dropped + coalesced + pending
+
+   A queue is safe for cross-domain producer/consumer use: every operation
+   that touches the ring, the coalescing index, or a pair of counters runs
+   under the queue's mutex.  The per-queue lock is uncontended in the
+   sequential engine and held only for the few stores of one push/flush,
+   so the sequential cost is one lock/unlock pair per operation. *)
 
 type overflow = Drop_oldest | Drop_newest | Disconnect
 
@@ -47,6 +53,7 @@ type 'a t = {
   capacity : int;
   overflow : overflow;
   coalesce : bool;
+  lock : Mutex.t;  (* guards everything mutable below *)
   buf : 'a slot option array;  (* slot for seq s lives at s mod capacity *)
   index : (string, int) Hashtbl.t;  (* key -> pending seq (coalesce target) *)
   mutable head_seq : int;  (* seq of the oldest pending item *)
@@ -63,6 +70,7 @@ let create ?(capacity = 1024) ?(overflow = Drop_oldest) ?(coalesce = false) () =
   { capacity;
     overflow;
     coalesce;
+    lock = Mutex.create ();
     buf = Array.make capacity None;
     index = Hashtbl.create 64;
     head_seq = 0;
@@ -74,18 +82,23 @@ let create ?(capacity = 1024) ?(overflow = Drop_oldest) ?(coalesce = false) () =
     disconnected = false;
   }
 
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let capacity t = t.capacity
 let overflow t = t.overflow
 let coalescing t = t.coalesce
-let depth t = t.next_seq - t.head_seq
-let enqueued t = t.enqueued
-let delivered t = t.delivered
-let dropped t = t.dropped
-let coalesced t = t.coalesced
-let disconnected t = t.disconnected
+let depth_unlocked t = t.next_seq - t.head_seq
+let depth t = with_lock t (fun () -> depth_unlocked t)
+let enqueued t = with_lock t (fun () -> t.enqueued)
+let delivered t = with_lock t (fun () -> t.delivered)
+let dropped t = with_lock t (fun () -> t.dropped)
+let coalesced t = with_lock t (fun () -> t.coalesced)
+let disconnected t = with_lock t (fun () -> t.disconnected)
 
 (* Re-admit a subscriber kicked by [Disconnect] (it re-synced out of band). *)
-let reconnect t = t.disconnected <- false
+let reconnect t = with_lock t (fun () -> t.disconnected <- false)
 
 let evict_head t =
   (match t.buf.(t.head_seq mod t.capacity) with
@@ -106,6 +119,7 @@ let append t key v =
   t.next_seq <- t.next_seq + 1
 
 let push t ~key v =
+  with_lock t @@ fun () ->
   t.enqueued <- t.enqueued + 1;
   if t.disconnected then begin
     t.dropped <- t.dropped + 1;
@@ -128,7 +142,7 @@ let push t ~key v =
         append t key v;
         Enqueued)
     | _ ->
-      if depth t >= t.capacity then
+      if depth_unlocked t >= t.capacity then
         match t.overflow with
         | Drop_newest ->
           t.dropped <- t.dropped + 1;
@@ -139,7 +153,7 @@ let push t ~key v =
           Enqueued
         | Disconnect ->
           (* the subscriber is gone: everything pending is lost with it *)
-          while depth t > 0 do
+          while depth_unlocked t > 0 do
             evict_head t
           done;
           Hashtbl.reset t.index;
@@ -154,7 +168,8 @@ let push t ~key v =
 (* Drain the pending window in order; the drained items count as delivered
    (the caller hands them to a sink). *)
 let flush t =
-  let n = depth t in
+  with_lock t @@ fun () ->
+  let n = depth_unlocked t in
   let out = ref [] in
   (* clear only the occupied window, not the whole ring: flush runs once
      per statement batch and capacity may be far larger than depth *)
@@ -170,8 +185,11 @@ let flush t =
   t.delivered <- t.delivered + n;
   !out
 
-(* The accounting invariant, for tests and assertions. *)
+(* The accounting invariant, for tests and assertions; the lock makes the
+   snapshot consistent even while producers on other domains keep pushing. *)
 let invariant_holds t =
-  t.enqueued = t.delivered + t.dropped + t.coalesced + depth t
-  && depth t >= 0
-  && depth t <= t.capacity
+  with_lock t @@ fun () ->
+  let d = depth_unlocked t in
+  t.enqueued = t.delivered + t.dropped + t.coalesced + d
+  && d >= 0
+  && d <= t.capacity

@@ -53,23 +53,52 @@ type sub = {
   mutable sb_seq : int;  (* per-subscription notification sequence *)
 }
 
+(* Sink I/O runs on a dedicated writer domain when one is started (see
+   [start_writer]): [flush] drains the queues on the calling domain —
+   keeping all conservation accounting deterministic — and hands the
+   creation-ordered batch list to the writer through a Mutex/Condition
+   inbox.  Socket writes and file appends then happen off the firing
+   thread. *)
+type writer = {
+  w_lock : Mutex.t;
+  w_cond : Condition.t;  (* signalled on enqueue AND on batch completion *)
+  w_queue : (sub * Notification.t list) list Queue.t;  (* FIFO of flush batches *)
+  mutable w_stop : bool;
+  mutable w_busy : bool;  (* a popped batch is still being delivered *)
+  mutable w_domain : unit Domain.t option;
+}
+
 type t = {
   mgr : Runtime.t;
   mutable subs : (string * sub) list;  (* newest first *)
   mutable ordered : (string * sub) list;  (* creation order; flush path *)
-  index : (string, sub) Hashtbl.t;  (* O(1) lookup on the firing path *)
+  (* Firing-path lookup, sharded by subscriber key so concurrent reader
+     domains (parallel member fan-out) never contend on one table.  All
+     structural mutation happens on the statement domain between firings;
+     during a firing the shards are read-only, which OCaml Hashtbls allow
+     from any number of domains. *)
+  shards : (string, sub) Hashtbl.t array;
   mutable sinks : sink list;
   registry : Obs.Metrics.registry;  (* per-subscription delivery latency *)
   mutable flushes : int;
   mutable notifications_delivered : int;
+  mutable writer : writer option;
 }
 
 let action_name = "sub$notify"
 let trigger_name name = "sub$" ^ name
 
-let find_sub t name = Hashtbl.find_opt t.index name
+let n_shards = 16
+let shard_of t name = t.shards.(Hashtbl.hash name land (n_shards - 1))
+let find_sub t name = Hashtbl.find_opt (shard_of t name) name
 
-(* --- the shared action: firing -> notification -> queue --- *)
+(* --- the shared action: firing -> notification -> queue ---
+
+   Registered [parallel_safe]: during a parallel member fan-out each shard
+   dispatches distinct subscriptions, so [sb_seq] has one writer; the shard
+   Hashtbls are read-only during firing; [Squeue.push] is mutex-guarded;
+   and the audit branch is dead on the parallel path (fan-out is gated on
+   auditing being off, so [fi_audit_id] is always 0 there). *)
 
 let on_fire t (fi : Runtime.firing) =
   match fi.Runtime.fi_args with
@@ -109,14 +138,16 @@ let attach mgr =
     { mgr;
       subs = [];
       ordered = [];
-      index = Hashtbl.create 16;
+      shards = Array.init n_shards (fun _ -> Hashtbl.create 8);
       sinks = [];
       registry = Obs.Metrics.create_registry ();
       flushes = 0;
       notifications_delivered = 0;
+      writer = None;
     }
   in
-  Runtime.register_action mgr ~name:action_name (fun fi -> on_fire t fi);
+  Runtime.register_action ~parallel_safe:true mgr ~name:action_name
+    (fun fi -> on_fire t fi);
   t
 
 (* --- SUBSCRIBE DDL parsing --- *)
@@ -259,7 +290,7 @@ let subscribe_internal ?(log = true) t ddl =
   in
   t.subs <- (p.p_name, sub) :: t.subs;
   t.ordered <- List.rev t.subs;
-  Hashtbl.replace t.index p.p_name sub;
+  Hashtbl.replace (shard_of t p.p_name) p.p_name sub;
   if log then
     Runtime.record_custom_ddl t.mgr ~kind:"subscription" ~name:p.p_name ~payload:ddl
 
@@ -272,7 +303,7 @@ let unsubscribe t name =
     Runtime.drop_trigger ~log:false t.mgr (trigger_name name);
     t.subs <- List.remove_assoc name t.subs;
     t.ordered <- List.rev t.subs;
-    Hashtbl.remove t.index name;
+    Hashtbl.remove (shard_of t name) name;
     Runtime.record_custom_ddl t.mgr ~kind:"drop_subscription" ~name ~payload:""
 
 let subscription_names t = List.rev_map fst t.subs
@@ -313,14 +344,6 @@ let add_server t server = t.sinks <- Socket server :: t.sinks
 let server t =
   List.find_map (function Socket s -> Some s | _ -> None) t.sinks
 
-let close_sinks t =
-  List.iter
-    (function
-      | File { oc; _ } -> close_out_noerr oc
-      | Callback _ | Socket _ -> ())
-    t.sinks;
-  t.sinks <- []
-
 (* --- delivery --- *)
 
 let deliver_one t n =
@@ -333,33 +356,138 @@ let deliver_one t n =
       | Socket srv -> Server.publish srv (Notification.to_ndjson n))
     t.sinks
 
+(* Push one flush's batches to the sinks, in subscription-creation order.
+   Runs on the flushing domain in sync mode and on the writer domain in
+   async mode ([Obs.Trace] keeps a ring per domain; the delivery-latency
+   histograms are pre-created by [flush] before handoff, so [observe_in]
+   never mutates the registry structurally off the statement domain). *)
+let deliver_batches t ~tracer batches =
+  List.iter
+    (fun (sub, items) ->
+      let t0 = Obs.Trace.now () in
+      List.iter (deliver_one t) items;
+      List.iter
+        (function File { oc; _ } -> flush oc | Callback _ | Socket _ -> ())
+        t.sinks;
+      Obs.Metrics.observe_in t.registry sub.sb_metric
+        (Int64.sub (Obs.Trace.now ()) t0);
+      if Obs.Trace.enabled tracer then
+        Obs.Trace.finish_note tracer t0 "deliver" sub.sb_name)
+    batches
+
+let writer_loop t w =
+  let tracer = Database.tracer (Runtime.database t.mgr) in
+  let rec loop () =
+    Mutex.lock w.w_lock;
+    while Queue.is_empty w.w_queue && not w.w_stop do
+      Condition.wait w.w_cond w.w_lock
+    done;
+    if Queue.is_empty w.w_queue then Mutex.unlock w.w_lock  (* stopping *)
+    else begin
+      let batches = Queue.pop w.w_queue in
+      w.w_busy <- true;
+      Mutex.unlock w.w_lock;
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock w.w_lock;
+          w.w_busy <- false;
+          Condition.broadcast w.w_cond;
+          Mutex.unlock w.w_lock)
+        (fun () -> deliver_batches t ~tracer batches);
+      loop ()
+    end
+  in
+  loop ()
+
+let start_writer t =
+  match t.writer with
+  | Some _ -> ()
+  | None ->
+    let w =
+      { w_lock = Mutex.create ();
+        w_cond = Condition.create ();
+        w_queue = Queue.create ();
+        w_stop = false;
+        w_busy = false;
+        w_domain = None;
+      }
+    in
+    t.writer <- Some w;
+    w.w_domain <- Some (Domain.spawn (fun () -> writer_loop t w))
+
+(* Block until every handed-off batch has reached the sinks.  No-op in
+   sync mode. *)
+let drain_writer t =
+  match t.writer with
+  | None -> ()
+  | Some w ->
+    Mutex.lock w.w_lock;
+    while (not (Queue.is_empty w.w_queue)) || w.w_busy do
+      Condition.wait w.w_cond w.w_lock
+    done;
+    Mutex.unlock w.w_lock
+
+let stop_writer t =
+  match t.writer with
+  | None -> ()
+  | Some w ->
+    drain_writer t;
+    Mutex.lock w.w_lock;
+    w.w_stop <- true;
+    Condition.broadcast w.w_cond;
+    Mutex.unlock w.w_lock;
+    (match w.w_domain with Some d -> Domain.join d | None -> ());
+    t.writer <- None
+
+(* Stops the writer (if any) before closing: a file channel must not be
+   closed under a delivery in flight. *)
+let close_sinks t =
+  stop_writer t;
+  List.iter
+    (function
+      | File { oc; _ } -> close_out_noerr oc
+      | Callback _ | Socket _ -> ())
+    t.sinks;
+  t.sinks <- []
+
 (* Drain every subscription queue to the sinks, in subscription-creation
    order; within one queue, items leave in enqueue (statement) order.  Ends
    the current coalescing window.  Returns the number of notifications
    delivered.  Delivery latency is recorded per subscription, and a
-   [deliver] span per non-empty queue lands in the runtime's tracer. *)
+   [deliver] span per non-empty queue lands in the runtime's tracer.
+
+   Queue draining — and with it all Squeue conservation accounting and
+   [notifications_delivered] — always happens here, on the calling domain,
+   so the counters are deterministic at any domain count.  Only the sink
+   I/O moves to the writer domain when one is running; callers that need
+   the bytes on the wire before proceeding use [drain_writer]. *)
 let flush t =
   t.flushes <- t.flushes + 1;
   let tracer = Database.tracer (Runtime.database t.mgr) in
-  let total = ref 0 in
-  List.iter
-    (fun (name, sub) ->
-      match Squeue.flush sub.sb_queue with
-      | [] -> ()
-      | items ->
-        let t0 = Obs.Trace.now () in
-        List.iter (deliver_one t) items;
-        List.iter
-          (function File { oc; _ } -> flush oc | Callback _ | Socket _ -> ())
-          t.sinks;
-        total := !total + List.length items;
-        Obs.Metrics.observe_in t.registry sub.sb_metric
-          (Int64.sub (Obs.Trace.now ()) t0);
-        if Obs.Trace.enabled tracer then
-          Obs.Trace.finish_note tracer t0 "deliver" name)
-    t.ordered;
-  t.notifications_delivered <- !total + t.notifications_delivered;
-  !total
+  let batches =
+    List.filter_map
+      (fun (_, sub) ->
+        match Squeue.flush sub.sb_queue with
+        | [] -> None
+        | items ->
+          ignore (Obs.Metrics.ensure_in t.registry sub.sb_metric);
+          Some (sub, items))
+      t.ordered
+  in
+  let total =
+    List.fold_left (fun acc (_, items) -> acc + List.length items) 0 batches
+  in
+  (match t.writer with
+  | None -> deliver_batches t ~tracer batches
+  | Some w ->
+    if batches <> [] then begin
+      Mutex.lock w.w_lock;
+      Queue.push batches w.w_queue;
+      Condition.broadcast w.w_cond;
+      Mutex.unlock w.w_lock
+    end);
+  t.notifications_delivered <- total + t.notifications_delivered;
+  total
 
 (* --- observability --- *)
 

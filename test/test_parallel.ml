@@ -1,0 +1,263 @@
+(* The multicore firing pipeline (PR 7).
+
+   - Pool: result ordering, caller participation, exception propagation.
+   - Squeue: the conservation invariant under real cross-domain contention
+     (four producer domains racing a flushing consumer).
+   - Differential property: a Table-2 workload driven at domains=4 must be
+     indistinguishable from domains=1 for every strategy — same final
+     document, same (ordering-normalized) firing log, same audit pair
+     accounting, same counters.
+   - Hub writer domain: async sink delivery delivers exactly the sync set. *)
+
+open Relkit
+module Runtime = Trigview.Runtime
+module Pool = Trigview.Pool
+module Workload = Workloadlib.Workload
+module Squeue = Subscribe.Squeue
+
+(* --- pool --- *)
+
+let test_pool_ordering () =
+  let pool = Pool.create ~domains:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let results = Pool.run_list pool (List.init 100 (fun i () -> i * i)) in
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.init 100 (fun i -> i * i))
+    results;
+  Alcotest.(check (list int)) "empty list" [] (Pool.run_list pool []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.run_list pool [ (fun () -> 7) ])
+
+let test_pool_sequential_fallback () =
+  let pool = Pool.create ~domains:1 in
+  Alcotest.(check int) "size 1" 1 (Pool.size pool);
+  Alcotest.(check (list int))
+    "runs inline" [ 1; 2; 3 ]
+    (Pool.run_list pool [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ]);
+  Pool.shutdown pool
+
+let test_pool_exception () =
+  let pool = Pool.create ~domains:3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (match
+     Pool.run_list pool
+       [ (fun () -> 1); (fun () -> failwith "second"); (fun () -> failwith "third") ]
+   with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "lowest-index failure wins" "second" msg);
+  (* the pool survives a failed batch *)
+  Alcotest.(check (list int)) "pool reusable after failure" [ 9 ]
+    (Pool.run_list pool [ (fun () -> 9) ])
+
+let test_pool_registry_shared () =
+  let a = Pool.get ~domains:4 in
+  let b = Pool.get ~domains:4 in
+  Alcotest.(check bool) "one process-wide pool per size" true (a == b);
+  Alcotest.(check int) "sequential pool is size 1" 1 (Pool.size (Pool.get ~domains:1))
+
+(* --- squeue under contention --- *)
+
+let test_squeue_contention () =
+  let q = Squeue.create ~capacity:64 ~overflow:Squeue.Drop_oldest ~coalesce:true () in
+  let producers = 4 and per = 2_000 in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (Squeue.push q ~key:(Printf.sprintf "k%d" (i mod 8)) ((p * per) + i))
+            done))
+  in
+  (* race a consumer against the producers; the invariant must hold on
+     every snapshot taken mid-flight *)
+  let drained = ref 0 in
+  for _ = 1 to 200 do
+    drained := !drained + List.length (Squeue.flush q);
+    if not (Squeue.invariant_holds q) then
+      Alcotest.fail "conservation invariant violated under contention"
+  done;
+  List.iter Domain.join doms;
+  drained := !drained + List.length (Squeue.flush q);
+  Alcotest.(check bool) "invariant at quiescence" true (Squeue.invariant_holds q);
+  Alcotest.(check int) "every push accounted" (producers * per) (Squeue.enqueued q);
+  Alcotest.(check int) "conservation: enqueued = delivered + dropped + coalesced"
+    (producers * per)
+    (Squeue.delivered q + Squeue.dropped q + Squeue.coalesced q + Squeue.depth q);
+  Alcotest.(check int) "drained items = delivered counter" (Squeue.delivered q) !drained;
+  Alcotest.(check int) "nothing pending after final flush" 0 (Squeue.depth q)
+
+let test_squeue_drop_newest_contention () =
+  let q = Squeue.create ~capacity:16 ~overflow:Squeue.Drop_newest () in
+  let doms =
+    List.init 3 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to 999 do
+              ignore (Squeue.push q ~key:"" ((p * 1000) + i))
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check bool) "invariant after racing producers" true (Squeue.invariant_holds q);
+  Alcotest.(check int) "all pushes counted" 3_000 (Squeue.enqueued q);
+  Alcotest.(check int) "ring never overfilled" 16 (Squeue.depth q)
+
+(* --- differential property: domains=1 vs domains=4 --- *)
+
+let small =
+  { Workload.depth = 3; leaf_tuples = 96; fanout = 8; num_triggers = 12; num_satisfied = 4 }
+
+(* Twelve triggers in two structural families (so GROUPED forms two
+   groups and the pool has independent group work), four satisfied.  The
+   workload generator's own triggers carry negative count thresholds,
+   which MATERIALIZED's fallback condition evaluator rejects (unary minus
+   is arithmetic); these stay inside what every strategy supports. *)
+let install_test_triggers mgr ~target =
+  for i = 0 to small.Workload.num_triggers - 1 do
+    let const =
+      if i < small.Workload.num_satisfied then target
+      else Printf.sprintf "nomatch%d" i
+    in
+    let conjunct =
+      if i mod 2 = 0 then "" else " and count(NEW_NODE/e2) >= 1"
+    in
+    Runtime.create_trigger mgr
+      (Printf.sprintf
+         "CREATE TRIGGER bench%d AFTER UPDATE ON view('doc')/e1 WHERE \
+          NEW_NODE/@name = '%s'%s DO record(NEW_NODE)"
+         i const conjunct)
+  done
+
+(* One full run: build, install, drive [ops], then summarize everything the
+   determinism contract promises.  The firing log is ordering-normalized
+   (sorted) before comparison. *)
+let run_workload ~domains ~strategy ops =
+  let built = Workload.build small in
+  let db = built.Workload.db in
+  let tuning = { Runtime.default_tuning with Runtime.domains } in
+  let mgr = Runtime.create ~strategy ~tuning db in
+  Runtime.define_view mgr ~name:"doc" built.Workload.view_text;
+  let log = ref [] in
+  Runtime.register_action mgr ~name:"record" (fun fi ->
+      log :=
+        ( fi.Runtime.fi_stmt_id,
+          fi.Runtime.fi_trigger,
+          Database.string_of_event fi.Runtime.fi_event )
+        :: !log);
+  install_test_triggers mgr ~target:built.Workload.top_names.(0);
+  Runtime.set_audit mgr true;
+  List.iter
+    (fun (top, step) ->
+      Workload.update_leaf built
+        ~top_index:(top mod Array.length built.Workload.top_names)
+        ~step)
+    ops;
+  let doc =
+    let schema_of name = Table.schema (Database.get_table db name) in
+    let view =
+      Xquery.Compile.view_of_string ~schema_of ~name:"doc" built.Workload.view_text
+    in
+    Xmlkit.Xml.to_string (Xquery.Compile.materialize (Ra_eval.ctx_of_db db) view)
+  in
+  let pairs =
+    List.map
+      (fun r ->
+        Obs.Audit.
+          ( r.stmt_id,
+            r.sql_trigger,
+            r.delta_rows,
+            r.nabla_rows,
+            r.pairs_computed,
+            r.pairs_spurious,
+            r.pairs_kept,
+            r.dispatched ))
+      (Runtime.audit_records mgr)
+  in
+  let s = Runtime.stats mgr in
+  ( doc,
+    List.sort compare !log,
+    List.sort compare pairs,
+    (s.Runtime.sql_firings, s.Runtime.rows_computed, s.Runtime.actions_dispatched,
+     s.Runtime.prefilter_skips) )
+
+let strategies =
+  [ Runtime.Ungrouped; Runtime.Grouped; Runtime.Grouped_agg; Runtime.Materialized ]
+
+let op_gen = QCheck.Gen.(pair (int_range 0 11) (int_range 0 40))
+
+let prop_parallel_differential =
+  QCheck.Test.make ~name:"domains=4 = domains=1 across all strategies" ~count:8
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 6) op_gen))
+    (fun ops ->
+      List.for_all
+        (fun strategy ->
+          let doc1, log1, pairs1, stats1 = run_workload ~domains:1 ~strategy ops in
+          let doc4, log4, pairs4, stats4 = run_workload ~domains:4 ~strategy ops in
+          doc1 = doc4 && log1 = log4 && pairs1 = pairs4 && stats1 = stats4)
+        strategies)
+
+(* --- hub writer domain --- *)
+
+let test_writer_domain_delivery () =
+  let run ~domains =
+    let built = Workload.build small in
+    let tuning = { Runtime.default_tuning with Runtime.domains } in
+    let mgr = Runtime.create ~strategy:Runtime.Grouped ~tuning built.Workload.db in
+    Runtime.define_view mgr ~name:"doc" built.Workload.view_text;
+    let hub = Subscribe.attach mgr in
+    let seen = Atomic.make 0 in
+    Subscribe.add_callback hub (fun _ -> Atomic.incr seen);
+    if domains > 1 then Subscribe.start_writer hub;
+    let target = built.Workload.top_names.(0) in
+    for i = 0 to 3 do
+      Subscribe.subscribe hub
+        (Printf.sprintf "w%d AFTER UPDATE ON view('doc')/e1 WHERE NEW_NODE/@name = '%s'"
+           i target)
+    done;
+    let total = ref 0 in
+    for step = 0 to 9 do
+      Workload.update_leaf built ~top_index:0 ~step;
+      total := !total + Subscribe.flush hub
+    done;
+    Subscribe.drain_writer hub;
+    Subscribe.stop_writer hub;
+    Alcotest.(check int)
+      (Printf.sprintf "callback saw every notification (domains=%d)" domains)
+      !total (Atomic.get seen);
+    !total
+  in
+  let sync = run ~domains:1 in
+  let async = run ~domains:4 in
+  Alcotest.(check int) "async delivery set = sync delivery set" sync async;
+  Alcotest.(check bool) "something was delivered" true (sync > 0)
+
+let test_writer_stop_idempotent () =
+  let built = Workload.build small in
+  let mgr = Runtime.create ~strategy:Runtime.Grouped built.Workload.db in
+  Runtime.define_view mgr ~name:"doc" built.Workload.view_text;
+  let hub = Subscribe.attach mgr in
+  Subscribe.start_writer hub;
+  Subscribe.start_writer hub;  (* second start is a no-op *)
+  Subscribe.stop_writer hub;
+  Subscribe.stop_writer hub;  (* second stop is a no-op *)
+  Subscribe.drain_writer hub  (* drain with no writer is a no-op *)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "result ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "sequential fallback" `Quick test_pool_sequential_fallback;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "process-global registry" `Quick test_pool_registry_shared;
+        ] );
+      ( "squeue",
+        [ Alcotest.test_case "conservation under contention" `Quick test_squeue_contention;
+          Alcotest.test_case "drop-newest under contention" `Quick
+            test_squeue_drop_newest_contention;
+        ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest [ prop_parallel_differential ] );
+      ( "hub",
+        [ Alcotest.test_case "writer-domain delivery" `Quick test_writer_domain_delivery;
+          Alcotest.test_case "writer lifecycle idempotent" `Quick
+            test_writer_stop_idempotent;
+        ] );
+    ]

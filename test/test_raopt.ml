@@ -194,6 +194,7 @@ let test_push_transition_joins_probes () =
     { Database.trig_name = "c";
       trig_table = "child";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body = (fun tc -> captured := Some (Ra_eval.ctx_of_trigger tc));
     };

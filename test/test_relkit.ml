@@ -192,6 +192,7 @@ let test_db_update_fires_trigger_with_transitions () =
     { Database.trig_name = "t1";
       trig_table = "vendor";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body = (fun ctx -> seen := Some (ctx.Database.inserted, ctx.Database.deleted));
     };
@@ -215,6 +216,7 @@ let test_db_statement_level_firing () =
     { Database.trig_name = "t1";
       trig_table = "vendor";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body =
         (fun ctx ->
@@ -238,6 +240,7 @@ let test_db_no_fire_on_empty_statement () =
     { Database.trig_name = "t1";
       trig_table = "vendor";
       trig_event = Database.Delete;
+      prepare = None;
       sql_text = "(test)";
       body = (fun _ -> incr fired);
     };
@@ -254,6 +257,7 @@ let test_db_insert_delete_events () =
         { Database.trig_name = name;
           trig_table = "vendor";
           trig_event = event;
+          prepare = None;
           sql_text = "(test)";
           body =
             (fun ctx ->
@@ -273,6 +277,7 @@ let test_db_trigger_recursion_cap () =
     { Database.trig_name = "loop";
       trig_table = "product";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body =
         (fun ctx ->
@@ -296,6 +301,7 @@ let test_db_load_rows_skips_triggers () =
     { Database.trig_name = "t";
       trig_table = "vendor";
       trig_event = Database.Insert;
+      prepare = None;
       sql_text = "(test)";
       body = (fun _ -> incr fired);
     };
@@ -449,6 +455,7 @@ let with_update_ctx db f =
     { Database.trig_name = "capture";
       trig_table = "vendor";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body = (fun ctx -> captured := Some (Ra_eval.ctx_of_trigger ctx));
     };
@@ -625,6 +632,7 @@ let prop_old_of_inverts_update =
         { Database.trig_name = "capture";
           trig_table = "vendor";
           trig_event = Database.Update;
+          prepare = None;
           sql_text = "(test)";
           body =
             (fun tc ->

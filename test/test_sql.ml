@@ -109,6 +109,7 @@ let test_dml_fires_triggers () =
     { Database.trig_name = "t";
       trig_table = "vendor";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body = (fun ctx -> fired := List.length ctx.Database.inserted);
     };

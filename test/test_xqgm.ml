@@ -144,6 +144,7 @@ let test_eval_pre_binding_sees_old_state () =
     { Database.trig_name = "capture";
       trig_table = "vendor";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body =
         (fun tc ->
@@ -176,6 +177,7 @@ let test_eval_delta_nabla_bindings () =
     { Database.trig_name = "capture";
       trig_table = "vendor";
       trig_event = Database.Update;
+      prepare = None;
       sql_text = "(test)";
       body =
         (fun tc ->
@@ -380,6 +382,7 @@ let prop_old_graph_is_pre_state =
         { Database.trig_name = "capture";
           trig_table = "vendor";
           trig_event = Database.Update;
+          prepare = None;
           sql_text = "(test)";
           body =
             (fun tc ->

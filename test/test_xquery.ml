@@ -305,6 +305,7 @@ let test_compiled_view_affected_nodes () =
     { Database.trig_name = "c";
       trig_table = "vendor";
       trig_event = Database.Insert;
+      prepare = None;
       sql_text = "(test)";
       body = (fun tc -> captured := Some (Ra_eval.ctx_of_trigger tc));
     };
