@@ -122,8 +122,13 @@ let notify_action fi =
     (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
     fi.Runtime.fi_new
 
-let run strategy script data_dir trace audit socket domains =
-  let tuning = { Runtime.default_tuning with Runtime.domains } in
+let run strategy script data_dir trace audit socket domains no_independence =
+  let tuning =
+    { Runtime.default_tuning with
+      Runtime.domains;
+      independence = not no_independence;
+    }
+  in
   let mgr, recovered_meta =
     match data_dir with
     | Some dir when Durability.Recovery.has_state ~data_dir:dir ->
@@ -435,11 +440,24 @@ let domains_arg =
            1 (the default) is the sequential path; results are identical at \
            any value.  Also settable via TRIGVIEW_DOMAINS.")
 
+let no_independence_arg =
+  Arg.(
+    value & flag
+    & info [ "no-independence" ]
+        ~doc:
+          "Disable static query–update independence pruning: every (table, \
+           event) bucket hit runs its delta plans even when the trigger's \
+           relevance signature (column footprint + constant path \
+           predicates) proves the statement cannot affect it.  \
+           Semantics-preserving, only slower; the pruning's work is visible \
+           as the $(b,independence_skips) counter in $(b,stats) and \
+           $(b,metrics-prom).")
+
 let cmd =
   Cmd.v
     (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
     Term.(
       const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg
-      $ audit_arg $ socket_arg $ domains_arg)
+      $ audit_arg $ socket_arg $ domains_arg $ no_independence_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -9,6 +9,7 @@ module Expr = Xqgm.Expr
 module Xval = Xqgm.Xval
 module Eval = Xqgm.Eval
 module Xml = Xmlkit.Xml
+module Lineage = Xqgm.Lineage
 module Ast = Xquery.Ast
 module Compile = Xquery.Compile
 module Compose = Xquery.Compose
@@ -43,6 +44,9 @@ type stats = {
   mutable build_cache_misses : int;
   mutable prefilter_skips : int;
       (* SQL triggers never examined thanks to the (table, event) index *)
+  mutable independence_skips : int;
+      (* SQL triggers inside an activated bucket that the static relevance
+         signature proved independent of the statement *)
 }
 
 exception Error of string
@@ -53,6 +57,10 @@ type tuning = {
   push_affected_keys : bool;
   share_subplans : bool;
   compile_plans : bool;
+  independence : bool;
+      (* derive static relevance signatures at arm time and let the firing
+         path prune provably independent statements; off = every bucket hit
+         fires (the pre-independence behaviour) *)
   domains : int;
 }
 
@@ -68,7 +76,12 @@ let default_tuning =
       | _ -> 1)
     | None -> 1
   in
-  { push_affected_keys = true; share_subplans = true; compile_plans = true; domains }
+  { push_affected_keys = true;
+    share_subplans = true;
+    compile_plans = true;
+    independence = true;
+    domains;
+  }
 
 (* --- execution plan per (group, table): pushed-down or middleware --- *)
 
@@ -189,6 +202,7 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
         build_cache_hits = 0;
         build_cache_misses = 0;
         prefilter_skips = 0;
+        independence_skips = 0;
       };
     ra_counters = Relkit.Ra_compile.create_counters ();
     frag_memo = Pushdown.create_frag_memo ();
@@ -242,8 +256,10 @@ let stats t =
   t.counters.compiled_execs <- t.ra_counters.Relkit.Ra_compile.compiled_execs;
   t.counters.build_cache_hits <- t.ra_counters.Relkit.Ra_compile.build_cache_hits;
   t.counters.build_cache_misses <- t.ra_counters.Relkit.Ra_compile.build_cache_misses;
-  (* the prefilter lives in the database's firing path; mirror on read *)
+  (* the prefilter and independence counters live in the database's firing
+     path; mirror on read *)
   t.counters.prefilter_skips <- Database.trigger_skips t.db;
+  t.counters.independence_skips <- Database.independence_skips t.db;
   t.counters
 
 let reset_stats t =
@@ -255,7 +271,9 @@ let reset_stats t =
   t.counters.build_cache_hits <- 0;
   t.counters.build_cache_misses <- 0;
   t.counters.prefilter_skips <- 0;
+  t.counters.independence_skips <- 0;
   Database.reset_trigger_skips t.db;
+  Database.reset_independence_skips t.db;
   t.ra_counters.Relkit.Ra_compile.plans_compiled <- 0;
   t.ra_counters.Relkit.Ra_compile.compiled_execs <- 0;
   t.ra_counters.Relkit.Ra_compile.build_cache_hits <- 0;
@@ -624,6 +642,97 @@ let dispatch ?audit ?(stmt_id = 0) t group ~trig_ids ~old_node ~new_node =
       t.counters.actions_dispatched + List.fold_left ( + ) 0 counts
   end
 
+(* --- static query–update independence (signature derivation) ---
+
+   At arm time, the trigger's monitored plan determines (a) which base
+   columns of each table its delta queries can observe and (b) which
+   constant predicates every contributing row must satisfy (the path
+   predicates compiled into the plan as literals — WHERE-condition
+   constants are generalized into the constants table and deliberately
+   invisible here).  The firing path uses the resulting signature to prove
+   statements independent before any delta plan runs. *)
+
+(* Does [row] satisfy one resolved filter?  Mirrors [Ra_eval.value_cmp] for
+   non-NULL scalars; anything uncertain (NULL, out-of-range slot) answers
+   [true] — the row is then treated as relevant. *)
+let relevance_filter_holds row (s, cmp, v) =
+  s >= Array.length row
+  ||
+  let a = row.(s) in
+  Value.is_null a || Value.is_null v
+  ||
+  let c = Value.compare a v in
+  (match cmp with
+  | Ra.Eq -> c = 0
+  | Ra.Neq -> c <> 0
+  | Ra.Lt -> c < 0
+  | Ra.Le -> c <= 0
+  | Ra.Gt -> c > 0
+  | Ra.Ge -> c >= 0
+  | Ra.And | Ra.Or | Ra.Add | Ra.Sub | Ra.Mul | Ra.Div | Ra.Mod -> true)
+
+(* The signature for one (plan, table): observed columns come from
+   [Lineage.observed], the needed-columns pass over the monitored plan (the
+   raw scan footprint would list every schema column the Table op exposes,
+   observed or not); the predicate is the disjunction over scan sites of
+   each site's constant-filter conjunction.  A site with no (resolvable)
+   filters disables the predicate entirely: rows reaching it are
+   unconstrained. *)
+let derive_relevance t ~table monitored_op =
+  if not t.tuning.independence then None
+  else begin
+    let schema = schema_of t table in
+    let cols = Lineage.observed ~table monitored_op in
+    let sites = Lineage.site_filters ~table monitored_op in
+    let resolve f =
+      match Schema.col_index schema f.Lineage.f_col with
+      | s -> Some (s, f.Lineage.f_cmp, f.Lineage.f_const)
+      | exception _ -> None
+    in
+    let rsites = List.map (List.filter_map resolve) sites in
+    let pred =
+      if rsites = [] || List.mem [] rsites then None
+      else
+        Some
+          (fun row -> List.exists (List.for_all (relevance_filter_holds row)) rsites)
+    in
+    let eq =
+      (* an equality implied by every site lets the bucket index this
+         trigger by (column, constant) *)
+      match sites with
+      | [] -> None
+      | first :: rest ->
+        List.find_opt
+          (fun f ->
+            f.Lineage.f_cmp = Ra.Eq
+            && List.for_all
+                 (List.exists (fun g ->
+                      g.Lineage.f_cmp = Ra.Eq
+                      && g.Lineage.f_col = f.Lineage.f_col
+                      && Value.equal g.Lineage.f_const f.Lineage.f_const))
+                 rest)
+          first
+        |> Option.map (fun f -> (f.Lineage.f_col, f.Lineage.f_const))
+    in
+    Some { Database.rel_cols = Some cols; rel_pred = pred; rel_eq = eq }
+  end
+
+(* Printable form of a signature, for [explain]. *)
+let relevance_summary ~table monitored_op =
+  let observed = Lineage.observed ~table monitored_op in
+  let sites = Lineage.site_filters ~table monitored_op in
+  let cols = String.concat "," observed in
+  let pred =
+    if sites = [] || List.exists (fun s -> s = []) sites then "-"
+    else
+      String.concat " OR "
+        (List.map
+           (fun s ->
+             "(" ^ String.concat " AND " (List.map Lineage.filter_to_string s) ^ ")")
+           sites)
+  in
+  Printf.sprintf "cols={%s} pred=%s" cols pred
+
 let install_sql_triggers t group =
   List.iter
     (fun tp ->
@@ -794,6 +903,12 @@ let install_sql_triggers t group =
         end
       in
       let body tc = (prepare tc) () in
+      (* one signature per (plan, table), shared by all relational events:
+         a statement provably unable to change the monitored level cannot
+         produce an XML event of any kind *)
+      let relevance =
+        derive_relevance t ~table:tp.tp_table group.g_monitored.Compose.m_op
+      in
       List.iter
         (fun ev ->
           Database.create_trigger t.db
@@ -804,6 +919,7 @@ let install_sql_triggers t group =
               trig_event = ev;
               body;
               prepare = Some prepare;
+              relevance;
               (* the full text is available via [generated_sql]; rendering a
                  deep plan eagerly here would dominate trigger creation *)
               sql_text =
@@ -1197,6 +1313,13 @@ let install_materialized t (tr : Trigger.t) view_name m =
   in
   List.iter
     (fun ev ->
+      (* same signature source as the translated strategies: a statement
+         that provably cannot change the monitored level leaves the
+         snapshot valid, so skipping the recompute-and-diff is sound (its
+         audit record would have had pairs_kept = 0) *)
+      let relevance =
+        derive_relevance t ~table:ev.Event_pushdown.ev_table m.Compose.m_op
+      in
       Database.create_trigger t.db
         { Database.trig_name =
             Printf.sprintf "xmltrig$mat$%s$%s$%s" tr.Trigger.name ev.Event_pushdown.ev_table
@@ -1208,6 +1331,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
              be split into a read-only prepare, so it opts out of parallel
              firing (the whole statement falls back to the sequential path) *)
           prepare = None;
+          relevance;
           sql_text = "-- MATERIALIZED baseline: recompute and diff";
         })
     events
@@ -1688,15 +1812,27 @@ let explain t =
            g.g_view);
       Buffer.add_string buf
         (Printf.sprintf "triggers: %s\n" (String.concat ", " (group_trigger_names t g)));
-      if t.strat = Materialized then
+      if t.strat = Materialized then begin
         Buffer.add_string buf
           "plan: MATERIALIZED baseline -- recompute the monitored level and \
-           diff snapshots on every relevant statement\n"
+           diff snapshots on every relevant statement\n";
+        List.iter
+          (fun tp ->
+            Buffer.add_string buf
+              (Printf.sprintf "-- table %s relevance: %s\n" tp.tp_table
+                 (relevance_summary ~table:tp.tp_table
+                    g.g_monitored.Compose.m_op)))
+          g.g_plans
+      end
       else
         List.iter
           (fun tp ->
             Buffer.add_string buf
               (Printf.sprintf "-- table %s: %s\n" tp.tp_table (plan_mode t tp));
+            Buffer.add_string buf
+              (Printf.sprintf "   relevance: %s\n"
+                 (relevance_summary ~table:tp.tp_table
+                    g.g_monitored.Compose.m_op));
             match tp.tp_exec with
             | Some comp -> Buffer.add_string buf (Pushdown.explain_compiled comp)
             | None -> ())
@@ -1721,8 +1857,14 @@ let explain_json t =
                | Some comp -> Pushdown.explain_compiled_json comp
                | None -> "null"
              in
-             Printf.sprintf "{\"table\": \"%s\", \"mode\": \"%s\", \"plan\": %s}"
-               (esc tp.tp_table) (esc (plan_mode t tp)) plan)
+             Printf.sprintf
+               "{\"table\": \"%s\", \"mode\": \"%s\", \"relevance\": \
+                \"%s\", \"plan\": %s}"
+               (esc tp.tp_table) (esc (plan_mode t tp))
+               (esc
+                  (relevance_summary ~table:tp.tp_table
+                     g.g_monitored.Compose.m_op))
+               plan)
            g.g_plans)
     in
     Printf.sprintf
@@ -1764,6 +1906,7 @@ let metrics_prometheus t =
          ("build_cache_hits", s.build_cache_hits);
          ("build_cache_misses", s.build_cache_misses);
          ("prefilter_skips", s.prefilter_skips);
+         ("independence_skips", s.independence_skips);
        ]);
   Buffer.add_string buf
     (Obs.Metrics.prometheus_counters ~metric:"trigview_runtime_domains"
@@ -1810,6 +1953,7 @@ let report t =
       ("build_cache_hits", s.build_cache_hits);
       ("build_cache_misses", s.build_cache_misses);
       ("prefilter_skips", s.prefilter_skips);
+      ("independence_skips", s.independence_skips);
       ("domains", t.tuning.domains);
     ];
   Buffer.add_string buf "scan rows (per source):\n";
@@ -1851,10 +1995,11 @@ let report_json t =
     Printf.sprintf
       "{\"sql_firings\": %d, \"rows_computed\": %d, \"actions_dispatched\": %d, \
        \"plans_compiled\": %d, \"compiled_execs\": %d, \"build_cache_hits\": \
-       %d, \"build_cache_misses\": %d, \"prefilter_skips\": %d, \"domains\": %d}"
+       %d, \"build_cache_misses\": %d, \"prefilter_skips\": %d, \
+       \"independence_skips\": %d, \"domains\": %d}"
       s.sql_firings s.rows_computed s.actions_dispatched s.plans_compiled
       s.compiled_execs s.build_cache_hits s.build_cache_misses
-      s.prefilter_skips t.tuning.domains
+      s.prefilter_skips s.independence_skips t.tuning.domains
   in
   let scan =
     "{"

@@ -54,6 +54,12 @@ type stats = {
   mutable prefilter_skips : int;
       (** SQL triggers the (table, event) relevance prefilter never even
           examined, summed over statements; they are not audited either *)
+  mutable independence_skips : int;
+      (** SQL triggers inside an activated (table, event) bucket that the
+          static relevance signature (column footprint / constant
+          predicates derived from the trigger's XQGM plan at arm time)
+          proved independent of the statement — skipped before any delta
+          plan ran, and not audited *)
 }
 
 type t
@@ -72,6 +78,12 @@ type tuning = {
       (** compile trigger-group plans once with {!Relkit.Ra_compile} and
           execute firings through the compiled form; off = interpret every
           firing with {!Relkit.Ra_eval} *)
+  independence : bool;
+      (** derive static relevance signatures (column footprints + constant
+          WHERE filters from the XQGM plan) when arming triggers and let
+          the firing path prune statements provably independent of a
+          trigger before any delta plan runs; off = every bucket hit fires
+          (the pre-independence behaviour) *)
   domains : int;
       (** domains the firing pipeline may use (a shared work-stealing
           {!Pool}).  [1] (the default) is exactly the sequential engine.

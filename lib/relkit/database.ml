@@ -22,14 +22,28 @@ type change =
 
 type t = {
   tables : (string, Table.t) Hashtbl.t;
-  mutable triggers : trigger list;  (* in creation order *)
-  trig_index : (string * event, trigger list) Hashtbl.t;
-      (* (table, event) → matching triggers in creation order: a DML
-         statement activates exactly its bucket instead of sweeping the
-         whole catalog (table-relevance prefilter) *)
+  mutable triggers_rev : trigger list;
+      (* newest first (O(1) registration); creation order is recovered at
+         read time — [trigger_sql], [drop_trigger] — which are rare *)
+  mutable trig_count : int;
+      (* cached |catalog|, maintained on add/drop: the firing path's skip
+         accounting must not walk the catalog per statement *)
+  trig_names : (string, unit) Hashtbl.t;  (* O(1) duplicate-name check *)
+  mutable trig_seq : int;
+      (* global creation sequence, stamped on bucket entries so candidate
+         sets recovered from several indexes can be merged back into
+         creation order *)
+  trig_index : (string * event, bucket) Hashtbl.t;
+      (* (table, event) → bucket: a DML statement activates exactly its
+         bucket instead of sweeping the whole catalog (table-relevance
+         prefilter); within a bucket, relevance signatures prune further *)
   mutable trigger_skips : int;
       (* triggers the prefilter did not even consider, summed over
          statements: |catalog| - |bucket| per trigger-firing opportunity *)
+  mutable independence_skips : int;
+      (* triggers inside the activated bucket that the static relevance
+         signature proved independent of the statement (counted separately
+         from the table-level prefilter above) *)
   mutable parallel_runner : ((unit -> unit -> unit) list -> (unit -> unit) list) option;
       (* installed by the runtime when tuning.domains > 1: runs the given
          prepare thunks (read-only against the statement snapshot) to
@@ -81,16 +95,69 @@ and trigger = {
          DML).  Contract: [body ctx] must behave exactly like
          [(Option.get prepare) ctx ()].  [None] = the trigger can only run
          sequentially (e.g. the MATERIALIZED baseline). *)
+  relevance : relevance option;
+      (* static relevance signature derived at arm time from the trigger's
+         plan; [None] = always relevant (fire on every bucket hit) *)
   sql_text : string;
+}
+
+and relevance = {
+  rel_cols : string list option;
+      (* base columns of [trig_table] the trigger's plans can observe;
+         [None] = all.  An UPDATE whose every (OLD, NEW) pair is identical
+         on these columns provably yields no pair. *)
+  rel_pred : (Value.t array -> bool) option;
+      (* constant-filter test over full base rows (disjunction of the
+         plan's scan-site conjunctions): a row failing it cannot influence
+         any of the trigger's plans.  Must answer [true] on NULLs or any
+         doubt.  [None] = unconstrained. *)
+  rel_eq : (string * Value.t) option;
+      (* an equality every scan site implies, when one exists: lets the
+         bucket index the trigger by (column, constant) so a statement
+         only considers triggers whose constant appears in its transition
+         rows *)
+}
+
+(* One bucket member.  Column names from the signature are resolved to row
+   slots once, at registration, so the firing path never touches the
+   schema. *)
+and entry = {
+  e_seq : int;  (* global creation sequence, for order recovery *)
+  e_trig : trigger;
+  e_slots : int list option;  (* resolved [rel_cols]; [None] = all *)
+  e_pred : (Value.t array -> bool) option;
+}
+
+and bucket = {
+  mutable b_entries_rev : entry list;  (* newest first *)
+  mutable b_ordered : trigger list;  (* cached creation-order view *)
+  mutable b_stale : bool;
+  mutable b_size : int;
+  mutable b_rel_count : int;  (* entries carrying a relevance signature *)
+  mutable b_plain_rev : entry list;
+      (* entries with no index key: always candidates (their exact
+         relevance check still runs if they carry a signature) *)
+  b_by_col : (int, entry list) Hashtbl.t;
+      (* UPDATE buckets: observed slot → entries; an entry appears under
+         each of its observed slots *)
+  b_by_val : (int * Value.t, entry list) Hashtbl.t;
+      (* (slot, constant) → entries whose every scan site implies that
+         equality *)
+  mutable b_eq_slots : int list;  (* distinct slots keyed in [b_by_val] *)
+  mutable b_indexed : int;  (* entries reachable only via an index *)
 }
 
 let max_firing_depth = 16
 
 let create () =
   { tables = Hashtbl.create 16;
-    triggers = [];
+    triggers_rev = [];
+    trig_count = 0;
+    trig_names = Hashtbl.create 16;
+    trig_seq = 0;
     trig_index = Hashtbl.create 16;
     trigger_skips = 0;
+    independence_skips = 0;
     parallel_runner = None;
     firing_depth = 0;
     on_change = None;
@@ -255,19 +322,152 @@ let with_shared_reads t f =
 let set_parallel_runner t runner = t.parallel_runner <- runner
 let trigger_skips t = t.trigger_skips
 let reset_trigger_skips t = t.trigger_skips <- 0
+let independence_skips t = t.independence_skips
+let reset_independence_skips t = t.independence_skips <- 0
 
 (* --- trigger firing --- *)
 
-let fire_triggers t ~target ~event ~stmt_id ~inserted ~deleted =
+(* Creation-order view of a bucket, cached across statements. *)
+let bucket_ordered b =
+  if b.b_stale then begin
+    b.b_ordered <- List.rev_map (fun e -> e.e_trig) b.b_entries_rev;
+    b.b_stale <- false
+  end;
+  b.b_ordered
+
+(* Does (old, new) differ on any observed slot?  [None] = all columns
+   observed; update statements never reach here with a fully identical
+   pair (the DML path filters those), so [None] answers [true]. *)
+let differs_on slots o n =
+  match slots with
+  | None -> true
+  | Some l ->
+    List.exists
+      (fun s ->
+        s < Array.length o && s < Array.length n
+        && not (Value.equal o.(s) n.(s)))
+      l
+
+(* Exact relevance check for one candidate.  UPDATE relevance is per pair:
+   some (OLD, NEW) pair must both change an observed column and have at
+   least one version passing the constant filters — a pair failing either
+   test provably cannot contribute.  A raising predicate is treated as
+   relevant (the check is an optimization, never a gate). *)
+let entry_relevant ~event ~pairs ~inserted ~deleted e =
+  match e.e_trig.relevance with
+  | None -> true
+  | Some _ ->
+    let pass row =
+      match e.e_pred with
+      | None -> true
+      | Some p -> ( try p row with _ -> true)
+    in
+    (match event with
+    | Update ->
+      List.exists
+        (fun (o, n) -> differs_on e.e_slots o n && (pass o || pass n))
+        pairs
+    | Insert -> List.exists pass inserted
+    | Delete -> List.exists pass deleted)
+
+(* The candidate set for one statement: plain entries, plus column-indexed
+   entries whose observed slots intersect the statement's changed slots,
+   plus value-indexed entries whose (slot, constant) key appears in some
+   transition row.  Both indexes are sound over-approximations; the exact
+   check above then decides each candidate.  [touched] optionally bounds
+   the changed-slot scan to the columns the statement's SET list could
+   write. *)
+(* [b_by_val] keys go through a polymorphic Hashtbl whose structural
+   equality is finer than [Value.compare] (which coerces Int/Float, so the
+   engine treats [Int 1] and [Float 1.] as equal).  Widen ints at both
+   insert and lookup so the index agrees with the engine. *)
+let val_key = function Value.Int i -> Value.Float (float_of_int i) | v -> v
+
+let relevant_bucket_triggers t b ~event ~inserted ~deleted ~touched =
+  if b.b_rel_count = 0 then bucket_ordered b
+  else begin
+    let pairs =
+      match event with
+      | Update -> ( try List.combine deleted inserted with Invalid_argument _ -> [])
+      | Insert | Delete -> []
+    in
+    let candidates =
+      if b.b_indexed = 0 then b.b_entries_rev
+      else begin
+        let acc = ref b.b_plain_rev in
+        if Hashtbl.length b.b_by_col > 0 && event = Update then begin
+          (* changed-slot set of the statement's pairs *)
+          match pairs with
+          | [] -> ()
+          | (first, _) :: _ ->
+            let arity = Array.length first in
+            let slots =
+              match touched with
+              | Some ts -> List.filter (fun s -> s >= 0 && s < arity) ts
+              | None -> List.init arity Fun.id
+            in
+            List.iter
+              (fun s ->
+                if
+                  List.exists
+                    (fun (o, n) ->
+                      s < Array.length o && s < Array.length n
+                      && not (Value.equal o.(s) n.(s)))
+                    pairs
+                then
+                  match Hashtbl.find_opt b.b_by_col s with
+                  | Some es -> acc := List.rev_append es !acc
+                  | None -> ())
+              slots
+        end;
+        if b.b_eq_slots <> [] then begin
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun row ->
+              List.iter
+                (fun s ->
+                  if s < Array.length row then begin
+                    let key = (s, val_key row.(s)) in
+                    if not (Hashtbl.mem seen key) then begin
+                      Hashtbl.add seen key ();
+                      match Hashtbl.find_opt b.b_by_val key with
+                      | Some es -> acc := List.rev_append es !acc
+                      | None -> ()
+                    end
+                  end)
+                b.b_eq_slots)
+            (List.rev_append inserted deleted)
+        end;
+        List.sort_uniq (fun a b' -> compare a.e_seq b'.e_seq) !acc
+      end
+    in
+    let kept =
+      List.filter (entry_relevant ~event ~pairs ~inserted ~deleted) candidates
+    in
+    (* candidates out of an index merge may still be newest-first *)
+    let kept =
+      if b.b_indexed = 0 then
+        List.rev_map (fun e -> e.e_trig) kept
+      else List.map (fun e -> e.e_trig) kept
+    in
+    t.independence_skips <- t.independence_skips + (b.b_size - List.length kept);
+    kept
+  end
+
+let fire_triggers t ~target ~event ~stmt_id ~inserted ~deleted ?touched () =
   if t.triggers_suppressed then ()
   else begin
     (* Table-relevance prefilter: only this (table, event) bucket can have
        non-empty transition tables; the rest of the catalog is skipped
-       without being examined (and without audit probes). *)
+       without being examined (and without audit probes).  The cached
+       catalog count keeps the skip accounting O(1) per statement. *)
+    match Hashtbl.find_opt t.trig_index (target, event) with
+    | None -> t.trigger_skips <- t.trigger_skips + t.trig_count
+    | Some bucket ->
+    t.trigger_skips <- t.trigger_skips + (t.trig_count - bucket.b_size);
     let to_fire =
-      Option.value ~default:[] (Hashtbl.find_opt t.trig_index (target, event))
+      relevant_bucket_triggers t bucket ~event ~inserted ~deleted ~touched
     in
-    t.trigger_skips <- t.trigger_skips + (List.length t.triggers - List.length to_fire);
     if to_fire <> [] then begin
       if t.firing_depth >= max_firing_depth then
         invalid_arg "Database: trigger recursion depth exceeded";
@@ -347,13 +547,24 @@ let insert_rows t ~table rows =
   let sid = next_stmt t in
   insert_no_fire t ~table rows;
   if rows <> [] then
-    fire_triggers t ~target:table ~event:Insert ~stmt_id:sid ~inserted:rows ~deleted:[];
+    fire_triggers t ~target:table ~event:Insert ~stmt_id:sid ~inserted:rows ~deleted:[] ();
   if Obs.Trace.enabled t.trace then
     Obs.Trace.finish_note t.trace t0 "dml" (dml_note "INSERT" table (List.length rows))
 
 let load_rows = insert_no_fire
 
-let update_rows t ~table ~where ~set =
+(* Full-image row equality: a pair the statement matched but did not
+   actually change.  Such pairs carry no information — every trigger would
+   later discover OLD = NEW and keep zero pairs — so the DML path drops
+   them before the durability hook and trigger firing (the statement's
+   *affected* count still includes them, as in SQL). *)
+let rows_equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
+  go (Array.length a - 1)
+
+let update_rows_gen t ~table ~where ~touched_cols ~set =
   let t0 = Obs.Trace.start t.trace in
   let sid = next_stmt t in
   let tbl = get_table t table in
@@ -372,17 +583,33 @@ let update_rows t ~table ~where ~set =
       end;
       check_foreign_keys t tbl row)
     pairs;
-  if pairs <> [] then begin
+  let changed = List.filter (fun (o, n) -> not (rows_equal o n)) pairs in
+  if changed <> [] then begin
     notify t
       (Ch_update
-         { table; before = List.map fst pairs; after = List.map snd pairs });
+         { table; before = List.map fst changed; after = List.map snd changed });
+    let touched =
+      Option.map
+        (List.filter_map (fun c ->
+             match Schema.col_index schema c with
+             | s -> Some s
+             | exception _ -> None))
+        touched_cols
+    in
     fire_triggers t ~target:table ~event:Update ~stmt_id:sid
-      ~inserted:(List.map snd pairs)
-      ~deleted:(List.map fst pairs)
+      ~inserted:(List.map snd changed)
+      ~deleted:(List.map fst changed)
+      ?touched ()
   end;
   if Obs.Trace.enabled t.trace then
     Obs.Trace.finish_note t.trace t0 "dml" (dml_note "UPDATE" table (List.length pairs));
   List.length pairs
+
+let update_rows t ~table ~where ~set =
+  update_rows_gen t ~table ~where ~touched_cols:None ~set
+
+let update_rows_hint t ~table ~where ~touched_cols ~set =
+  update_rows_gen t ~table ~where ~touched_cols:(Some touched_cols) ~set
 
 let update_pk t ~table ~pk ~set =
   let t0 = Obs.Trace.start t.trace in
@@ -401,8 +628,11 @@ let update_pk t ~table ~pk ~set =
       Table.insert_exn tbl row
     end;
     check_foreign_keys t tbl row;
-    notify t (Ch_update { table; before = [ old ]; after = [ row ] });
-    fire_triggers t ~target:table ~event:Update ~stmt_id:sid ~inserted:[ row ] ~deleted:[ old ];
+    if not (rows_equal old row) then begin
+      notify t (Ch_update { table; before = [ old ]; after = [ row ] });
+      fire_triggers t ~target:table ~event:Update ~stmt_id:sid ~inserted:[ row ]
+        ~deleted:[ old ] ()
+    end;
     if Obs.Trace.enabled t.trace then
       Obs.Trace.finish_note t.trace t0 "dml" (dml_note "UPDATE_PK" table 1);
     true
@@ -416,7 +646,7 @@ let delete_rows t ~table ~where =
   List.iter (fun row -> ignore (Table.delete_pk tbl (Schema.pk_of_row schema row))) victims;
   if victims <> [] then begin
     notify t (Ch_delete { table; rows = victims });
-    fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:victims
+    fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:victims ()
   end;
   if Obs.Trace.enabled t.trace then
     Obs.Trace.finish_note t.trace t0 "dml" (dml_note "DELETE" table (List.length victims));
@@ -430,39 +660,132 @@ let delete_pk t ~table ~pk =
   | None -> false
   | Some old ->
     notify t (Ch_delete { table; rows = [ old ] });
-    fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:[ old ];
+    fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:[ old ] ();
     if Obs.Trace.enabled t.trace then
       Obs.Trace.finish_note t.trace t0 "dml" (dml_note "DELETE_PK" table 1);
     true
 
 (* --- trigger catalog --- *)
 
+let fresh_bucket () =
+  { b_entries_rev = [];
+    b_ordered = [];
+    b_stale = false;
+    b_size = 0;
+    b_rel_count = 0;
+    b_plain_rev = [];
+    b_by_col = Hashtbl.create 4;
+    b_by_val = Hashtbl.create 4;
+    b_eq_slots = [];
+    b_indexed = 0;
+  }
+
+(* Registration is O(1) amortized in both the catalog and the bucket:
+   storage is newest-first, the creation-order views are rebuilt lazily at
+   read time. *)
 let create_trigger t trigger =
-  if List.exists (fun tr -> tr.trig_name = trigger.trig_name) t.triggers then
+  if Hashtbl.mem t.trig_names trigger.trig_name then
     invalid_arg
       (Printf.sprintf "Database.create_trigger: trigger %S already exists"
          trigger.trig_name);
   if not (Hashtbl.mem t.tables trigger.trig_table) then
     invalid_arg
       (Printf.sprintf "Database.create_trigger: unknown table %S" trigger.trig_table);
-  t.triggers <- t.triggers @ [ trigger ];
+  Hashtbl.add t.trig_names trigger.trig_name ();
+  t.triggers_rev <- trigger :: t.triggers_rev;
+  t.trig_count <- t.trig_count + 1;
+  t.trig_seq <- t.trig_seq + 1;
   let key = (trigger.trig_table, trigger.trig_event) in
-  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.trig_index key) in
-  Hashtbl.replace t.trig_index key (bucket @ [ trigger ])
+  let b =
+    match Hashtbl.find_opt t.trig_index key with
+    | Some b -> b
+    | None ->
+      let b = fresh_bucket () in
+      Hashtbl.add t.trig_index key b;
+      b
+  in
+  let schema = Table.schema (get_table t trigger.trig_table) in
+  let slot c = try Some (Schema.col_index schema c) with _ -> None in
+  let e =
+    match trigger.relevance with
+    | None ->
+      { e_seq = t.trig_seq; e_trig = trigger; e_slots = None; e_pred = None }
+    | Some r ->
+      (* columns the schema does not know cannot be written by DML on this
+         table, so they are dropped from the observed set *)
+      { e_seq = t.trig_seq;
+        e_trig = trigger;
+        e_slots = Option.map (List.filter_map slot) r.rel_cols;
+        e_pred = r.rel_pred;
+      }
+  in
+  b.b_entries_rev <- e :: b.b_entries_rev;
+  b.b_stale <- true;
+  b.b_size <- b.b_size + 1;
+  if trigger.relevance <> None then b.b_rel_count <- b.b_rel_count + 1;
+  let indexed =
+    match trigger.relevance with
+    | None -> false
+    | Some r -> (
+      match Option.bind r.rel_eq (fun (c, v) -> Option.map (fun s -> (s, v)) (slot c)) with
+      | Some (s, v) ->
+        let key = (s, val_key v) in
+        let es = Option.value ~default:[] (Hashtbl.find_opt b.b_by_val key) in
+        Hashtbl.replace b.b_by_val key (e :: es);
+        if not (List.mem s b.b_eq_slots) then b.b_eq_slots <- s :: b.b_eq_slots;
+        true
+      | None -> (
+        (* the column index only discriminates UPDATE statements (every
+           column "changes" under INSERT/DELETE) *)
+        match trigger.trig_event, e.e_slots with
+        | Update, Some (_ :: _ as slots) ->
+          List.iter
+            (fun s ->
+              let es = Option.value ~default:[] (Hashtbl.find_opt b.b_by_col s) in
+              Hashtbl.replace b.b_by_col s (e :: es))
+            (List.sort_uniq compare slots);
+          true
+        | _ -> false))
+  in
+  if indexed then b.b_indexed <- b.b_indexed + 1
+  else b.b_plain_rev <- e :: b.b_plain_rev
 
 let drop_trigger t name =
-  (match List.find_opt (fun tr -> tr.trig_name = name) t.triggers with
+  match List.find_opt (fun tr -> tr.trig_name = name) t.triggers_rev with
   | None -> ()
   | Some tr ->
+    Hashtbl.remove t.trig_names name;
+    t.triggers_rev <- List.filter (fun tr -> tr.trig_name <> name) t.triggers_rev;
+    t.trig_count <- t.trig_count - 1;
     let key = (tr.trig_table, tr.trig_event) in
-    let bucket = Option.value ~default:[] (Hashtbl.find_opt t.trig_index key) in
-    (match List.filter (fun b -> b.trig_name <> name) bucket with
-    | [] -> Hashtbl.remove t.trig_index key
-    | rest -> Hashtbl.replace t.trig_index key rest));
-  t.triggers <- List.filter (fun tr -> tr.trig_name <> name) t.triggers
+    (match Hashtbl.find_opt t.trig_index key with
+    | None -> ()
+    | Some b ->
+      let keep e = e.e_trig.trig_name <> name in
+      (match List.filter keep b.b_entries_rev with
+      | [] -> Hashtbl.remove t.trig_index key
+      | rest ->
+        b.b_entries_rev <- rest;
+        b.b_stale <- true;
+        b.b_size <- b.b_size - 1;
+        let was_plain = List.exists (fun e -> not (keep e)) b.b_plain_rev in
+        b.b_plain_rev <- List.filter keep b.b_plain_rev;
+        if was_plain then ()
+        else begin
+          b.b_indexed <- b.b_indexed - 1;
+          Hashtbl.iter (fun k es -> Hashtbl.replace b.b_by_col k (List.filter keep es)) (Hashtbl.copy b.b_by_col);
+          Hashtbl.iter (fun k es -> Hashtbl.replace b.b_by_val k (List.filter keep es)) (Hashtbl.copy b.b_by_val)
+        end;
+        (match tr.relevance with
+        | Some _ -> b.b_rel_count <- b.b_rel_count - 1
+        | None -> ())))
 
 let triggers_on t ~table ~event =
-  Option.value ~default:[] (Hashtbl.find_opt t.trig_index (table, event))
+  match Hashtbl.find_opt t.trig_index (table, event) with
+  | None -> []
+  | Some b -> bucket_ordered b
 
-let trigger_count t = List.length t.triggers
-let trigger_sql t = List.map (fun tr -> (tr.trig_name, tr.sql_text)) t.triggers
+let trigger_count t = t.trig_count
+
+let trigger_sql t =
+  List.rev_map (fun tr -> (tr.trig_name, tr.sql_text)) t.triggers_rev

@@ -40,7 +40,29 @@ type trigger = {
           holding every side effect; [body ctx] must behave exactly like
           [(Option.get prepare) ctx ()].  [None] (fine for all
           sequential-only users) opts the trigger out of parallel firing. *)
+  relevance : relevance option;
+      (** static relevance signature derived at arm time; [None] = always
+          fire on a bucket hit (the pre-independence behaviour) *)
   sql_text : string;  (** printable form of the generated trigger *)
+}
+
+(** Static query–update independence signature of one trigger, derived by
+    the caller from the trigger's plans.  The firing path uses it to prove,
+    before any plan runs, that a statement cannot produce an (OLD, NEW)
+    pair for this trigger: an UPDATE whose pairs are all identical on
+    [rel_cols], or a statement none of whose transition rows passes
+    [rel_pred], is skipped (counted in {!independence_skips}).  All three
+    components are sound over-approximations supplied by the deriving
+    layer; [rel_pred] must answer [true] on any doubt (NULLs, exceptions). *)
+and relevance = {
+  rel_cols : string list option;
+      (** base columns of [trig_table] the trigger's plans can observe;
+          [None] = all *)
+  rel_pred : (Value.t array -> bool) option;
+      (** constant-filter test over full base rows; [None] = unconstrained *)
+  rel_eq : (string * Value.t) option;
+      (** an equality every plan site implies, enabling value-indexed
+          bucket lookup *)
 }
 
 (** A committed statement with full row images ([before]/[after] are
@@ -141,11 +163,26 @@ val load_rows : t -> table:string -> Value.t array list -> unit
 
 (** [update_rows db ~table ~where ~set] updates all rows satisfying [where],
     firing AFTER UPDATE triggers once with ∇ = old versions and Δ = new
-    versions.  Returns the number of rows updated. *)
+    versions.  Pairs [set] left fully identical are dropped from the
+    transition tables (and from the durability hook): a statement that
+    changes no row values never enters the firing path.  Returns the number
+    of rows {e matched} (SQL affected-count semantics, identical pairs
+    included). *)
 val update_rows :
   t ->
   table:string ->
   where:(Value.t array -> bool) ->
+  set:(Value.t array -> Value.t array) ->
+  int
+
+(** {!update_rows} with a hint naming the only columns [set] can write
+    (e.g. a SQL SET list), bounding the firing path's changed-column scan
+    (separate entry point so the hint never burdens existing callers). *)
+val update_rows_hint :
+  t ->
+  table:string ->
+  where:(Value.t array -> bool) ->
+  touched_cols:string list ->
   set:(Value.t array -> Value.t array) ->
   int
 
@@ -184,6 +221,15 @@ val set_parallel_runner :
 val trigger_skips : t -> int
 
 val reset_trigger_skips : t -> unit
+
+(** Triggers inside an activated (table, event) bucket that the static
+    relevance signature proved independent of the statement — skipped
+    before any delta plan ran.  Kept separate from {!trigger_skips}: the
+    prefilter counts table-level misses, this counts column/predicate-level
+    ones. *)
+val independence_skips : t -> int
+
+val reset_independence_skips : t -> unit
 
 (** Trigger catalog.  Triggers fire in creation order.
     @raise Invalid_argument on duplicate trigger name or unknown table. *)

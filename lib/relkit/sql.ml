@@ -774,7 +774,12 @@ let exec_update db st =
       compiled_assignments;
     copy
   in
-  match Database.update_rows db ~table:tname ~where:where_fn ~set with
+  (* the SET list is the statement's full write set: passing it as the
+     touched-columns hint bounds the firing path's changed-column scan *)
+  let touched_cols = List.rev_map fst !assignments in
+  match
+    Database.update_rows_hint db ~table:tname ~where:where_fn ~touched_cols ~set
+  with
   | n -> Affected n
   | exception Invalid_argument msg -> fail "%s" msg
 

@@ -48,5 +48,6 @@ val injectively_embedded_cols : t -> string list
 
 val eq : t -> t -> t
 val and_ : t list -> t
+val string_of_binop : binop -> string
 val to_string : t -> string
 val agg_to_string : agg -> string

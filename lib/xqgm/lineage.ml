@@ -49,6 +49,216 @@ let rec columns (op : Op.t) : (string * source) list =
         outs mapping
     | _ -> List.map (fun out -> (out, Computed)) outs)
 
+(* --- column footprint --- *)
+
+let footprint ~table (op : Op.t) : string list =
+  Op.fold op ~init:[] ~f:(fun acc o ->
+      match o.Op.node with
+      | Op.Table { table = t; binding = Op.Post; cols } when t = table ->
+        List.fold_left
+          (fun acc (src, _) -> if List.mem src acc then acc else src :: acc)
+          acc cols
+      | _ -> acc)
+  |> List.sort compare
+
+(* --- observed columns: needed-columns dataflow ---
+
+   [footprint] lists whatever the Table operator scans, which for compiled
+   views is every schema column (row variables expose the full row even
+   when the plan reads two fields).  The pruning signature needs the tight
+   set: walk top-down with the set of output columns the consumers above
+   can see (at the root: all of them — the tagger, keys, conditions all
+   read root outputs), and at each scan of [table] keep only the source
+   columns whose outputs are in that set.  Predicates count as consumers
+   (they decide row presence), as do grouping keys and ordering columns
+   (they decide group structure).  Shared operators are simply re-walked
+   per parent — plans are small and the sets differ per path. *)
+
+module Sset = Set.Make (String)
+
+let observed ~table (op : Op.t) : string list =
+  let acc = ref Sset.empty in
+  let rec go op needed =
+    match op.Op.node with
+    | Op.Table { table = t; cols; _ } ->
+      if t = table then
+        List.iter
+          (fun (src, out) -> if Sset.mem out needed then acc := Sset.add src !acc)
+          cols
+    | Op.Select { input; pred } ->
+      go input (Sset.union needed (Sset.of_list (Expr.cols pred)))
+    | Op.Project { input; defs } ->
+      go input
+        (List.fold_left
+           (fun n (out, e) ->
+             if Sset.mem out needed then Sset.union n (Sset.of_list (Expr.cols e))
+             else n)
+           Sset.empty defs)
+    | Op.Join { left; right; pred; _ } ->
+      let want = Sset.union needed (Sset.of_list (Expr.cols pred)) in
+      go left (Sset.inter want (Sset.of_list (Op.cols left)));
+      go right (Sset.inter want (Sset.of_list (Op.cols right)))
+    | Op.Group_by { input; keys; aggs; order } ->
+      go input
+        (List.fold_left
+           (fun n (out, agg) ->
+             if Sset.mem out needed then
+               Sset.union n (Sset.of_list (Expr.agg_cols agg))
+             else n)
+           (Sset.of_list (keys @ order))
+           aggs)
+    | Op.Union { cols = outs; inputs } ->
+      List.iter
+        (fun (input, mapping) ->
+          go input
+            (List.fold_left2
+               (fun n out src -> if Sset.mem out needed then Sset.add src n else n)
+               Sset.empty outs mapping))
+        inputs
+  in
+  go op (Sset.of_list (Op.cols op));
+  Sset.elements !acc
+
+(* --- static independence: per-site constant filters ---
+
+   Each POST scan of [table] is one *site*.  A base row can influence the
+   plan's output only if it satisfies the conjunction of the constant
+   comparison filters collected for at least one site (sites are a
+   disjunction: the row may reach the output through any of them).  The
+   extraction is conservative: only conjuncts of the literal shape
+   [col cmp const] dominating the site are kept, and only where the join
+   kind guarantees that a row failing the predicate cannot affect the
+   output at all —
+
+   - inner join predicates constrain both sides;
+   - a left-outer join's predicate constrains only the right side (a left
+     row appears NULL-padded regardless), and the right side's column map
+     is dropped above the join so NULL padding never mis-attributes a
+     later filter;
+   - anti-join predicates constrain the probed side (its rows only matter
+     through predicate matches); the eliminated side's columns do not
+     reach the output, so its map is dropped;
+   - group-by keys pass through (a row whose key fails a later filter
+     lands in a group whose output rows all fail it too);
+   - aggregates and computed projections end attribution for that column.
+
+   An empty filter list for any site means rows reaching that site are
+   unconstrained, so no pruning is possible for the whole plan. *)
+
+type filter = {
+  f_col : string;
+  f_cmp : Relkit.Ra.binop;
+  f_const : Relkit.Value.t;
+}
+
+let filter_to_string f =
+  Printf.sprintf "%s %s %s" f.f_col
+    (Expr.string_of_binop f.f_cmp)
+    (Relkit.Value.to_sql_literal f.f_const)
+
+(* site under construction: [map] sends the current operator's output
+   columns back to this site's base columns *)
+type site_acc = {
+  map : (string * string) list;
+  filters : filter list;
+}
+
+let conjuncts pred =
+  let rec go acc = function
+    | Expr.Binop (Relkit.Ra.And, a, b) -> go (go acc a) b
+    | e -> e :: acc
+  in
+  go [] pred
+
+let flip_cmp = function
+  | Relkit.Ra.Lt -> Relkit.Ra.Gt
+  | Relkit.Ra.Gt -> Relkit.Ra.Lt
+  | Relkit.Ra.Le -> Relkit.Ra.Ge
+  | Relkit.Ra.Ge -> Relkit.Ra.Le
+  | c -> c
+
+let constraint_of_conjunct map = function
+  | Expr.Binop
+      ( ((Relkit.Ra.Eq | Relkit.Ra.Neq | Relkit.Ra.Lt | Relkit.Ra.Le
+         | Relkit.Ra.Gt | Relkit.Ra.Ge) as cmp),
+        Expr.Col c,
+        Expr.Const v ) -> (
+    match List.assoc_opt c map with
+    | Some base -> Some { f_col = base; f_cmp = cmp; f_const = v }
+    | None -> None)
+  | Expr.Binop
+      ( ((Relkit.Ra.Eq | Relkit.Ra.Neq | Relkit.Ra.Lt | Relkit.Ra.Le
+         | Relkit.Ra.Gt | Relkit.Ra.Ge) as cmp),
+        Expr.Const v,
+        Expr.Col c ) -> (
+    match List.assoc_opt c map with
+    | Some base -> Some { f_col = base; f_cmp = flip_cmp cmp; f_const = v }
+    | None -> None)
+  | _ -> None
+
+let site_filters ~table (op : Op.t) : filter list list =
+  let apply_pred pred sites =
+    let cs = conjuncts pred in
+    List.map
+      (fun s ->
+        let fs = List.filter_map (constraint_of_conjunct s.map) cs in
+        { s with filters = fs @ s.filters })
+      sites
+  in
+  let drop_map s = { s with map = [] } in
+  let rec go op =
+    match op.Op.node with
+    | Op.Table { table = t; binding = Op.Post; cols } when t = table ->
+      [ { map = List.map (fun (src, out) -> (out, src)) cols; filters = [] } ]
+    | Op.Table _ -> []
+    | Op.Select { input; pred } -> apply_pred pred (go input)
+    | Op.Project { input; defs } ->
+      List.map
+        (fun s ->
+          { s with
+            map =
+              List.filter_map
+                (fun (out, e) ->
+                  match e with
+                  | Expr.Col src -> (
+                    match List.assoc_opt src s.map with
+                    | Some base -> Some (out, base)
+                    | None -> None)
+                  | _ -> None)
+                defs;
+          })
+        (go input)
+    | Op.Join { kind; left; right; pred } -> (
+      let l = go left and r = go right in
+      match kind with
+      | Op.Inner -> apply_pred pred l @ apply_pred pred r
+      | Op.Left_outer -> l @ List.map drop_map (apply_pred pred r)
+      | Op.Left_anti -> l @ List.map drop_map (apply_pred pred r)
+      | Op.Right_anti -> List.map drop_map (apply_pred pred l) @ r)
+    | Op.Group_by { input; keys; _ } ->
+      List.map
+        (fun s ->
+          { s with map = List.filter (fun (out, _) -> List.mem out keys) s.map })
+        (go input)
+    | Op.Union { cols = outs; inputs } ->
+      List.concat_map
+        (fun (input, mapping) ->
+          List.map
+            (fun s ->
+              { s with
+                map =
+                  List.filter_map
+                    (fun (out, src) ->
+                      match List.assoc_opt src s.map with
+                      | Some base -> Some (out, base)
+                      | None -> None)
+                    (List.combine outs mapping);
+              })
+            (go input))
+        inputs
+  in
+  List.map (fun s -> s.filters) (go op)
+
 (* --- dependency scan --- *)
 
 (* Does any referenced input column of a site carry one of the watched base

@@ -18,6 +18,39 @@ type source =
     keeps its own source). *)
 val columns : Op.t -> (string * source) list
 
+(** The set of [table]'s base columns observed by any POST scan in [op]
+    (sorted, deduplicated).  A row change confined to columns outside this
+    footprint cannot alter the plan's result. *)
+val footprint : table:string -> Op.t -> string list
+
+(** The tight variant of {!footprint}: [table]'s base columns whose values
+    can reach the plan's output or influence row presence / group
+    structure, computed by a top-down needed-columns pass (at the root all
+    output columns count as needed).  Unlike {!footprint} this excludes
+    columns a scan merely lists — compiled views scan full rows — so it is
+    the set the independence signature watches. *)
+val observed : table:string -> Op.t -> string list
+
+(** One constant comparison known to hold for every row of a scan site that
+    can influence the plan's output. *)
+type filter = {
+  f_col : string;  (** base column of the watched table *)
+  f_cmp : Relkit.Ra.binop;  (** Eq / Neq / Lt / Le / Gt / Ge *)
+  f_const : Relkit.Value.t;
+}
+
+val filter_to_string : filter -> string
+
+(** Per-site constant filters for [table]'s POST scans: one list per site
+    (conjunction within a site, disjunction across sites).  A base row
+    failing every site's conjunction provably cannot affect the plan's
+    output; an empty list for any site means that site is unconstrained and
+    no pruning is possible.  Conservative: only [col cmp const] conjuncts
+    dominating a site are kept, with join-kind rules ensuring soundness
+    (outer/anti joins constrain only the side whose rows vanish when the
+    predicate fails). *)
+val site_filters : table:string -> Op.t -> filter list list
+
 (** The graph sites whose result depends on the given base columns, other
     than plain copy-through projections and the one element-constructor
     definition [exempt] (operator id, output column) — the targeted level's

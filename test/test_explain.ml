@@ -81,7 +81,8 @@ let compiled_plan_body =
 
 let compiled_expected strategy_name =
   Printf.sprintf
-    "== group 0: %s UPDATE on view catalog ==\ntriggers: t\n-- table product: compiled\n%s"
+    "== group 0: %s UPDATE on view catalog ==\ntriggers: t\n-- table product: \
+     compiled\n   relevance: cols={pid,pname,price} pred=-\n%s"
     strategy_name compiled_plan_body
 
 let check_golden label expected mgr =
@@ -111,7 +112,8 @@ let test_interpreted () =
   check_golden "interpreted explain"
     "== group 0: GROUPED UPDATE on view catalog ==\n\
      triggers: t\n\
-     -- table product: interpreted (compilation disabled)\n"
+     -- table product: interpreted (compilation disabled)\n\
+    \   relevance: cols={pid,pname,price} pred=-\n"
     (setup
        ~tuning:
          { Trigview.Runtime.default_tuning with Trigview.Runtime.compile_plans = false }

@@ -26,6 +26,7 @@ let capture_ctx db ~table ~event dml =
       trig_table = table;
       trig_event = event;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body = (fun tc -> captured := Some (Ra_eval.ctx_of_trigger tc));
     };

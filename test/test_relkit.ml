@@ -193,6 +193,7 @@ let test_db_update_fires_trigger_with_transitions () =
       trig_table = "vendor";
       trig_event = Database.Update;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body = (fun ctx -> seen := Some (ctx.Database.inserted, ctx.Database.deleted));
     };
@@ -217,6 +218,7 @@ let test_db_statement_level_firing () =
       trig_table = "vendor";
       trig_event = Database.Update;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body =
         (fun ctx ->
@@ -241,6 +243,7 @@ let test_db_no_fire_on_empty_statement () =
       trig_table = "vendor";
       trig_event = Database.Delete;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body = (fun _ -> incr fired);
     };
@@ -258,6 +261,7 @@ let test_db_insert_delete_events () =
           trig_table = "vendor";
           trig_event = event;
           prepare = None;
+      relevance = None;
           sql_text = "(test)";
           body =
             (fun ctx ->
@@ -273,18 +277,25 @@ let test_db_insert_delete_events () =
 
 let test_db_trigger_recursion_cap () =
   let db = mk_db () in
+  (* each statement must genuinely change the row (identity updates are
+     dropped before the firing path), so toggle pname back and forth *)
+  let toggle row =
+    let next = if Value.equal row.(1) (v_str "ping") then "pong" else "ping" in
+    [| row.(0); v_str next; row.(2) |]
+  in
   Database.create_trigger db
     { Database.trig_name = "loop";
       trig_table = "product";
       trig_event = Database.Update;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body =
         (fun ctx ->
           ignore
             (Database.update_rows ctx.Database.db ~table:"product"
                ~where:(fun row -> Value.equal row.(0) (v_str "P1"))
-               ~set:(fun row -> row)));
+               ~set:toggle));
     };
   Alcotest.check_raises "depth cap"
     (Invalid_argument "Database: trigger recursion depth exceeded")
@@ -292,7 +303,7 @@ let test_db_trigger_recursion_cap () =
       ignore
         (Database.update_rows db ~table:"product"
            ~where:(fun row -> Value.equal row.(0) (v_str "P1"))
-           ~set:(fun row -> row)))
+           ~set:toggle))
 
 let test_db_load_rows_skips_triggers () =
   let db = mk_db () in
@@ -302,6 +313,7 @@ let test_db_load_rows_skips_triggers () =
       trig_table = "vendor";
       trig_event = Database.Insert;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body = (fun _ -> incr fired);
     };
@@ -456,6 +468,7 @@ let with_update_ctx db f =
       trig_table = "vendor";
       trig_event = Database.Update;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body = (fun ctx -> captured := Some (Ra_eval.ctx_of_trigger ctx));
     };
@@ -633,6 +646,7 @@ let prop_old_of_inverts_update =
           trig_table = "vendor";
           trig_event = Database.Update;
           prepare = None;
+      relevance = None;
           sql_text = "(test)";
           body =
             (fun tc ->

@@ -110,6 +110,7 @@ let test_dml_fires_triggers () =
       trig_table = "vendor";
       trig_event = Database.Update;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body = (fun ctx -> fired := List.length ctx.Database.inserted);
     };

@@ -145,6 +145,7 @@ let test_eval_pre_binding_sees_old_state () =
       trig_table = "vendor";
       trig_event = Database.Update;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body =
         (fun tc ->
@@ -178,6 +179,7 @@ let test_eval_delta_nabla_bindings () =
       trig_table = "vendor";
       trig_event = Database.Update;
       prepare = None;
+      relevance = None;
       sql_text = "(test)";
       body =
         (fun tc ->
@@ -383,6 +385,7 @@ let prop_old_graph_is_pre_state =
           trig_table = "vendor";
           trig_event = Database.Update;
           prepare = None;
+      relevance = None;
           sql_text = "(test)";
           body =
             (fun tc ->
