@@ -1123,6 +1123,168 @@ let independence_fig ~full =
     Printf.printf "wrote BENCH_8.json\n"
   end
 
+(* --- advisor: auto-tuned (ANALYZE + TUNE) vs the best fixed strategy ---
+
+   A mixed workload where the Table-2 winner flips mid-run: phase 1 runs
+   with a single installed trigger (UNGROUPED wins — GROUPED pays the
+   constants-table join for nothing), then the remaining n-1 structurally
+   similar triggers arrive (GROUPED wins — UNGROUPED pays n plan runs per
+   statement).  Each fixed strategy is timed through both phases; the
+   auto run starts on the manager default and calls [tune] at each phase
+   boundary, letting the advisor re-arm from observed windowed profiles.
+   Auto must hold ≥0.9× the best manual throughput (BENCH_9.json,
+   CI-gated). *)
+
+let advisor_trigger_text i const threshold =
+  Printf.sprintf
+    "CREATE TRIGGER bench%d AFTER UPDATE ON view('doc')/%s WHERE \
+     NEW_NODE/@name = '%s' and count(NEW_NODE/%s) >= %d DO record(NEW_NODE)"
+    i
+    (Workloadlib.Workload.elem_name 1)
+    const
+    (Workloadlib.Workload.elem_name 2)
+    threshold
+
+let advisor_install mgr p ~target_name ~from_i ~to_i =
+  for i = from_i to to_i do
+    if i < p.Workloadlib.Workload.num_satisfied then
+      Runtime.create_trigger mgr (advisor_trigger_text i target_name (-i))
+    else
+      Runtime.create_trigger mgr
+        (advisor_trigger_text i (Printf.sprintf "nomatch%d" i) 1)
+  done
+
+(* Best-of-[reps] timed windows of [updates] leaf updates (first window is
+   the discarded warm-up). *)
+let advisor_phase_time built ~updates ~reps =
+  let window () =
+    let w0 = Monotonic_clock.now () in
+    let c0 = Sys.time () in
+    for step = 1 to updates do
+      Workloadlib.Workload.update_leaf built ~top_index:0 ~step
+    done;
+    let c1 = Sys.time () in
+    let w1 = Monotonic_clock.now () in
+    let n = float_of_int updates in
+    { wall_ms = Int64.to_float (Int64.sub w1 w0) /. 1e6 /. n;
+      cpu_ms = (c1 -. c0) *. 1000.0 /. n;
+    }
+  in
+  ignore (window ());
+  let best = ref (window ()) in
+  for _ = 2 to reps do
+    let s = window () in
+    if s.wall_ms < !best.wall_ms then best := s
+  done;
+  !best
+
+let advisor_fig ~full =
+  let n = if full then 1_000 else 200 in
+  let updates = if full then 40 else 20 in
+  let reps = if full then 4 else 3 in
+  let p =
+    { Workloadlib.Workload.quick_defaults with
+      Workloadlib.Workload.leaf_tuples = (if full then 16_000 else 2_000);
+      num_triggers = n;
+      num_satisfied = min n 20;
+    }
+  in
+  print_header_s
+    (Printf.sprintf
+       "advisor: auto-tune vs fixed strategies on a phase-flipping workload \
+        (wall/cpu ms per update; 1 then %d triggers, best of %d windows)" n
+       reps)
+    [ "phase"; "UNGROUPED"; "GROUPED"; "auto" ];
+  (* fixed-strategy runs: both phases under one strategy *)
+  let manual strategy =
+    let built = Workloadlib.Workload.build p in
+    let mgr = mgr_of strategy built in
+    let target = built.Workloadlib.Workload.top_names.(0) in
+    advisor_install mgr p ~target_name:target ~from_i:0 ~to_i:0;
+    let t1 = advisor_phase_time built ~updates ~reps in
+    advisor_install mgr p ~target_name:target ~from_i:1 ~to_i:(n - 1);
+    let tn = advisor_phase_time built ~updates ~reps in
+    (t1, tn)
+  in
+  let u1, un = manual Runtime.Ungrouped in
+  let g1, gn = manual Runtime.Grouped in
+  (* auto run: manager default GROUPED; the advisor must discover the
+     phase-1 singleton wants UNGROUPED, then flip back when the fleet
+     arrives *)
+  let built = Workloadlib.Workload.build p in
+  let mgr = mgr_of Runtime.Grouped built in
+  let target = built.Workloadlib.Workload.top_names.(0) in
+  advisor_install mgr p ~target_name:target ~from_i:0 ~to_i:0;
+  for step = 1 to 5 do
+    (* observe before tuning: the advisor models from windowed profiles *)
+    Workloadlib.Workload.update_leaf built ~top_index:0 ~step
+  done;
+  ignore (Runtime.tune mgr);
+  let reco_at_1 =
+    match Runtime.trigger_strategy mgr "bench0" with
+    | Some s -> Runtime.strategy_to_string s
+    | None -> "?"
+  in
+  Printf.printf "phase 1 (1 trigger): advisor re-armed bench0 as %s\n%!"
+    reco_at_1;
+  let a1 = advisor_phase_time built ~updates ~reps in
+  advisor_install mgr p ~target_name:target ~from_i:1 ~to_i:(n - 1);
+  for step = 1 to 5 do
+    Workloadlib.Workload.update_leaf built ~top_index:0 ~step
+  done;
+  ignore (Runtime.tune mgr);
+  let reco_at_n =
+    match Runtime.trigger_strategy mgr "bench0" with
+    | Some s -> Runtime.strategy_to_string s
+    | None -> "?"
+  in
+  Printf.printf "phase 2 (%d triggers): advisor re-armed bench0 as %s\n%!" n
+    reco_at_n;
+  let an = advisor_phase_time built ~updates ~reps in
+  print_row_s "1" [ u1; g1; a1 ];
+  print_row_s (string_of_int n) [ un; gn; an ];
+  List.iter
+    (fun (row, series, s) -> ignore (record ~fig:"advisor" ~row ~series s))
+    [ ("1", "UNGROUPED", u1); ("1", "GROUPED", g1); ("1", "auto", a1);
+      (string_of_int n, "UNGROUPED", un); (string_of_int n, "GROUPED", gn);
+      (string_of_int n, "auto", an);
+    ];
+  (* throughput over the whole run = inverse of the summed per-phase time *)
+  let total a b = a.wall_ms +. b.wall_ms in
+  let manual_best = Float.min (total u1 un) (total g1 gn) in
+  let ratio =
+    let auto = total a1 an in
+    if auto > 0.0 then manual_best /. auto else Float.nan
+  in
+  let best_name =
+    if total u1 un <= total g1 gn then "UNGROUPED" else "GROUPED"
+  in
+  Printf.printf
+    "auto vs best manual (%s): %.3fx throughput (>= 0.9 required)\n%!"
+    best_name ratio;
+  if !json_requested then begin
+    let oc = open_out "BENCH_9.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"mode\": \"%s\",\n\
+      \  \"n_triggers\": %d,\n\
+      \  \"updates_per_phase\": %d,\n\
+      \  \"analyze_reco_at_1\": \"%s\",\n\
+      \  \"analyze_reco_at_n\": \"%s\",\n\
+      \  \"best_manual\": \"%s\",\n\
+      \  \"manual_ungrouped_ms\": [%s, %s],\n\
+      \  \"manual_grouped_ms\": [%s, %s],\n\
+      \  \"auto_ms\": [%s, %s],\n\
+      \  \"auto_vs_best_manual_ratio\": %s\n\
+       }\n"
+      (if full then "full" else "quick")
+      n updates reco_at_1 reco_at_n best_name (json_float u1.wall_ms)
+      (json_float un.wall_ms) (json_float g1.wall_ms) (json_float gn.wall_ms)
+      (json_float a1.wall_ms) (json_float an.wall_ms) (json_float ratio);
+    close_out oc;
+    Printf.printf "wrote BENCH_9.json\n"
+  end
+
 (* --- bechamel micro-benchmarks: one Test.make per figure --- *)
 
 let bechamel_suite () =
@@ -1186,7 +1348,7 @@ let () =
     | None ->
       [ "17"; "18"; "22"; "23"; "24"; "compile"; "ablation"; "recovery";
         "phases"; "overhead"; "fanout"; "view_update"; "scaling";
-        "independence" ]
+        "independence"; "advisor" ]
   in
   Printf.printf
     "Triggers over XML Views of Relational Data — benchmark harness (%s mode)\n"
@@ -1210,6 +1372,7 @@ let () =
         | "view_update" -> view_update_fig ~full
         | "scaling" -> scaling_fig ~full
         | "independence" -> independence_fig ~full
+        | "advisor" -> advisor_fig ~full
         | other -> Printf.printf "unknown figure %S\n" other)
       figs;
   if !json_requested then write_json ~full "BENCH_5.json";

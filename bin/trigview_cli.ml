@@ -73,6 +73,15 @@ let help_text =
   explain                     annotated plan per trigger group: compiled vs
                               interpreted, join choices, last-run cardinalities
   explain-json                the same as JSON
+  analyze                     workload-observatory report: per trigger the
+                              observed windowed cost under the current
+                              strategy, the modeled cost of each alternative,
+                              and a recommendation (incl. fragments worth
+                              materializing)
+  analyze-json                the same as one JSON object
+  tune [NAME|all]             apply the advisor's recommendations by re-arming
+                              triggers live (default: all); logged so recovery
+                              replays the transition
   trace on|off                enable/disable span tracing (also: --trace)
   trace                       dump the recorded span timeline
   trace json                  dump the recorded spans as JSON
@@ -257,6 +266,10 @@ let run strategy script data_dir trace audit socket domains no_independence =
          | [ "stats-json" ] -> print_endline (Runtime.report_json mgr)
          | [ "explain" ] -> print_string (Runtime.explain mgr)
          | [ "explain-json" ] -> print_endline (Runtime.explain_json mgr)
+         | [ "analyze" ] -> print_string (Runtime.analyze mgr)
+         | [ "analyze-json" ] -> print_endline (Runtime.analyze_json mgr)
+         | [ "tune" ] | [ "tune"; "all" ] -> print_string (Runtime.tune mgr)
+         | [ "tune"; name ] -> print_string (Runtime.tune ~trigger:name mgr)
          | [ "trace"; "on" ] ->
            Runtime.set_tracing mgr true;
            Printf.printf "tracing on\n"

@@ -22,6 +22,13 @@ let strategy_to_string = function
   | Grouped_agg -> "GROUPED-AGG"
   | Materialized -> "MATERIALIZED"
 
+let strategy_of_string = function
+  | "UNGROUPED" -> Some Ungrouped
+  | "GROUPED" -> Some Grouped
+  | "GROUPED-AGG" -> Some Grouped_agg
+  | "MATERIALIZED" -> Some Materialized
+  | _ -> None
+
 type firing = {
   fi_trigger : string;
   fi_event : Database.event;
@@ -47,6 +54,10 @@ type stats = {
   mutable independence_skips : int;
       (* SQL triggers inside an activated bucket that the static relevance
          signature proved independent of the statement *)
+  mutable triggers_dropped : int;
+      (* XML triggers dropped over the runtime's lifetime; their telemetry
+         series are unregistered on drop, so this counter is what keeps
+         Prometheus scrapes from seeing series vanish unexplained *)
 }
 
 exception Error of string
@@ -62,6 +73,12 @@ type tuning = {
          path prune provably independent statements; off = every bucket hit
          fires (the pre-independence behaviour) *)
   domains : int;
+  window_buckets : int;
+      (* sliding-window ring geometry for the observatory: number of
+         time buckets ... *)
+  window_width_ms : int;
+      (* ... and the width of each, so the window spans
+         buckets × width_ms of recent traffic *)
 }
 
 (* [domains] defaults from TRIGVIEW_DOMAINS so an unmodified test suite can
@@ -81,6 +98,8 @@ let default_tuning =
     compile_plans = true;
     independence = true;
     domains;
+    window_buckets = Obs.Knobs.window_buckets ();
+    window_width_ms = Obs.Knobs.window_width_ms ();
   }
 
 (* --- execution plan per (group, table): pushed-down or middleware --- *)
@@ -128,6 +147,14 @@ and group = {
       (* how member conditions are evaluated — "pushed" (in the plan),
          "fallback" (per dispatch), "none"; shared by all members because
          the condition shape is part of the group signature *)
+  g_strategy : strategy;
+      (* the strategy this group was armed under; usually the runtime's
+         default, but TUNE can re-arm individual triggers differently *)
+  g_cohort : string;
+      (* structural cohort key: view | path | event | condition skeleton
+         (literals blanked).  Triggers sharing a cohort would share one
+         group under GROUPED, so the advisor's cost model sizes cohorts,
+         not groups, when comparing strategies *)
 }
 
 and t = {
@@ -163,6 +190,19 @@ and t = {
      persists; recovery re-compiles and re-arms from it. *)
   mutable ddl_log : (string * string * string) list;  (* kind, name, payload *)
   mutable store : Durability.Store.t option;
+  strategy_overrides : (string, strategy) Hashtbl.t;
+      (* per-trigger strategy pins applied by TUNE: consulted (instead of
+         [strat]) when the named trigger is (re-)armed; persisted as
+         custom "tune" DDL records so recovery re-applies them *)
+  last_reco : (string, strategy) Hashtbl.t;
+      (* most recent recommendation per trigger, to detect changes *)
+  mutable reco_instants : (string * int64 * string) list;
+      (* recommendation-change instants (name, ts_ns, args json), newest
+         first, exported into the Chrome trace *)
+  mutable last_cache_hits : int;
+  mutable last_cache_misses : int;
+      (* build-cache totals at the last firing continuation, so the
+         sequential continuation can attribute windowed cache deltas *)
 }
 
 (* Compiled plan templates, shared across groups of this manager with the
@@ -184,6 +224,15 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
   if Pool.size pool > 1 then
     Database.set_parallel_runner db
       (Some (fun thunks -> Database.with_shared_reads db (fun () -> Pool.run_list pool thunks)));
+  (* Apply window-geometry overrides before any traffic; leave the window
+     alone when the tuning matches, so totals survive re-creation. *)
+  let w = Database.window db in
+  if
+    Obs.Window.buckets w <> tuning.window_buckets
+    || Obs.Window.width_ms w <> tuning.window_width_ms
+  then
+    Database.set_window db ~buckets:tuning.window_buckets
+      ~width_ms:tuning.window_width_ms;
   { db;
     strat = strategy;
     tuning;
@@ -203,6 +252,7 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
         build_cache_misses = 0;
         prefilter_skips = 0;
         independence_skips = 0;
+        triggers_dropped = 0;
       };
     ra_counters = Relkit.Ra_compile.create_counters ();
     frag_memo = Pushdown.create_frag_memo ();
@@ -212,6 +262,11 @@ let create ?(strategy = Grouped_agg) ?(tuning = default_tuning) db =
     template_cache = Hashtbl.create 16;
     ddl_log = [];
     store = None;
+    strategy_overrides = Hashtbl.create 8;
+    last_reco = Hashtbl.create 8;
+    reco_instants = [];
+    last_cache_hits = 0;
+    last_cache_misses = 0;
   }
 
 (* Tables owned by the runtime itself (trigger-grouping constants tables).
@@ -734,6 +789,15 @@ let relevance_summary ~table monitored_op =
   Printf.sprintf "cols={%s} pred=%s" cols pred
 
 let install_sql_triggers t group =
+  (* Windowed series names for this group, allocated once per install so
+     the firing continuation never formats strings for the observatory. *)
+  let gkey = Printf.sprintf "g%d" group.g_id in
+  let w_firings = "firings:" ^ gkey in
+  let w_latency = "latency_ns:" ^ gkey in
+  let w_pairs = "pairs:" ^ gkey in
+  let w_kept = "kept:" ^ gkey in
+  let w_spurious = "spurious:" ^ gkey in
+  let w_scan = "scan_rows:" ^ gkey in
   List.iter
     (fun tp ->
       let schema = schema_of t tp.tp_table in
@@ -849,7 +913,7 @@ let install_sql_triggers t group =
                     sql_trigger =
                       Printf.sprintf "xmltrig$g%d$%s$%s" group.g_id tp.tp_table
                         (Database.string_of_event tc.Database.event);
-                    strategy = strategy_to_string t.strat;
+                    strategy = strategy_to_string group.g_strategy;
                     group_id = group.g_id;
                     view = group.g_view;
                     plan_table = tp.tp_table;
@@ -882,14 +946,18 @@ let install_sql_triggers t group =
             (match arec with
             | Some r -> r.Obs.Audit.pairs_computed <- List.length rel.Eval.rows
             | None -> ());
+            let n_spurious = ref 0 and n_kept = ref 0 in
             List.iter
               (fun (old_node, new_node, trig_ids, spurious) ->
-                if spurious then (
+                if spurious then begin
+                  incr n_spurious;
                   match arec with
                   | Some r ->
                     r.Obs.Audit.pairs_spurious <- r.Obs.Audit.pairs_spurious + 1
-                  | None -> ())
+                  | None -> ()
+                end
                 else begin
+                  incr n_kept;
                   (match arec with
                   | Some r -> r.Obs.Audit.pairs_kept <- r.Obs.Audit.pairs_kept + 1
                   | None -> ());
@@ -897,9 +965,35 @@ let install_sql_triggers t group =
                     ~trig_ids ~old_node ~new_node
                 end)
               pairs;
+            let fin = Obs.Trace.now () in
+            let dt = Int64.sub fin t0 in
             Obs.Metrics.observe_in t.histograms
               (Printf.sprintf "firing:g%d:%s" group.g_id tp.tp_table)
-              (Int64.sub (Obs.Trace.now ()) t0)
+              dt;
+            (* Windowed cost profile for the advisor.  Continuations run
+               sequentially on the statement's domain, so these adds (and
+               the cache-delta attribution) are race-free. *)
+            let w = Database.window t.db in
+            Obs.Window.add w ~now:fin w_firings 1.0;
+            Obs.Window.add w ~now:fin w_latency (Int64.to_float dt);
+            let pc = List.length rel.Eval.rows in
+            if pc > 0 then Obs.Window.add w ~now:fin w_pairs (float_of_int pc);
+            if !n_kept > 0 then
+              Obs.Window.add w ~now:fin w_kept (float_of_int !n_kept);
+            if !n_spurious > 0 then
+              Obs.Window.add w ~now:fin w_spurious (float_of_int !n_spurious);
+            let sc = Ra_eval.scan_stats_total pstats in
+            if sc > 0 then Obs.Window.add w ~now:fin w_scan (float_of_int sc);
+            let ch = t.ra_counters.Relkit.Ra_compile.build_cache_hits
+            and cm = t.ra_counters.Relkit.Ra_compile.build_cache_misses in
+            if ch > t.last_cache_hits then
+              Obs.Window.add w ~now:fin "cache_hits"
+                (float_of_int (ch - t.last_cache_hits));
+            if cm > t.last_cache_misses then
+              Obs.Window.add w ~now:fin "cache_misses"
+                (float_of_int (cm - t.last_cache_misses));
+            t.last_cache_hits <- ch;
+            t.last_cache_misses <- cm
         end
       in
       let body tc = (prepare tc) () in
@@ -986,7 +1080,7 @@ let signature ~view_name ~path_text ~event ~cond_shape ~n_consts ~strat =
     cond_shape n_consts
     (match strat with Grouped_agg -> "agg" | _ -> "plain")
 
-let build_template t ~monitored ~event ~cond_rel ~nested ~n_consts =
+let build_template t ~strat ~monitored ~event ~cond_rel ~nested ~n_consts =
   (* spurious-update checking (Appendix E.1/F): injective views need none;
      aggregate-only non-injectivity compares the aggregate columns in the
      plan; otherwise the tagger compares the full nodes *)
@@ -1044,7 +1138,7 @@ let build_template t ~monitored ~event ~cond_rel ~nested ~n_consts =
                 else shred
               in
               let shred =
-                if t.strat = Grouped_agg then
+                if strat = Grouped_agg then
                   Pushdown.invert_old_aggregates ~table shred
                 else shred
               in
@@ -1156,7 +1250,14 @@ let level_snapshot t (m : Compose.monitored) =
       | v -> fail "level row is not a node: %s" (Xval.to_string v))
     rel.Eval.rows
 
-let install_materialized t (tr : Trigger.t) view_name m =
+let install_materialized t ~gid (tr : Trigger.t) view_name m =
+  (* Windowed series names (one set per singleton group), allocated once. *)
+  let gkey = Printf.sprintf "g%d" gid in
+  let w_firings = "firings:" ^ gkey in
+  let w_latency = "latency_ns:" ^ gkey in
+  let w_pairs = "pairs:" ^ gkey in
+  let w_kept = "kept:" ^ gkey in
+  let w_spurious = "spurious:" ^ gkey in
   (* one snapshot per trigger: each diff consumes its own before-image *)
   let key =
     snapshot_key view_name (Ast.path_to_string tr.Trigger.path) ^ "#" ^ tr.Trigger.name
@@ -1171,6 +1272,8 @@ let install_materialized t (tr : Trigger.t) view_name m =
   in
   let events = Event_pushdown.source_events m.Compose.m_op tr.Trigger.event in
   let body tc =
+    let bt0 = Obs.Trace.now () in
+    let n_computed = ref 0 and n_sp = ref 0 and n_kept = ref 0 in
     t.counters.sql_firings <- t.counters.sql_firings + 1;
     let before = !snap in
     let after = level_snapshot t m in
@@ -1188,7 +1291,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
               Printf.sprintf "xmltrig$mat$%s$%s$%s" tr.Trigger.name
                 tc.Database.target
                 (Database.string_of_event tc.Database.event);
-            strategy = strategy_to_string t.strat;
+            strategy = strategy_to_string Materialized;
             group_id = -1;  (* materialized triggers are not grouped *)
             view = view_name;
             plan_table = tc.Database.target;
@@ -1216,6 +1319,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
     let audit_id = match arec with Some r -> r.Obs.Audit.id | None -> 0 in
     let fire ~old_node ~new_node =
       let t0 = Obs.Trace.now () in
+      incr n_kept;
       t.counters.rows_computed <- t.counters.rows_computed + 1;
       let passes =
         match tr.Trigger.condition with
@@ -1276,6 +1380,8 @@ let install_materialized t (tr : Trigger.t) view_name m =
        examines is "computed"; UPDATE candidates whose before/after nodes
        are structurally equal are the spurious ones the diff suppresses *)
     let seen_pair spurious =
+      incr n_computed;
+      if spurious then incr n_sp;
       match arec with
       | Some r ->
         r.Obs.Audit.pairs_computed <- r.Obs.Audit.pairs_computed + 1;
@@ -1283,7 +1389,7 @@ let install_materialized t (tr : Trigger.t) view_name m =
           r.Obs.Audit.pairs_spurious <- r.Obs.Audit.pairs_spurious + 1
       | None -> ()
     in
-    match tr.Trigger.event with
+    (match tr.Trigger.event with
     | Database.Update ->
       List.iter
         (fun (k, old_n) ->
@@ -1309,7 +1415,16 @@ let install_materialized t (tr : Trigger.t) view_name m =
             seen_pair false;
             fire ~old_node:(Some old_n) ~new_node:None
           end)
-        before
+        before);
+    (* windowed cost profile: the whole recompute-and-diff is the firing *)
+    let fin = Obs.Trace.now () in
+    let w = Database.window t.db in
+    Obs.Window.add w ~now:fin w_firings 1.0;
+    Obs.Window.add w ~now:fin w_latency (Int64.to_float (Int64.sub fin bt0));
+    if !n_computed > 0 then
+      Obs.Window.add w ~now:fin w_pairs (float_of_int !n_computed);
+    if !n_kept > 0 then Obs.Window.add w ~now:fin w_kept (float_of_int !n_kept);
+    if !n_sp > 0 then Obs.Window.add w ~now:fin w_spurious (float_of_int !n_sp)
   in
   List.iter
     (fun ev ->
@@ -1337,6 +1452,39 @@ let install_materialized t (tr : Trigger.t) view_name m =
     events
 
 (* --- create_trigger: the full pipeline --- *)
+
+(* Blank string and numeric literals out of a condition's text, so triggers
+   differing only in their constants share one structural cohort key (the
+   advisor sizes cohorts when modeling GROUPED sharing).  Digits embedded in
+   identifiers (e2, NEW_NODE) are kept. *)
+let cond_skeleton s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '\'' then begin
+      Buffer.add_string b "'?'";
+      incr i;
+      while !i < n && s.[!i] <> '\'' do incr i done;
+      if !i < n then incr i
+    end
+    else if c >= '0' && c <= '9' && (!i = 0 || not (is_word s.[!i - 1])) then begin
+      Buffer.add_char b '?';
+      while !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.') do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b c;
+      incr i
+    end
+  done;
+  Buffer.contents b
 
 let create_trigger_internal t text =
   let tr = try Trigger.parse text with Trigger.Parse_error msg -> fail "%s" msg in
@@ -1372,8 +1520,23 @@ let create_trigger_internal t text =
     fail "OLD_NODE cannot be used with an INSERT trigger";
   if tr.Trigger.event = Database.Delete && List.exists uses_new all_exprs then
     fail "NEW_NODE cannot be used with a DELETE trigger";
-  if t.strat = Materialized then begin
-    install_materialized t tr view_name m;
+  (* TUNE pins individual triggers to a strategy; everything else arms
+     under the runtime's default. *)
+  let strat =
+    match Hashtbl.find_opt t.strategy_overrides tr.Trigger.name with
+    | Some s -> s
+    | None -> t.strat
+  in
+  let path_text = Ast.path_to_string tr.Trigger.path in
+  let cohort =
+    Printf.sprintf "%s|%s|%s|%s" view_name path_text
+      (Database.string_of_event tr.Trigger.event)
+      (match tr.Trigger.condition with
+      | Some c -> cond_skeleton (Ast.expr_to_string c)
+      | None -> "-")
+  in
+  if strat = Materialized then begin
+    install_materialized t ~gid:t.next_group tr view_name m;
     (* materialized triggers are not grouped; track them in a singleton *)
     let group =
       { g_id = t.next_group;
@@ -1391,6 +1554,8 @@ let create_trigger_internal t text =
         g_monitored = m;
         g_view = view_name;
         g_cond_mode = (if tr.Trigger.condition <> None then "fallback" else "none");
+        g_strategy = Materialized;
+        g_cohort = cohort;
       }
     in
     t.next_group <- t.next_group + 1;
@@ -1461,11 +1626,10 @@ let create_trigger_internal t text =
               ^ (match nc.Compose.nc_side with `Old -> "o" | `New -> "n")
             | None -> ""))
     in
-    let path_text = Ast.path_to_string tr.Trigger.path in
-    let grouped = t.strat = Grouped || t.strat = Grouped_agg in
+    let grouped = strat = Grouped || strat = Grouped_agg in
     let sig_base =
       signature ~view_name ~path_text ~event:tr.Trigger.event ~cond_shape
-        ~n_consts:(List.length consts) ~strat:t.strat
+        ~n_consts:(List.length consts) ~strat
     in
     let group_sig = if grouped then sig_base else sig_base ^ "!" ^ tr.Trigger.name in
     let member =
@@ -1499,7 +1663,7 @@ let create_trigger_internal t text =
                 nested_shape
             in
             let tmpl =
-              build_template t ~monitored:m ~event:tr.Trigger.event
+              build_template t ~strat ~monitored:m ~event:tr.Trigger.event
                 ~cond_rel:cond_rel_shape ~nested:an_nested
                 ~n_consts:(List.length consts)
             in
@@ -1530,6 +1694,8 @@ let create_trigger_internal t text =
               (if fallback_cond <> None then "fallback"
                else if cond_rel <> None || nested <> None then "pushed"
                else "none");
+            g_strategy = strat;
+            g_cohort = cohort;
           }
         in
         t.groups <- g :: t.groups;
@@ -1634,12 +1800,22 @@ let drop_trigger ?(log = true) t name =
               Database.drop_trigger t.db
                 (Printf.sprintf "xmltrig$g%d$%s$%s" group.g_id tp.tp_table
                    (Database.string_of_event ev)))
-            tp.tp_rel_events)
+            tp.tp_rel_events;
+          Obs.Metrics.remove_in t.histograms
+            (Printf.sprintf "firing:g%d:%s" group.g_id tp.tp_table))
         group.g_plans;
       (* the constants table is group state: gone with its group, or
          create/drop churn would accrete one orphan table per generation *)
       if group.g_consts_table <> "" then
         Database.drop_table t.db group.g_consts_table;
+      (* group telemetry dies with the group: without this, tune churn and
+         subscribe/unsubscribe cycles grow the window and the registry by
+         one dead series set per generation *)
+      List.iter
+        (fun pfx ->
+          Obs.Window.remove (Database.window t.db)
+            (Printf.sprintf "%s:g%d" pfx group.g_id))
+        [ "firings"; "latency_ns"; "pairs"; "kept"; "spurious"; "scan_rows" ];
       t.groups <- List.filter (fun g -> g.g_id <> group.g_id) t.groups
     end;
     List.iter
@@ -1650,7 +1826,13 @@ let drop_trigger ?(log = true) t name =
               (Printf.sprintf "xmltrig$mat$%s$%s$%s" name tbl
                  (Database.string_of_event ev)))
           [ Database.Insert; Database.Update; Database.Delete ])
-      (Database.table_names t.db)
+      (Database.table_names t.db);
+    (* the dropped trigger's own latency histogram goes too — but the drop
+       is still visible: [triggers_dropped] explains the vanished series
+       to anything scraping the registry *)
+    Obs.Metrics.remove_in t.histograms name;
+    Hashtbl.remove t.last_reco name;
+    t.counters.triggers_dropped <- t.counters.triggers_dropped + 1
 
 (* --- durability: WAL + snapshots + crash recovery --- *)
 
@@ -1717,6 +1899,11 @@ let reopen ?(strategy = Grouped_agg) ?tuning ?segment_limit ?policy
         | exception Error msg ->
           errors := Printf.sprintf "trigger %S: %s" name msg :: !errors)
       | "drop_xmltrigger" -> drop_trigger t name
+      | "tune" -> (
+        (* a TUNE pin: applies to the re-create that follows in the log *)
+        match strategy_of_string payload with
+        | Some s -> Hashtbl.replace t.strategy_overrides name s
+        | None -> ())
       | _ -> ())
     recovery.Durability.Recovery.meta;
   attach_durability ?segment_limit ?policy t ~data_dir;
@@ -1779,7 +1966,8 @@ let why t id = Obs.Audit.why (Database.audit t.db) id
 
 let trace_chrome_json t =
   Obs.Trace.to_chrome_json
-    ~instants:(Obs.Audit.chrome_instants (Database.audit t.db))
+    ~instants:
+      (Obs.Audit.chrome_instants (Database.audit t.db) @ t.reco_instants)
     (Database.tracer t.db)
 
 (* Grouped members live in g_members; materialized triggers only in the
@@ -1807,12 +1995,12 @@ let explain t =
     (fun g ->
       Buffer.add_string buf
         (Printf.sprintf "== group %d: %s %s on view %s ==\n" g.g_id
-           (strategy_to_string t.strat)
+           (strategy_to_string g.g_strategy)
            (Database.string_of_event g.g_event)
            g.g_view);
       Buffer.add_string buf
         (Printf.sprintf "triggers: %s\n" (String.concat ", " (group_trigger_names t g)));
-      if t.strat = Materialized then begin
+      if g.g_strategy = Materialized then begin
         Buffer.add_string buf
           "plan: MATERIALIZED baseline -- recompute the monitored level and \
            diff snapshots on every relevant statement\n";
@@ -1871,7 +2059,7 @@ let explain_json t =
       "{\"group\": %d, \"strategy\": \"%s\", \"event\": \"%s\", \"view\": \
        \"%s\", \"triggers\": [%s], \"tables\": [%s]}"
       g.g_id
-      (esc (strategy_to_string t.strat))
+      (esc (strategy_to_string g.g_strategy))
       (esc (Database.string_of_event g.g_event))
       (esc g.g_view) triggers tables
   in
@@ -1887,6 +2075,435 @@ let probe_reports t =
         let rep = Relkit.Table.probe_report tbl in
         if List.for_all (fun (_, n) -> n = 0) rep then None else Some (name, rep))
     (List.sort compare (Database.table_names t.db))
+
+(* --- workload observatory: cost profiles, ANALYZE, TUNE ---
+
+   The cost model follows the paper's Table-2 findings: per relevant
+   statement, UNGROUPED pays one delta-plan execution per trigger
+   (m × C_plan) while GROUPED pays one shared execution plus the
+   constants-table join (C_plan × (1 + j)), so the winner flips with the
+   cohort size m.  C_plan is calibrated from the *observed* windowed mean
+   firing latency under whatever strategy is currently armed, and the
+   MATERIALIZED alternative is sized by the monitored base tables
+   (recompute-and-diff touches every row, per trigger). *)
+
+let consts_join_overhead = 0.25
+(* the GROUPED-AGG inverse-maintenance rewrite adds bookkeeping joins; it
+   only pays off when observation (not this static model) proves it, so
+   the model prices it slightly above GROUPED and lets an armed
+   GROUPED-AGG cohort defend itself with observed numbers *)
+let grouped_agg_penalty = 1.05
+let materialized_row_ns = 2000.0
+(* recompute-and-diff pays view re-evaluation, tagging and the level diff
+   on every relevant statement before any rows are even scanned; without
+   this floor a toy-sized base table would make MATERIALIZED model as
+   nearly free *)
+let materialized_stmt_ns = 100_000.0
+(* a translated delta plan reads deltas, not the level: when the cohort is
+   currently MATERIALIZED there is no observed translated latency, so the
+   model assumes the recompute is ~10× a delta execution *)
+let materialized_discount = 10.0
+(* hysteresis: only recommend a switch that models ≥10% cheaper, so noise
+   never flip-flops a cohort between near-equal strategies *)
+let switch_threshold = 0.9
+
+type observed = {
+  ob_firings : float;  (* plan activations (window, or lifetime fallback) *)
+  ob_rate : float;  (* activations/sec over the covered window *)
+  ob_latency_ns : float;  (* mean ns per activation *)
+  ob_pairs : float;
+  ob_kept : float;
+  ob_spurious : float;
+  ob_scan_rows : float;
+  ob_windowed : bool;  (* false = window empty, lifetime totals used *)
+}
+
+let observed_of_group t g =
+  let w = Database.window t.db in
+  let now = Obs.Trace.now () in
+  let key pfx = Printf.sprintf "%s:g%d" pfx g.g_id in
+  let win pfx = Obs.Window.window_sum w ~now (key pfx) in
+  let life pfx = Obs.Window.total w (key pfx) in
+  let windowed = win "firings" > 0.0 in
+  let get pfx = if windowed then win pfx else life pfx in
+  let f = get "firings" in
+  let lat = get "latency_ns" in
+  { ob_firings = f;
+    ob_rate = Obs.Window.rate w ~now (key "firings");
+    ob_latency_ns = (if f > 0.0 then lat /. f else 0.0);
+    ob_pairs = get "pairs";
+    ob_kept = get "kept";
+    ob_spurious = get "spurious";
+    ob_scan_rows = get "scan_rows";
+    ob_windowed = windowed;
+  }
+
+(* Base-table footprint of a group's monitored level, for sizing the
+   MATERIALIZED recompute. *)
+let group_base_rows t g =
+  let evs = Event_pushdown.source_events g.g_monitored.Compose.m_op g.g_event in
+  let tabs =
+    List.sort_uniq compare (List.map (fun e -> e.Event_pushdown.ev_table) evs)
+  in
+  List.fold_left
+    (fun acc tb ->
+      match Database.find_table t.db tb with
+      | Some tbl -> acc + Relkit.Table.row_count tbl
+      | None -> acc)
+    0 tabs
+
+type recommendation = {
+  r_trigger : string;
+  r_group : int;
+  r_members : int;  (* cohort size: triggers sharing the structure *)
+  r_current : strategy;
+  r_recommended : strategy;
+  r_observed_ns : float;  (* observed cohort cost per relevant statement *)
+  r_modeled_ns : (strategy * float) list;
+  r_rate : float;  (* cohort activations/sec *)
+  r_observed : observed;
+  r_frags : string list;  (* view fragments worth materializing *)
+  r_reason : string;
+}
+
+(* One cohort = the triggers that would share a single GROUPED plan.
+   Model it as a unit: per-trigger switching makes no sense (leaving a
+   group does not make the group's shared plan cheaper). *)
+let model_cohort t groups =
+  let members =
+    List.fold_left
+      (fun acc g -> acc + List.length (group_trigger_names t g))
+      0 groups
+  in
+  let m = float_of_int (max 1 members) in
+  let obs = List.map (fun g -> (g, observed_of_group t g)) groups in
+  (* per relevant statement every group of the cohort activates once, so
+     the cohort's observed per-statement cost is the sum of mean
+     per-activation latencies *)
+  let observed_total =
+    List.fold_left (fun acc (_, o) -> acc +. o.ob_latency_ns) 0.0 obs
+  in
+  let firings = List.fold_left (fun acc (_, o) -> acc +. o.ob_firings) 0.0 obs in
+  let rate = List.fold_left (fun acc (_, o) -> acc +. o.ob_rate) 0.0 obs in
+  let windowed = List.exists (fun (_, o) -> o.ob_windowed) obs in
+  let merged =
+    { ob_firings = firings;
+      ob_rate = rate;
+      ob_latency_ns = (if firings > 0.0 then observed_total else 0.0);
+      ob_pairs = List.fold_left (fun a (_, o) -> a +. o.ob_pairs) 0.0 obs;
+      ob_kept = List.fold_left (fun a (_, o) -> a +. o.ob_kept) 0.0 obs;
+      ob_spurious = List.fold_left (fun a (_, o) -> a +. o.ob_spurious) 0.0 obs;
+      ob_scan_rows =
+        List.fold_left (fun a (_, o) -> a +. o.ob_scan_rows) 0.0 obs;
+      ob_windowed = windowed;
+    }
+  in
+  (* dominant current strategy, by member count *)
+  let current =
+    let count s =
+      List.fold_left
+        (fun acc g ->
+          if g.g_strategy = s then acc + List.length (group_trigger_names t g)
+          else acc)
+        0 groups
+    in
+    List.fold_left
+      (fun best s -> if count s > count best then s else best)
+      Ungrouped
+      [ Grouped; Grouped_agg; Materialized ]
+  in
+  let base_rows =
+    match groups with g :: _ -> group_base_rows t g | [] -> 0
+  in
+  if firings <= 0.0 then
+    (members, current, merged, observed_total, [], current,
+     "no observed firings in the window; keeping the current strategy")
+  else begin
+    let c_plan =
+      match current with
+      | Ungrouped -> observed_total /. m
+      | Grouped | Grouped_agg -> observed_total /. (1.0 +. consts_join_overhead)
+      | Materialized -> observed_total /. m /. materialized_discount
+    in
+    let cost = function
+      | Ungrouped ->
+        if current = Ungrouped then observed_total else m *. c_plan
+      | Grouped ->
+        if current = Grouped then observed_total
+        else c_plan *. (1.0 +. consts_join_overhead)
+      | Grouped_agg ->
+        if current = Grouped_agg then observed_total
+        else c_plan *. (1.0 +. consts_join_overhead) *. grouped_agg_penalty
+      | Materialized ->
+        if current = Materialized then observed_total
+        else
+          (* two lower bounds, keep the larger: a static recompute-and-diff
+             estimate from the base-table footprint, and the observed
+             delta-plan cost scaled by the recompute ratio — recomputing a
+             level cannot undercut the delta plan that reads only changes *)
+          Float.max
+            (materialized_stmt_ns
+            +. (m *. float_of_int (max 1 base_rows) *. materialized_row_ns))
+            (m *. c_plan *. materialized_discount)
+    in
+    let modeled =
+      List.map (fun s -> (s, cost s))
+        [ Ungrouped; Grouped; Grouped_agg; Materialized ]
+    in
+    let best, best_cost =
+      List.fold_left
+        (fun (bs, bc) (s, c) -> if c < bc then (s, c) else (bs, bc))
+        (Ungrouped, cost Ungrouped) modeled
+    in
+    let reco, reason =
+      if best = current then
+        (current, "current strategy already models cheapest")
+      else if best_cost < switch_threshold *. cost current then
+        ( best,
+          Printf.sprintf "models %.1fx cheaper than %s"
+            (cost current /. best_cost)
+            (strategy_to_string current) )
+      else
+        (current, "no alternative models >10% cheaper")
+    in
+    (members, current, merged, observed_total, modeled, reco, reason)
+  end
+
+(* Greedy fragment-materialization advice (Chebotko & Fu's view-selection
+   problem, approximated from the windowed fragment-cache hit/miss
+   traffic): when the cache misses more than it hits while this cohort is
+   hot, the fragments its delta plans link through are worth pinning. *)
+let frag_advice t groups rate =
+  let w = Database.window t.db in
+  let now = Obs.Trace.now () in
+  let hits =
+    let wh = Obs.Window.window_sum w ~now "cache_hits" in
+    if wh > 0.0 then wh else Obs.Window.total w "cache_hits"
+  and misses =
+    let wm = Obs.Window.window_sum w ~now "cache_misses" in
+    if wm > 0.0 then wm else Obs.Window.total w "cache_misses"
+  in
+  let traffic = hits +. misses in
+  if traffic <= 0.0 || rate <= 0.0 || misses /. traffic < 0.5 then []
+  else
+    List.concat_map
+      (fun g -> List.concat_map (fun tp -> tp.tp_frag_keys) g.g_plans)
+      groups
+    |> List.sort_uniq compare
+    |> fun l -> if List.length l > 5 then List.filteri (fun i _ -> i < 5) l else l
+
+(* Record recommendation changes as Chrome-trace instants, bounded. *)
+let note_reco t name reco =
+  let changed =
+    match Hashtbl.find_opt t.last_reco name with
+    | Some s -> s <> reco
+    | None -> true
+  in
+  if changed then begin
+    Hashtbl.replace t.last_reco name reco;
+    let inst =
+      ( "reco:" ^ name,
+        Obs.Trace.now (),
+        Printf.sprintf "{\"recommended\": \"%s\"}" (strategy_to_string reco) )
+    in
+    let kept =
+      if List.length t.reco_instants >= 256 then
+        List.filteri (fun i _ -> i < 255) t.reco_instants
+      else t.reco_instants
+    in
+    t.reco_instants <- inst :: kept
+  end
+
+let recommendations t =
+  (* cohorts in first-creation order *)
+  let cohorts = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun g ->
+      match Hashtbl.find_opt cohorts g.g_cohort with
+      | Some gs -> Hashtbl.replace cohorts g.g_cohort (g :: gs)
+      | None ->
+        Hashtbl.add cohorts g.g_cohort [ g ];
+        order := g.g_cohort :: !order)
+    t.groups;
+  let models = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun key gs -> Hashtbl.replace models key (model_cohort t gs))
+    cohorts;
+  List.rev t.trigger_index
+  |> List.map (fun (name, g) ->
+         let members, current, merged, observed_total, modeled, reco, reason =
+           Hashtbl.find models g.g_cohort
+         in
+         note_reco t name reco;
+         { r_trigger = name;
+           r_group = g.g_id;
+           r_members = members;
+           r_current = g.g_strategy;
+           r_recommended = reco;
+           r_observed_ns = observed_total;
+           r_modeled_ns = modeled;
+           r_rate = merged.ob_rate;
+           r_observed = merged;
+           r_frags =
+             frag_advice t
+               (Hashtbl.find_all cohorts g.g_cohort |> List.concat)
+               merged.ob_rate;
+           r_reason =
+             (if g.g_strategy <> current then
+                "cohort dominated by " ^ strategy_to_string current ^ "; "
+                ^ reason
+              else reason);
+         })
+
+let spurious_ratio o =
+  if o.ob_pairs > 0.0 then o.ob_spurious /. o.ob_pairs else 0.0
+
+let analyze t =
+  let recos = recommendations t in
+  let w = Database.window t.db in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "workload observatory: window = %d buckets x %d ms (last ~%.1fs)\n"
+       (Obs.Window.buckets w) (Obs.Window.width_ms w)
+       (float_of_int (Obs.Window.buckets w * Obs.Window.width_ms w) /. 1000.0));
+  if recos = [] then Buffer.add_string buf "(no triggers installed)\n";
+  List.iter
+    (fun r ->
+      let o = r.r_observed in
+      Buffer.add_string buf
+        (Printf.sprintf "== trigger %s (group %d, cohort of %d) ==\n"
+           r.r_trigger r.r_group r.r_members);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  current: %-12s observed cost/stmt: %.0f ns%s  rate: %.2f/s\n"
+           (strategy_to_string r.r_current)
+           r.r_observed_ns
+           (if o.ob_windowed then "" else " (lifetime: window empty)")
+           r.r_rate);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  pairs: computed=%.0f kept=%.0f spurious=%.0f (ratio %.2f)  \
+            scan_rows=%.0f\n"
+           o.ob_pairs o.ob_kept o.ob_spurious (spurious_ratio o)
+           o.ob_scan_rows);
+      (match r.r_modeled_ns with
+      | [] -> Buffer.add_string buf "  modeled: (insufficient data)\n"
+      | ms ->
+        Buffer.add_string buf "  modeled cost/stmt:";
+        List.iter
+          (fun (s, c) ->
+            Buffer.add_string buf
+              (Printf.sprintf " %s=%.0fns" (strategy_to_string s) c))
+          ms;
+        Buffer.add_char buf '\n');
+      Buffer.add_string buf
+        (Printf.sprintf "  recommendation: %s (%s)\n"
+           (strategy_to_string r.r_recommended)
+           r.r_reason);
+      if r.r_frags <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  materialize fragments: %s\n"
+             (String.concat ", " r.r_frags)))
+    recos;
+  Buffer.contents buf
+
+let analyze_json t =
+  let esc = Obs.Metrics.json_escape in
+  let w = Database.window t.db in
+  let recos = recommendations t in
+  let reco_json r =
+    let o = r.r_observed in
+    let modeled =
+      String.concat ", "
+        (List.map
+           (fun (s, c) ->
+             Printf.sprintf "\"%s\": %.0f" (esc (strategy_to_string s)) c)
+           r.r_modeled_ns)
+    in
+    let frags =
+      String.concat ", "
+        (List.map (fun f -> "\"" ^ esc f ^ "\"") r.r_frags)
+    in
+    Printf.sprintf
+      "{\"name\": \"%s\", \"group\": %d, \"cohort_members\": %d, \
+       \"strategy\": \"%s\", \"observed\": {\"cost_per_stmt_ns\": %.0f, \
+       \"rate_per_s\": %.4f, \"firings\": %.0f, \"pairs_computed\": %.0f, \
+       \"pairs_kept\": %.0f, \"pairs_spurious\": %.0f, \"spurious_ratio\": \
+       %.4f, \"scan_rows\": %.0f, \"windowed\": %b}, \"modeled_cost_ns\": \
+       {%s}, \"recommendation\": \"%s\", \"reason\": \"%s\", \
+       \"materialize_fragments\": [%s]}"
+      (esc r.r_trigger) r.r_group r.r_members
+      (esc (strategy_to_string r.r_current))
+      r.r_observed_ns r.r_rate o.ob_firings o.ob_pairs o.ob_kept
+      o.ob_spurious (spurious_ratio o) o.ob_scan_rows o.ob_windowed modeled
+      (esc (strategy_to_string r.r_recommended))
+      (esc r.r_reason) frags
+  in
+  Printf.sprintf
+    "{\"window\": {\"buckets\": %d, \"width_ms\": %d}, \"triggers\": [%s]}"
+    (Obs.Window.buckets w) (Obs.Window.width_ms w)
+    (String.concat ", " (List.map reco_json recos))
+
+(* --- TUNE: apply recommendations by re-arming live --- *)
+
+(* Re-arm [name] under [strat]: drop + recreate from the logged DDL text.
+   The action registry, subscriptions and the audit ring live outside the
+   trigger, so they carry over; the drop/tune/create record triple makes
+   recovery replay the same transition. *)
+let retarget_trigger t name strat =
+  let payload =
+    List.find_map
+      (fun (k, n, p) -> if k = "xmltrigger" && n = name then Some p else None)
+      t.ddl_log
+  in
+  match payload with
+  | None ->
+    fail "cannot tune %S: no logged DDL for it (created with log off?)" name
+  | Some text ->
+    drop_trigger t name;
+    record_ddl t ~kind:"tune" ~name ~payload:(strategy_to_string strat);
+    Hashtbl.replace t.strategy_overrides name strat;
+    create_trigger t text
+
+let set_strategy_override t name strat =
+  Hashtbl.replace t.strategy_overrides name strat
+
+let trigger_strategy t name =
+  Option.map (fun g -> g.g_strategy) (List.assoc_opt name t.trigger_index)
+
+let tune ?trigger t =
+  let recos = recommendations t in
+  let recos =
+    match trigger with
+    | None -> recos
+    | Some n -> (
+      match List.filter (fun r -> r.r_trigger = n) recos with
+      | [] -> fail "unknown trigger %S" n
+      | rs -> rs)
+  in
+  let buf = Buffer.create 256 in
+  let changed = ref 0 in
+  List.iter
+    (fun r ->
+      if r.r_recommended <> r.r_current then begin
+        retarget_trigger t r.r_trigger r.r_recommended;
+        incr changed;
+        Buffer.add_string buf
+          (Printf.sprintf "%s: %s -> %s (re-armed; %s)\n" r.r_trigger
+             (strategy_to_string r.r_current)
+             (strategy_to_string r.r_recommended)
+             r.r_reason)
+      end
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "%s: %s (unchanged; %s)\n" r.r_trigger
+             (strategy_to_string r.r_current)
+             r.r_reason))
+    recos;
+  Buffer.add_string buf (Printf.sprintf "%d trigger(s) re-armed\n" !changed);
+  Buffer.contents buf
 
 (* Everything scrape-worthy in Prometheus text exposition format: runtime
    counters, per-source scan rows, per-table probe counts, the latency
@@ -1907,10 +2524,44 @@ let metrics_prometheus t =
          ("build_cache_misses", s.build_cache_misses);
          ("prefilter_skips", s.prefilter_skips);
          ("independence_skips", s.independence_skips);
+         ("triggers_dropped", s.triggers_dropped);
        ]);
   Buffer.add_string buf
     (Obs.Metrics.prometheus_counters ~metric:"trigview_runtime_domains"
        [ ("configured", t.tuning.domains) ]);
+  (* observability configuration (ring/window geometry), for dashboards *)
+  let w = Database.window t.db in
+  Buffer.add_string buf
+    (Obs.Metrics.prometheus_counters ~metric:"trigview_obs_config"
+       [ ("trace_ring", Obs.Trace.limit (Database.tracer t.db));
+         ("audit_ring", Obs.Audit.limit (Database.audit t.db));
+         ("window_buckets", Obs.Window.buckets w);
+         ("window_width_ms", Obs.Window.width_ms w);
+       ]);
+  (* windowed rates for every live series (events/sec over the window) *)
+  (match Obs.Window.snapshot w ~now:(Obs.Trace.now ()) with
+  | [] -> ()
+  | snaps ->
+    Buffer.add_string buf
+      (Obs.Metrics.prometheus_gauges_f ~metric:"trigview_window_rate"
+         (List.map (fun (n, sn) -> (n, sn.Obs.Window.sn_rate)) snaps));
+    Buffer.add_string buf
+      (Obs.Metrics.prometheus_gauges_f ~metric:"trigview_window_ewma"
+         (List.map (fun (n, sn) -> (n, sn.Obs.Window.sn_ewma)) snaps)));
+  (* per-trigger recommended strategy as a coded gauge *)
+  (match recommendations t with
+  | [] -> ()
+  | recos ->
+    let code = function
+      | Ungrouped -> 0.0
+      | Grouped -> 1.0
+      | Grouped_agg -> 2.0
+      | Materialized -> 3.0
+    in
+    Buffer.add_string buf
+      (Obs.Metrics.prometheus_gauges_f
+         ~metric:"trigview_recommended_strategy"
+         (List.map (fun r -> (r.r_trigger, code r.r_recommended)) recos)));
   (match scan_rows_report t with
   | [] -> ()
   | rep ->
@@ -1954,8 +2605,39 @@ let report t =
       ("build_cache_misses", s.build_cache_misses);
       ("prefilter_skips", s.prefilter_skips);
       ("independence_skips", s.independence_skips);
+      ("triggers_dropped", s.triggers_dropped);
       ("domains", t.tuning.domains);
     ];
+  let w = Database.window t.db in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "observatory: window %d x %dms, trace ring %d, audit ring %d\n"
+       (Obs.Window.buckets w) (Obs.Window.width_ms w)
+       (Obs.Trace.limit (Database.tracer t.db))
+       (Obs.Audit.limit (Database.audit t.db)));
+  (match Obs.Window.snapshot w ~now:(Obs.Trace.now ()) with
+  | [] -> Buffer.add_string buf "  (no windowed series yet)\n"
+  | snaps ->
+    List.iter
+      (fun (n, sn) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-28s total=%-10.0f window=%-8.0f rate=%.2f/s ewma=%.2f/s\n" n
+             sn.Obs.Window.sn_total sn.Obs.Window.sn_window
+             sn.Obs.Window.sn_rate sn.Obs.Window.sn_ewma))
+      snaps);
+  (match recommendations t with
+  | [] -> ()
+  | recos ->
+    Buffer.add_string buf "advisor:\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-20s %s -> %s (%s)\n" r.r_trigger
+             (strategy_to_string r.r_current)
+             (strategy_to_string r.r_recommended)
+             r.r_reason))
+      recos);
   Buffer.add_string buf "scan rows (per source):\n";
   (match scan_rows_report t with
   | [] -> Buffer.add_string buf "  (none)\n"
@@ -1996,10 +2678,11 @@ let report_json t =
       "{\"sql_firings\": %d, \"rows_computed\": %d, \"actions_dispatched\": %d, \
        \"plans_compiled\": %d, \"compiled_execs\": %d, \"build_cache_hits\": \
        %d, \"build_cache_misses\": %d, \"prefilter_skips\": %d, \
-       \"independence_skips\": %d, \"domains\": %d}"
+       \"independence_skips\": %d, \"triggers_dropped\": %d, \"domains\": %d}"
       s.sql_firings s.rows_computed s.actions_dispatched s.plans_compiled
       s.compiled_execs s.build_cache_hits s.build_cache_misses
-      s.prefilter_skips s.independence_skips t.tuning.domains
+      s.prefilter_skips s.independence_skips s.triggers_dropped
+      t.tuning.domains
   in
   let scan =
     "{"
@@ -2030,10 +2713,32 @@ let report_json t =
            (durability_timings t))
     ^ "]"
   in
+  let observatory =
+    let w = Database.window t.db in
+    let series =
+      String.concat ", "
+        (List.map
+           (fun (n, sn) ->
+             Printf.sprintf
+               "{\"name\": \"%s\", \"total\": %.0f, \"window\": %.0f, \
+                \"rate_per_s\": %.4f, \"ewma_per_s\": %.4f}"
+               (esc n) sn.Obs.Window.sn_total sn.Obs.Window.sn_window
+               sn.Obs.Window.sn_rate sn.Obs.Window.sn_ewma)
+           (Obs.Window.snapshot w ~now:(Obs.Trace.now ())))
+    in
+    Printf.sprintf
+      "{\"knobs\": {\"trace_ring\": %d, \"audit_ring\": %d, \
+       \"window_buckets\": %d, \"window_width_ms\": %d}, \"series\": [%s], \
+       \"advisor\": %s}"
+      (Obs.Trace.limit (Database.tracer t.db))
+      (Obs.Audit.limit (Database.audit t.db))
+      (Obs.Window.buckets w) (Obs.Window.width_ms w) series (analyze_json t)
+  in
   Printf.sprintf
     "{\"strategy\": \"%s\", \"counters\": %s, \"scan_rows\": %s, \"probes\": \
-     %s, \"latencies_ns\": %s, \"durability_timings\": %s, \"explain\": %s}"
+     %s, \"latencies_ns\": %s, \"durability_timings\": %s, \"observatory\": \
+     %s, \"explain\": %s}"
     (esc (strategy_to_string t.strat))
     counters scan probes
     (Obs.Metrics.registry_json t.histograms)
-    durability (explain_json t)
+    durability observatory (explain_json t)

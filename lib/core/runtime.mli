@@ -23,6 +23,9 @@ type strategy = Ungrouped | Grouped | Grouped_agg | Materialized
 
 val strategy_to_string : strategy -> string
 
+(** Inverse of {!strategy_to_string}; [None] on unknown spellings. *)
+val strategy_of_string : string -> strategy option
+
 (** What the activation module hands to an action callback. *)
 type firing = {
   fi_trigger : string;  (** XML trigger name *)
@@ -60,6 +63,10 @@ type stats = {
           predicates derived from the trigger's XQGM plan at arm time)
           proved independent of the statement — skipped before any delta
           plan ran, and not audited *)
+  mutable triggers_dropped : int;
+      (** XML triggers dropped over the runtime's lifetime; explains
+          per-trigger series vanishing from the latency registry and the
+          window *)
 }
 
 type t
@@ -94,6 +101,13 @@ type tuning = {
           sequentially in trigger creation order afterwards, so results
           are identical at any setting.  Semantics-preserving by
           construction; see DESIGN.md "Concurrency model". *)
+  window_buckets : int;
+      (** bucket count of the sliding statistics window (defaults from
+          [$TRIGVIEW_WINDOW_BUCKETS], else 12); applied to the database's
+          window at {!create} when it differs from the current geometry *)
+  window_width_ms : int;
+      (** bucket width in milliseconds (defaults from
+          [$TRIGVIEW_WINDOW_WIDTH_MS], else 5000) *)
 }
 
 (** [domains] defaults to [$TRIGVIEW_DOMAINS] when set to a positive
@@ -211,8 +225,84 @@ val explain_json : t -> string
     timings. *)
 val report : t -> string
 
-(** The machine-readable form; includes {!explain_json} under ["explain"]. *)
+(** The machine-readable form; includes {!explain_json} under ["explain"]
+    and the workload observatory (knobs, windowed series, advisor) under
+    ["observatory"]. *)
 val report_json : t -> string
+
+(** {2 Workload observatory: windowed profiles, ANALYZE, TUNE}
+
+    The database maintains a sliding window ({!Obs.Window}) of per-table
+    DML rates, skip rates and per-group firing profiles (latency, pair
+    counts, scan rows, fragment-cache traffic).  [analyze] feeds the
+    windowed profiles into a cost model of the paper's Table-2 trade-off —
+    UNGROUPED pays one delta plan per trigger and per statement, GROUPED
+    one shared plan plus the constants-table join, MATERIALIZED a
+    recompute sized by the monitored base tables — and recommends, per
+    trigger cohort, the cheapest strategy (with hysteresis: a switch must
+    model ≥10% cheaper).  [tune] applies recommendations by re-arming the
+    trigger live from its logged DDL; the transition is itself logged, so
+    recovery replays it. *)
+
+(** Windowed (or, when the window is empty, lifetime) observation of one
+    trigger cohort. *)
+type observed = {
+  ob_firings : float;
+  ob_rate : float;  (** plan activations/sec over the covered window *)
+  ob_latency_ns : float;  (** mean ns per activation *)
+  ob_pairs : float;
+  ob_kept : float;
+  ob_spurious : float;
+  ob_scan_rows : float;
+  ob_windowed : bool;  (** [false] = window empty, lifetime totals used *)
+}
+
+type recommendation = {
+  r_trigger : string;
+  r_group : int;
+  r_members : int;  (** cohort size: triggers sharing plan structure *)
+  r_current : strategy;
+  r_recommended : strategy;
+  r_observed_ns : float;  (** observed cohort cost per relevant statement *)
+  r_modeled_ns : (strategy * float) list;
+      (** modeled per-statement cost under each strategy; [[]] when the
+          cohort has no observed firings *)
+  r_rate : float;
+  r_observed : observed;
+  r_frags : string list;
+      (** view fragments worth materializing (greedy selection from
+          fragment-cache hit/miss traffic); [[]] when the cache is warm *)
+  r_reason : string;
+}
+
+(** One recommendation per installed trigger, in creation order.  Also
+    records recommendation *changes* as instants for
+    {!trace_chrome_json}. *)
+val recommendations : t -> recommendation list
+
+(** Human-readable ANALYZE report: per trigger the observed windowed cost
+    under the current strategy, the modeled cost under each alternative,
+    and the recommendation. *)
+val analyze : t -> string
+
+val analyze_json : t -> string
+
+(** Applies the advisor's recommendations ([?trigger] restricts to one):
+    every trigger whose recommended strategy differs is dropped and
+    re-created from its logged DDL under the new strategy (subscriptions
+    and registered actions are unaffected; the drop/tune/create triple is
+    logged so recovery replays the transition).  Returns a summary.
+    @raise Error on unknown [?trigger] or when a trigger has no logged
+    DDL (created with [~log:false]). *)
+val tune : ?trigger:string -> t -> string
+
+(** Pins [name]'s strategy for its next (re-)creation, overriding the
+    manager default — the mechanism both {!tune} and recovery's ["tune"]
+    meta records use. *)
+val set_strategy_override : t -> string -> strategy -> unit
+
+(** The strategy a currently-installed trigger actually runs under. *)
+val trigger_strategy : t -> string -> strategy option
 
 (** {2 Firing provenance: "why did this trigger fire?"}
 

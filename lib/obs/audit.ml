@@ -82,6 +82,7 @@ let create ?(limit = 4096) () =
 
 let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
+let limit t = t.limit
 
 let clear t =
   t.buf <- [||];

@@ -160,6 +160,12 @@ let histograms (reg : registry) =
 
 let reset_registry (reg : registry) = Hashtbl.reset reg
 
+(* Unregister one named histogram (e.g. when its trigger is dropped) so
+   the registry doesn't accumulate series for dead triggers forever. *)
+let remove_in (reg : registry) name = Hashtbl.remove reg name
+
+let mem_in (reg : registry) name = Hashtbl.mem reg name
+
 let render_registry (reg : registry) =
   match histograms reg with
   | [] -> "(no latency samples)"
@@ -239,6 +245,17 @@ let prometheus_counters ~metric (pairs : (string * int) list) =
     (fun (label, v) ->
       Buffer.add_string buf
         (Printf.sprintf "%s{name=\"%s\"} %d\n" metric (prometheus_escape_label label) v))
+    pairs;
+  Buffer.contents buf
+
+(* Same shape for float-valued point-in-time values (windowed rates). *)
+let prometheus_gauges_f ~metric (pairs : (string * float) list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" metric);
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s{name=\"%s\"} %.6g\n" metric (prometheus_escape_label label) v))
     pairs;
   Buffer.contents buf
 

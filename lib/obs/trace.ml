@@ -52,6 +52,8 @@ let now () = Monotonic_clock.now ()
 let create ?(limit = 8192) () =
   { enabled = false; rings = [||]; rings_lock = Mutex.create (); limit = max 1 limit }
 
+let limit t = t.limit
+
 let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
 

@@ -1,0 +1,206 @@
+(* Sliding-window statistics: named counter series bucketed over a ring
+   of time-aligned buckets, wrapping lifetime totals so process-lifetime
+   numbers stay intact while windowed rates age out.
+
+   Every mutating or reading operation that depends on time takes an
+   explicit [~now] (nanoseconds, monotonic); callers in the runtime pass
+   [Obs.Trace.now ()], tests pass a synthetic clock.  The module itself
+   never reads a clock, which keeps property tests deterministic.
+
+   Conservation invariant (by construction, exact for integer-valued
+   floats): for every series,
+
+     total = evicted + sum(buckets)
+
+   because [add] bumps the lifetime total and the current bucket in the
+   same operation, and rotation moves expired bucket contents into
+   [evicted] before zeroing. *)
+
+type series = {
+  mutable s_total : float; (* lifetime sum of all adds *)
+  mutable s_evicted : float; (* sums rotated out of the window *)
+  s_buckets : float array; (* per-bucket deltas, ring-indexed *)
+  mutable s_ewma : float; (* EWMA of per-bucket rate, events/sec *)
+}
+
+type t = {
+  n_buckets : int;
+  width_ns : int64;
+  mutable epoch : int64; (* start timestamp of the current bucket *)
+  mutable cur : int; (* ring slot of the current bucket *)
+  mutable rotations : int; (* completed bucket rotations since create *)
+  tbl : (string, series) Hashtbl.t;
+  alpha : float; (* EWMA smoothing factor *)
+}
+
+type snap = {
+  sn_total : float;
+  sn_window : float;
+  sn_rate : float; (* events/sec over the covered window span *)
+  sn_ewma : float; (* EWMA events/sec, updated at bucket boundaries *)
+}
+
+let create ?(buckets = 12) ?(width_ms = 5000) ~now () =
+  let buckets = max 1 buckets in
+  let width_ms = max 1 width_ms in
+  {
+    n_buckets = buckets;
+    width_ns = Int64.mul (Int64.of_int width_ms) 1_000_000L;
+    epoch = now;
+    cur = 0;
+    rotations = 0;
+    tbl = Hashtbl.create 64;
+    alpha = 2.0 /. (float_of_int buckets +. 1.0);
+  }
+
+let buckets t = t.n_buckets
+let width_ms t = Int64.to_int (Int64.div t.width_ns 1_000_000L)
+let width_s t = Int64.to_float t.width_ns /. 1e9
+
+(* Advance the ring so [now] falls inside the current bucket.  Each step
+   completes the current bucket: fold its rate into the EWMA, then
+   recycle the next slot (moving its old contents into [s_evicted]).
+   Steps beyond a full ring revolution are collapsed: the remaining
+   slots are all evicted and the EWMA decays toward zero. *)
+let rotate t ~now =
+  if Int64.compare now (Int64.add t.epoch t.width_ns) >= 0 then begin
+    let elapsed = Int64.sub now t.epoch in
+    let steps64 = Int64.div elapsed t.width_ns in
+    let steps =
+      if Int64.compare steps64 (Int64.of_int (2 * t.n_buckets)) > 0 then
+        2 * t.n_buckets
+      else Int64.to_int steps64
+    in
+    let ws = width_s t in
+    for _ = 1 to steps do
+      let next = (t.cur + 1) mod t.n_buckets in
+      Hashtbl.iter
+        (fun _ s ->
+          (* finish the current bucket: blend its rate into the EWMA *)
+          let rate = s.s_buckets.(t.cur) /. ws in
+          s.s_ewma <- (t.alpha *. rate) +. ((1.0 -. t.alpha) *. s.s_ewma);
+          (* recycle the next slot *)
+          s.s_evicted <- s.s_evicted +. s.s_buckets.(next);
+          s.s_buckets.(next) <- 0.0)
+        t.tbl;
+      t.cur <- next;
+      t.rotations <- t.rotations + 1
+    done;
+    t.epoch <- Int64.add t.epoch (Int64.mul steps64 t.width_ns)
+  end
+
+let series t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_total = 0.0;
+          s_evicted = 0.0;
+          s_buckets = Array.make t.n_buckets 0.0;
+          s_ewma = 0.0;
+        }
+      in
+      Hashtbl.add t.tbl name s;
+      s
+
+let add t ~now name v =
+  rotate t ~now;
+  let s = series t name in
+  s.s_total <- s.s_total +. v;
+  s.s_buckets.(t.cur) <- s.s_buckets.(t.cur) +. v
+
+let total t name =
+  match Hashtbl.find_opt t.tbl name with Some s -> s.s_total | None -> 0.0
+
+let evicted t name =
+  match Hashtbl.find_opt t.tbl name with Some s -> s.s_evicted | None -> 0.0
+
+let bucket_sum s = Array.fold_left ( +. ) 0.0 s.s_buckets
+
+let window_sum t ~now name =
+  rotate t ~now;
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> bucket_sum s
+  | None -> 0.0
+
+(* Span of time the ring currently covers: completed buckets capped at
+   ring size minus one, plus the elapsed part of the current bucket. *)
+let covered_span_s t ~now =
+  let completed = min t.rotations (t.n_buckets - 1) in
+  let in_cur = Int64.to_float (Int64.sub now t.epoch) /. 1e9 in
+  let in_cur = if in_cur < 0.0 then 0.0 else min in_cur (width_s t) in
+  (float_of_int completed *. width_s t) +. in_cur
+
+let rate t ~now name =
+  rotate t ~now;
+  match Hashtbl.find_opt t.tbl name with
+  | None -> 0.0
+  | Some s ->
+      let span = covered_span_s t ~now in
+      if span <= 0.0 then 0.0 else bucket_sum s /. span
+
+let ewma t name =
+  match Hashtbl.find_opt t.tbl name with Some s -> s.s_ewma | None -> 0.0
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+let mem t name = Hashtbl.mem t.tbl name
+let remove t name = Hashtbl.remove t.tbl name
+
+let remove_prefix t prefix =
+  let plen = String.length prefix in
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if String.length k >= plen && String.sub k 0 plen = prefix then
+          k :: acc
+        else acc)
+      t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) doomed
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.cur <- 0;
+  t.rotations <- 0
+
+let snapshot_one t ~now name =
+  rotate t ~now;
+  match Hashtbl.find_opt t.tbl name with
+  | None -> { sn_total = 0.0; sn_window = 0.0; sn_rate = 0.0; sn_ewma = 0.0 }
+  | Some s ->
+      let span = covered_span_s t ~now in
+      let w = bucket_sum s in
+      {
+        sn_total = s.s_total;
+        sn_window = w;
+        sn_rate = (if span <= 0.0 then 0.0 else w /. span);
+        sn_ewma = s.s_ewma;
+      }
+
+let snapshot t ~now =
+  rotate t ~now;
+  let span = covered_span_s t ~now in
+  Hashtbl.fold
+    (fun name s acc ->
+      let w = bucket_sum s in
+      ( name,
+        {
+          sn_total = s.s_total;
+          sn_window = w;
+          sn_rate = (if span <= 0.0 then 0.0 else w /. span);
+          sn_ewma = s.s_ewma;
+        } )
+      :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* For tests: (name, total, evicted + sum buckets) for every series.
+   Conservation holds when the last two are equal. *)
+let conservation t =
+  Hashtbl.fold
+    (fun name s acc -> (name, s.s_total, s.s_evicted +. bucket_sum s) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

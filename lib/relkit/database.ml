@@ -71,6 +71,11 @@ type t = {
   audit : Obs.Audit.t;
       (* one audit log per database, same ownership story as the tracer:
          the runtime's SQL-trigger bodies append firing records here *)
+  mutable window : Obs.Window.t;
+      (* sliding-window statistics (per-table DML rates, skip rates,
+         per-group firing profiles) shared by every layer holding a [t];
+         all adds happen on the statement's domain, so windowed series
+         conserve exactly even with a parallel prepare pool *)
 }
 
 and trigger_ctx = {
@@ -165,12 +170,24 @@ let create () =
     triggers_suppressed = false;
     stmt_seq = 0;
     stmt_origin = "";
-    trace = Obs.Trace.create ();
-    audit = Obs.Audit.create ();
+    trace = Obs.Trace.create ~limit:(Obs.Knobs.trace_ring ()) ();
+    audit = Obs.Audit.create ~limit:(Obs.Knobs.audit_ring ()) ();
+    window =
+      Obs.Window.create
+        ~buckets:(Obs.Knobs.window_buckets ())
+        ~width_ms:(Obs.Knobs.window_width_ms ())
+        ~now:(Obs.Trace.now ()) ();
   }
 
 let tracer t = t.trace
 let audit t = t.audit
+let window t = t.window
+
+(* Replace the sliding window with a fresh one (different bucket
+   geometry).  Lifetime totals restart; the runtime calls this at
+   creation time, before any traffic. *)
+let set_window t ~buckets ~width_ms =
+  t.window <- Obs.Window.create ~buckets ~width_ms ~now:(Obs.Trace.now ()) ()
 let statement_count t = t.stmt_seq
 
 let statement_origin t = t.stmt_origin
@@ -462,12 +479,27 @@ let fire_triggers t ~target ~event ~stmt_id ~inserted ~deleted ?touched () =
        without being examined (and without audit probes).  The cached
        catalog count keeps the skip accounting O(1) per statement. *)
     match Hashtbl.find_opt t.trig_index (target, event) with
-    | None -> t.trigger_skips <- t.trigger_skips + t.trig_count
+    | None ->
+      t.trigger_skips <- t.trigger_skips + t.trig_count;
+      if t.trig_count > 0 then
+        Obs.Window.add t.window ~now:(Obs.Trace.now ()) "skips:prefilter"
+          (float_of_int t.trig_count)
     | Some bucket ->
-    t.trigger_skips <- t.trigger_skips + (t.trig_count - bucket.b_size);
+    let pre_skipped = t.trig_count - bucket.b_size in
+    t.trigger_skips <- t.trigger_skips + pre_skipped;
+    let ind0 = t.independence_skips in
     let to_fire =
       relevant_bucket_triggers t bucket ~event ~inserted ~deleted ~touched
     in
+    let ind_skipped = t.independence_skips - ind0 in
+    if pre_skipped > 0 || ind_skipped > 0 then begin
+      let now = Obs.Trace.now () in
+      if pre_skipped > 0 then
+        Obs.Window.add t.window ~now "skips:prefilter" (float_of_int pre_skipped);
+      if ind_skipped > 0 then
+        Obs.Window.add t.window ~now "skips:independence"
+          (float_of_int ind_skipped)
+    end;
     if to_fire <> [] then begin
       if t.firing_depth >= max_firing_depth then
         invalid_arg "Database: trigger recursion depth exceeded";
@@ -542,10 +574,19 @@ let insert_no_fire t ~table rows =
 (* Span label for one DML statement; only called when tracing is enabled. *)
 let dml_note op table n = Printf.sprintf "%s %s n=%d" op table n
 
+(* Windowed per-table DML statistics: one statement count plus the rows it
+   affected.  Called once per statement, on the statement's domain. *)
+let bump_dml t table n =
+  let now = Obs.Trace.now () in
+  Obs.Window.add t.window ~now ("dml:" ^ table) 1.0;
+  if n > 0 then
+    Obs.Window.add t.window ~now ("dml_rows:" ^ table) (float_of_int n)
+
 let insert_rows t ~table rows =
   let t0 = Obs.Trace.start t.trace in
   let sid = next_stmt t in
   insert_no_fire t ~table rows;
+  bump_dml t table (List.length rows);
   if rows <> [] then
     fire_triggers t ~target:table ~event:Insert ~stmt_id:sid ~inserted:rows ~deleted:[] ();
   if Obs.Trace.enabled t.trace then
@@ -584,6 +625,7 @@ let update_rows_gen t ~table ~where ~touched_cols ~set =
       check_foreign_keys t tbl row)
     pairs;
   let changed = List.filter (fun (o, n) -> not (rows_equal o n)) pairs in
+  bump_dml t table (List.length pairs);
   if changed <> [] then begin
     notify t
       (Ch_update
@@ -628,6 +670,7 @@ let update_pk t ~table ~pk ~set =
       Table.insert_exn tbl row
     end;
     check_foreign_keys t tbl row;
+    bump_dml t table 1;
     if not (rows_equal old row) then begin
       notify t (Ch_update { table; before = [ old ]; after = [ row ] });
       fire_triggers t ~target:table ~event:Update ~stmt_id:sid ~inserted:[ row ]
@@ -644,6 +687,7 @@ let delete_rows t ~table ~where =
   let victims = Table.fold tbl ~init:[] ~f:(fun acc row -> if where row then row :: acc else acc) in
   let schema = Table.schema tbl in
   List.iter (fun row -> ignore (Table.delete_pk tbl (Schema.pk_of_row schema row))) victims;
+  bump_dml t table (List.length victims);
   if victims <> [] then begin
     notify t (Ch_delete { table; rows = victims });
     fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:victims ()
@@ -659,6 +703,7 @@ let delete_pk t ~table ~pk =
   match Table.delete_pk tbl pk with
   | None -> false
   | Some old ->
+    bump_dml t table 1;
     notify t (Ch_delete { table; rows = [ old ] });
     fire_triggers t ~target:table ~event:Delete ~stmt_id:sid ~inserted:[] ~deleted:[ old ] ();
     if Obs.Trace.enabled t.trace then

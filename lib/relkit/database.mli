@@ -79,6 +79,9 @@ type change =
   | Ch_create_table of Schema.t
   | Ch_create_index of { table : string; column : string }
 
+(** Ring/window capacities default from the [TRIGVIEW_TRACE_RING],
+    [TRIGVIEW_AUDIT_RING], [TRIGVIEW_WINDOW_BUCKETS] and
+    [TRIGVIEW_WINDOW_WIDTH_MS] environment variables (see {!Obs.Knobs}). *)
 val create : unit -> t
 
 (** The database's span tracer (one per database, created disabled).  All
@@ -91,6 +94,17 @@ val tracer : t -> Obs.Trace.t
     disabled, same ownership story as {!tracer}): the runtime's generated
     SQL-trigger bodies append one structured record per firing. *)
 val audit : t -> Obs.Audit.t
+
+(** The database's sliding-window statistics (per-table DML rates, skip
+    rates, and the runtime's per-group firing profiles).  All series are
+    maintained on the statement's domain, so bucket deltas conserve
+    exactly against lifetime totals. *)
+val window : t -> Obs.Window.t
+
+(** Replace the window with a fresh one using a different bucket
+    geometry.  Lifetime totals restart; intended to be called before any
+    traffic (the runtime applies [tuning] overrides this way). *)
+val set_window : t -> buckets:int -> width_ms:int -> unit
 
 (** Number of DML statements executed so far (= the id stamped on the most
     recent one; see {!trigger_ctx.stmt_id}). *)

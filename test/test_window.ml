@@ -1,0 +1,219 @@
+(* Sliding-window statistics: the conservation invariant
+   (total = evicted + Σ bucket deltas, for every series, at every instant)
+   under (a) random synthetic add/advance sequences against a synthetic
+   clock, and (b) real DML traffic through a live runtime, across all four
+   strategies — so the wrap-the-lifetime-counters claim is checked where
+   the window is actually maintained, not just in isolation. *)
+
+open Relkit
+module Workload = Workloadlib.Workload
+
+let check_conservation label w =
+  List.iter
+    (fun (name, total, recomposed) ->
+      if abs_float (total -. recomposed) > 1e-6 then
+        Alcotest.failf "%s: series %S leaks: total=%g evicted+buckets=%g"
+          label name total recomposed)
+    (Obs.Window.conservation w)
+
+(* --- synthetic clock property --- *)
+
+type op =
+  | Add of int * int  (* series index, amount *)
+  | Advance of int  (* milliseconds *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, map2 (fun s v -> Add (s, v)) (int_bound 4) (int_range 1 100));
+        (* spans from sub-bucket to multiple full rotations *)
+        (2, map (fun ms -> Advance ms) (int_range 1 700));
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add (s, v) -> Printf.sprintf "add s%d %d" s v
+             | Advance ms -> Printf.sprintf "+%dms" ms)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 200) op_gen)
+
+let prop_synthetic_conservation ops =
+  (* tiny buckets so a random run crosses many window edges *)
+  let w = Obs.Window.create ~buckets:4 ~width_ms:100 ~now:0L () in
+  let now = ref 0L in
+  let expected = Array.make 5 0.0 in
+  List.iter
+    (fun op ->
+      (match op with
+      | Add (s, v) ->
+        expected.(s) <- expected.(s) +. float_of_int v;
+        Obs.Window.add w ~now:!now (Printf.sprintf "s%d" s) (float_of_int v)
+      | Advance ms ->
+        now := Int64.add !now (Int64.mul (Int64.of_int ms) 1_000_000L));
+      check_conservation "synthetic" w)
+    ops;
+  (* lifetime totals are never aged out *)
+  Array.iteri
+    (fun i exp ->
+      let got = Obs.Window.total w (Printf.sprintf "s%d" i) in
+      if abs_float (got -. exp) > 1e-6 then
+        Alcotest.failf "series s%d lifetime total %g <> expected %g" i got exp)
+    expected;
+  (* and the window never reports more than the lifetime *)
+  List.iter
+    (fun name ->
+      let ws = Obs.Window.window_sum w ~now:!now name in
+      let tot = Obs.Window.total w name in
+      if ws > tot +. 1e-6 then
+        Alcotest.failf "series %S window %g exceeds total %g" name ws tot)
+    (Obs.Window.names w);
+  true
+
+(* --- directed edges: full eviction, rate span, ewma sanity --- *)
+
+let test_full_eviction () =
+  let w = Obs.Window.create ~buckets:3 ~width_ms:10 ~now:0L () in
+  Obs.Window.add w ~now:0L "x" 5.0;
+  (* jump far past a full ring revolution: everything ages out *)
+  let later = Int64.mul 1_000_000L 1_000L (* 1s *) in
+  Alcotest.(check (float 1e-9)) "window drained" 0.0
+    (Obs.Window.window_sum w ~now:later "x");
+  Alcotest.(check (float 1e-9)) "evicted = total" 5.0 (Obs.Window.evicted w "x");
+  Alcotest.(check (float 1e-9)) "total intact" 5.0 (Obs.Window.total w "x");
+  check_conservation "full eviction" w
+
+let test_rate_covers_elapsed_span () =
+  let w = Obs.Window.create ~buckets:10 ~width_ms:1000 ~now:0L () in
+  (* 10 events in the first half-second: the covered span is 0.5s, not the
+     10s ring capacity, so the rate must read ~20/s, not 1/s *)
+  for i = 0 to 9 do
+    Obs.Window.add w ~now:(Int64.mul (Int64.of_int (i * 50)) 1_000_000L) "x" 1.0
+  done;
+  let r = Obs.Window.rate w ~now:(Int64.mul 500L 1_000_000L) "x" in
+  Alcotest.(check bool) (Printf.sprintf "rate %.1f near 20/s" r) true
+    (r > 15.0 && r < 25.0)
+
+let test_remove_drops_series () =
+  let w = Obs.Window.create ~buckets:4 ~width_ms:100 ~now:0L () in
+  Obs.Window.add w ~now:0L "keep" 1.0;
+  Obs.Window.add w ~now:0L "drop" 1.0;
+  Obs.Window.remove w "drop";
+  Alcotest.(check (list string)) "only keep left" [ "keep" ] (Obs.Window.names w)
+
+(* --- observability knobs (satellite: TRIGVIEW_* env overrides) --- *)
+
+let test_knobs_env_override () =
+  Unix.putenv "TRIGVIEW_TRACE_RING" "123";
+  Unix.putenv "TRIGVIEW_AUDIT_RING" "45";
+  Unix.putenv "TRIGVIEW_WINDOW_BUCKETS" "7";
+  Unix.putenv "TRIGVIEW_WINDOW_WIDTH_MS" "250";
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun k -> Unix.putenv k "")
+        [ "TRIGVIEW_TRACE_RING"; "TRIGVIEW_AUDIT_RING";
+          "TRIGVIEW_WINDOW_BUCKETS"; "TRIGVIEW_WINDOW_WIDTH_MS" ])
+    (fun () ->
+      let db = Database.create () in
+      Alcotest.(check int) "trace ring" 123 (Obs.Trace.limit (Database.tracer db));
+      Alcotest.(check int) "audit ring" 45 (Obs.Audit.limit (Database.audit db));
+      Alcotest.(check int) "window buckets" 7 (Obs.Window.buckets (Database.window db));
+      Alcotest.(check int) "window width" 250
+        (Obs.Window.width_ms (Database.window db)))
+
+let test_tuning_window_geometry () =
+  let db = Database.create () in
+  let tuning =
+    { Trigview.Runtime.default_tuning with window_buckets = 5; window_width_ms = 333 }
+  in
+  let _mgr = Trigview.Runtime.create ~tuning db in
+  Alcotest.(check int) "buckets applied" 5 (Obs.Window.buckets (Database.window db));
+  Alcotest.(check int) "width applied" 333
+    (Obs.Window.width_ms (Database.window db))
+
+(* --- conservation under real DML, all four strategies --- *)
+
+let tiny_params =
+  { Workload.quick_defaults with leaf_tuples = 128; num_triggers = 8; num_satisfied = 3 }
+
+let dml_gen =
+  (* (top element, step) pairs driving update_leaf *)
+  QCheck.Gen.(list_size (int_range 5 30) (pair (int_bound 1) (int_bound 50)))
+
+let dml_arb =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (t, s) -> Printf.sprintf "(%d,%d)" t s) l))
+    dml_gen
+
+let prop_dml_conservation strat updates =
+  let built = Workload.build tiny_params in
+  let mgr = Trigview.Runtime.create ~strategy:strat built.Workload.db in
+  Trigview.Runtime.define_view mgr ~name:"doc" built.Workload.view_text;
+  Trigview.Runtime.register_action mgr ~name:"record" (fun _ -> ());
+  if strat = Trigview.Runtime.Materialized then
+    (* MATERIALIZED's fallback conditions cannot evaluate count();
+       equality-only conditions exercise the same telemetry *)
+    for i = 0 to tiny_params.Workload.num_triggers - 1 do
+      let const =
+        if i < tiny_params.Workload.num_satisfied then
+          built.Workload.top_names.(0)
+        else Printf.sprintf "nomatch%d" i
+      in
+      Trigview.Runtime.create_trigger mgr
+        (Printf.sprintf
+           "CREATE TRIGGER bench%d AFTER UPDATE ON view('doc')/e1 WHERE \
+            NEW_NODE/@name = '%s' DO record(NEW_NODE)"
+           i const)
+    done
+  else
+    Workload.install_triggers mgr tiny_params
+      ~target_name:built.Workload.top_names.(0);
+  let w = Database.window built.Workload.db in
+  check_conservation "post-arm" w;
+  List.iter
+    (fun (top, step) ->
+      Workload.update_leaf built ~top_index:top ~step;
+      check_conservation "post-DML" w)
+    updates;
+  (* the runtime's group series must actually be flowing *)
+  let firing_series =
+    List.filter
+      (fun n -> String.length n > 8 && String.sub n 0 8 = "firings:")
+      (Obs.Window.names w)
+  in
+  if firing_series = [] then Alcotest.fail "no firings series maintained";
+  true
+
+let qtest name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:30 ~name arb prop)
+
+let dml_qtest strat =
+  let name =
+    Printf.sprintf "DML conservation (%s)" (Trigview.Runtime.strategy_to_string strat)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:5 ~name dml_arb (prop_dml_conservation strat))
+
+let () =
+  Alcotest.run "window"
+    [ ( "conservation",
+        [ qtest "synthetic add/advance" ops_arb prop_synthetic_conservation;
+          Alcotest.test_case "full eviction" `Quick test_full_eviction;
+          Alcotest.test_case "rate spans elapsed time" `Quick
+            test_rate_covers_elapsed_span;
+          Alcotest.test_case "remove" `Quick test_remove_drops_series;
+        ] );
+      ( "knobs",
+        [ Alcotest.test_case "env overrides" `Quick test_knobs_env_override;
+          Alcotest.test_case "tuning geometry" `Quick test_tuning_window_geometry;
+        ] );
+      ( "live",
+        List.map dml_qtest
+          [ Trigview.Runtime.Ungrouped; Trigview.Runtime.Grouped;
+            Trigview.Runtime.Grouped_agg; Trigview.Runtime.Materialized ] );
+    ]
