@@ -1285,6 +1285,256 @@ let advisor_fig ~full =
     Printf.printf "wrote BENCH_9.json\n"
   end
 
+(* --- http: closed-loop multi-client front-door throughput ---
+
+   N client domains drive the HTTP server over real TCP with a mixed
+   workload: RQL view queries, SQL DML (firing triggers through the
+   subscription hub into the SSE ring) and long-poll subscription reads,
+   while each client also holds one persistent SSE stream open.  The main
+   domain pumps [Api.step] — the same single-threaded discipline as the
+   CLI — so the measurement includes queueing for the shared event loop.
+   Reports requests/sec and per-request latency percentiles
+   (BENCH_10.json, CI-gated). *)
+
+let http_catalog_text =
+  {|<catalog>
+  {for $prodname in distinct(view("default")/product/row/pname)
+   let $products := view("default")/product/row[./pname = $prodname]
+   let $vendors := view("default")/vendor/row[./pid = $products/pid]
+   where count($vendors) >= 2
+   return <product name="{$prodname}">
+     {for $vendor in $vendors
+      return <vendor>{$vendor/*}</vendor>}
+   </product>}
+</catalog>|}
+
+let http_make_db () =
+  let open Relkit in
+  let db = Database.create () in
+  Database.create_table db
+    (Schema.make ~name:"product"
+       ~columns:
+         [ ("pid", Schema.TString); ("pname", Schema.TString);
+           ("mfr", Schema.TString) ]
+       ~primary_key:[ "pid" ] ());
+  Database.create_table db
+    (Schema.make ~name:"vendor"
+       ~columns:
+         [ ("vid", Schema.TString); ("pid", Schema.TString);
+           ("price", Schema.TFloat) ]
+       ~primary_key:[ "vid"; "pid" ] ());
+  Database.create_index db ~table:"vendor" ~column:"pid";
+  Database.insert_rows db ~table:"product"
+    [ [| Value.String "P1"; Value.String "CRT 15"; Value.String "Samsung" |];
+      [| Value.String "P2"; Value.String "LCD 19"; Value.String "Samsung" |];
+    ];
+  Database.insert_rows db ~table:"vendor"
+    [ [| Value.String "Amazon"; Value.String "P1"; Value.Float 100.0 |];
+      [| Value.String "Bestbuy"; Value.String "P1"; Value.Float 120.0 |];
+      [| Value.String "Buy.com"; Value.String "P2"; Value.Float 200.0 |];
+      [| Value.String "Bestbuy"; Value.String "P2"; Value.Float 180.0 |];
+    ];
+  db
+
+(* a blocking-socket HTTP client: one request per connection *)
+let http_client_request port ~meth ~target ~body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "%s %s HTTP/1.1\r\nhost: bench\r\ncontent-length: %d\r\n\r\n%s"
+      meth target (String.length body) body
+  in
+  let rec send off =
+    if off < String.length req then
+      send (off + Unix.write_substring fd req off (String.length req - off))
+  in
+  send 0;
+  (* read to end of the content-length-framed response *)
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 65536 in
+  let find_head () =
+    let d = Buffer.contents buf in
+    let rec go i =
+      if i + 3 >= String.length d then None
+      else if String.sub d i 4 = "\r\n\r\n" then Some (d, i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let body_len head =
+    let lower = String.lowercase_ascii head in
+    let key = "content-length:" in
+    let rec find i =
+      if i + String.length key > String.length lower then 0
+      else if String.sub lower i (String.length key) = key then
+        let rest = String.sub lower (i + String.length key)
+            (String.length lower - i - String.length key) in
+        let line = List.hd (String.split_on_char '\r' rest) in
+        (match int_of_string_opt (String.trim line) with Some n -> n | None -> 0)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec read_all () =
+    match find_head () with
+    | Some (d, head_end)
+      when String.length d - head_end - 4
+           >= body_len (String.sub d 0 head_end) ->
+      d
+    | _ -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        read_all ())
+  in
+  read_all ()
+
+let http_percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+let http_fig ~full =
+  let clients = if full then 8 else 4 in
+  let requests = if full then 400 else 120 in
+  print_header_s
+    (Printf.sprintf
+       "http: closed-loop front door, %d client domains x %d mixed requests \
+        (query/DML/long-poll + 1 SSE stream each)"
+       clients requests)
+    [ "metric"; "value" ];
+  let db = http_make_db () in
+  let mgr = Runtime.create ~strategy:Runtime.Grouped_agg db in
+  Runtime.define_view mgr ~name:"catalog" http_catalog_text;
+  let hub = Subscribe.attach mgr in
+  Subscribe.subscribe hub
+    "feed AFTER UPDATE ON view('catalog')/product/vendor";
+  let api = Httpfront.Api.create ~port:0 ~mgr ~hub () in
+  let port = Httpfront.Api.port api in
+  let live = Atomic.make clients in
+  let targets =
+    [| ("GET", "/views/catalog", "");
+       ("GET", "/views/catalog?ge(price,130)&sort(-price)&level=vendor", "");
+       ("GET", "/views/catalog?eq(name,string:CRT%2015)&select(name)", "");
+       ("GET", "/views/catalog?sort(-price)&limit(0,2)&level=vendor", "");
+       ("POST", "/sql", "UPDATE vendor SET price = 101.0 WHERE vid = 'Amazon'");
+       ("GET", "/subscribe/feed?mode=longpoll&cursor=0", "");
+    |]
+  in
+  (* mix: 4 query shapes, 1 DML, 1 long-poll, round-robin offset per client *)
+  let client k () =
+    (* one persistent SSE stream for the whole run *)
+    let sse = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect sse (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let greeting = "GET /subscribe/feed HTTP/1.1\r\nhost: bench\r\n\r\n" in
+    ignore (Unix.write_substring sse greeting 0 (String.length greeting));
+    let lat = Array.make requests Float.nan in
+    let errors = ref 0 in
+    for i = 0 to requests - 1 do
+      (* DML first so long-polls always have events to batch *)
+      let meth, target, body =
+        if i = 0 then targets.(4) else targets.((i + k) mod Array.length targets)
+      in
+      (* vary the written price so each DML really changes the view and
+         fires the trigger (a constant write is a no-op after the first) *)
+      let body =
+        if meth = "POST" then
+          Printf.sprintf
+            "UPDATE vendor SET price = %d.5 WHERE vid = 'Amazon'"
+            (100 + (((k * requests) + i) mod 50))
+        else body
+      in
+      let t0 = Monotonic_clock.now () in
+      (try
+         let resp = http_client_request port ~meth ~target ~body in
+         if String.length resp < 12 || String.sub resp 9 3 >= "500" then
+           incr errors
+       with _ -> incr errors);
+      let t1 = Monotonic_clock.now () in
+      lat.(i) <- Int64.to_float (Int64.sub t1 t0) /. 1e6
+    done;
+    (* drain whatever the SSE stream accumulated, then hang up *)
+    Unix.set_nonblock sse;
+    let events = ref 0 in
+    let chunk = Bytes.create 65536 in
+    (try
+       let rec drain () =
+         let n = Unix.read sse chunk 0 (Bytes.length chunk) in
+         if n > 0 then begin
+           let d = Bytes.sub_string chunk 0 n in
+           String.iteri
+             (fun i c ->
+               if c = 'i' && i + 3 <= String.length d
+                  && String.sub d i 3 = "id:" then incr events)
+             d;
+           drain ()
+         end
+       in
+       drain ()
+     with Unix.Unix_error _ -> ());
+    (try Unix.close sse with _ -> ());
+    Atomic.decr live;
+    (lat, !errors, !events)
+  in
+  let w0 = Monotonic_clock.now () in
+  let domains = List.init clients (fun k -> Domain.spawn (client k)) in
+  (* the main domain is the event loop *)
+  while Atomic.get live > 0 do
+    ignore (Httpfront.Api.step ~timeout_ms:1 api)
+  done;
+  (* final rounds: flush any SSE tails before the clients hang up *)
+  for _ = 1 to 10 do
+    ignore (Httpfront.Api.step ~timeout_ms:1 api)
+  done;
+  let results = List.map Domain.join domains in
+  let w1 = Monotonic_clock.now () in
+  Httpfront.Api.stop api;
+  let wall_s = Int64.to_float (Int64.sub w1 w0) /. 1e9 in
+  let lats =
+    Array.concat (List.map (fun (l, _, _) -> l) results)
+  in
+  Array.sort compare lats;
+  let errors = List.fold_left (fun a (_, e, _) -> a + e) 0 results in
+  let sse_events = List.fold_left (fun a (_, _, ev) -> a + ev) 0 results in
+  let total = clients * requests in
+  let rps = float_of_int total /. wall_s in
+  let p50 = http_percentile lats 0.50 in
+  let p99 = http_percentile lats 0.99 in
+  Printf.printf "  %-24s %d\n" "requests" total;
+  Printf.printf "  %-24s %.1f\n" "requests/sec" rps;
+  Printf.printf "  %-24s %.3f\n" "p50 ms" p50;
+  Printf.printf "  %-24s %.3f\n" "p99 ms" p99;
+  Printf.printf "  %-24s %d\n" "errors" errors;
+  Printf.printf "  %-24s %d\n" "sse events delivered" sse_events;
+  Printf.printf "  %-24s %d\n%!" "server overloads (503)"
+    (Httpfront.Httpd.overloads (Httpfront.Api.httpd api));
+  ignore
+    (record ~fig:"http" ~row:"closed-loop" ~series:"p99"
+       { wall_ms = p99; cpu_ms = Float.nan });
+  if !json_requested then begin
+    let oc = open_out "BENCH_10.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"mode\": \"%s\",\n\
+      \  \"clients\": %d,\n\
+      \  \"requests\": %d,\n\
+      \  \"wall_s\": %s,\n\
+      \  \"requests_per_sec\": %s,\n\
+      \  \"p50_ms\": %s,\n\
+      \  \"p99_ms\": %s,\n\
+      \  \"errors\": %d,\n\
+      \  \"sse_events\": %d\n\
+       }\n"
+      (if full then "full" else "quick")
+      clients total (json_float wall_s) (json_float rps) (json_float p50)
+      (json_float p99) errors sse_events;
+    close_out oc;
+    Printf.printf "wrote BENCH_10.json\n"
+  end
+
 (* --- bechamel micro-benchmarks: one Test.make per figure --- *)
 
 let bechamel_suite () =
@@ -1348,7 +1598,7 @@ let () =
     | None ->
       [ "17"; "18"; "22"; "23"; "24"; "compile"; "ablation"; "recovery";
         "phases"; "overhead"; "fanout"; "view_update"; "scaling";
-        "independence"; "advisor" ]
+        "independence"; "advisor"; "http" ]
   in
   Printf.printf
     "Triggers over XML Views of Relational Data — benchmark harness (%s mode)\n"
@@ -1373,6 +1623,7 @@ let () =
         | "scaling" -> scaling_fig ~full
         | "independence" -> independence_fig ~full
         | "advisor" -> advisor_fig ~full
+        | "http" -> http_fig ~full
         | other -> Printf.printf "unknown figure %S\n" other)
       figs;
   if !json_requested then write_json ~full "BENCH_5.json";

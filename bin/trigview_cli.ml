@@ -11,6 +11,7 @@ open Relkit
 module Runtime = Trigview.Runtime
 module Hub = Subscribe
 module Server = Subscribe.Server
+module Api = Httpfront.Api
 
 let catalog_view =
   {|<catalog>
@@ -117,7 +118,9 @@ let help_text =
                               default; turn off to demo coalescing windows)
   serve PATH                  start the notification socket server on Unix
                               socket PATH (also: --socket)
-  pump [MS]                   run the socket server event loop for MS
+  serve-http PORT             start the HTTP front door on 127.0.0.1:PORT
+                              (also: --http; PORT 0 picks an ephemeral port)
+  pump [MS]                   run the socket/HTTP server event loops for MS
                               milliseconds (default 100)
   quit                        exit|}
 
@@ -131,7 +134,7 @@ let notify_action fi =
     (fun n -> Printf.printf "  NEW: %s\n" (Xmlkit.Xml.to_string n))
     fi.Runtime.fi_new
 
-let run strategy script data_dir trace audit socket domains no_independence =
+let run strategy script data_dir trace audit socket http domains no_independence =
   let tuning =
     { Runtime.default_tuning with
       Runtime.domains;
@@ -187,19 +190,31 @@ let run strategy script data_dir trace audit socket domains no_independence =
       Hub.add_server hub (Server.create ~path ());
       Printf.printf "notification server listening on %s\n" path)
     socket;
+  let api = ref None in
+  let start_http port =
+    let a = Api.create ~port ~mgr ~hub () in
+    api := Some a;
+    Printf.printf "http server listening on http://127.0.0.1:%d\n" (Api.port a)
+  in
+  Option.iter start_http http;
   (* at domains > 1 sink I/O moves off the firing thread too *)
   if domains > 1 then Hub.start_writer hub;
-  (* pump the socket event loop until it goes idle (bounded) *)
+  (* pump the socket/HTTP event loops until they go idle (bounded) *)
   let pump ms =
-    match Hub.server hub with
-    | None -> ()
-    | Some srv ->
+    let step_once tmo =
+      (match Hub.server hub with
+      | None -> 0
+      | Some srv -> Server.step ~timeout_ms:tmo srv)
+      + (match !api with None -> 0 | Some a -> Api.step ~timeout_ms:tmo a)
+    in
+    if Hub.server hub <> None || Option.is_some !api then begin
       let budget = ref (max 1 (ms / 10)) in
-      ignore (Server.step ~timeout_ms:(min ms 10) srv);
+      ignore (step_once (min ms 10));
       while !budget > 0 do
         decr budget;
-        if Server.step ~timeout_ms:10 srv = 0 then budget := 0
+        if step_once 10 = 0 then budget := 0
       done
+    end
   in
   let flush_now ~verbose () =
     let n = Hub.flush hub in
@@ -295,7 +310,8 @@ let run strategy script data_dir trace audit socket domains no_independence =
            | None -> Printf.printf "usage: why <firing id>\n")
          | [ "metrics-prom" ] ->
            print_string (Runtime.metrics_prometheus mgr);
-           print_string (Hub.metrics_prometheus hub)
+           print_string (Hub.metrics_prometheus hub);
+           Option.iter (fun a -> print_string (Api.metrics_prometheus a)) !api
          | "subscribe" :: _ ->
            Hub.subscribe hub (String.sub line 10 (String.length line - 10));
            Printf.printf "subscribed; %d SQL triggers now registered\n"
@@ -311,6 +327,12 @@ let run strategy script data_dir trace audit socket domains no_independence =
              Hub.add_server hub (Server.create ~path ());
              Printf.printf "notification server listening on %s\n" path
            end
+         | [ "serve-http"; port ] -> (
+           if Option.is_some !api then Printf.printf "http server already running\n"
+           else
+             match int_of_string_opt port with
+             | Some port when port >= 0 -> start_http port
+             | _ -> Printf.printf "usage: serve-http <port>\n")
          | [ "pump" ] -> pump 100
          | [ "pump"; ms ] -> (
            match int_of_string_opt ms with
@@ -383,6 +405,7 @@ let run strategy script data_dir trace audit socket domains no_independence =
   let srv = Hub.server hub in
   Hub.close_sinks hub;  (* stops the writer domain before closing channels *)
   Option.iter Server.stop srv;
+  Option.iter Api.stop !api;
   Runtime.durability_sync mgr;
   if not interactive then close_in input
 
@@ -441,6 +464,17 @@ let socket_arg =
            as length-prefixed NDJSON frames (see the $(b,subscribe) and \
            $(b,pump) commands).")
 
+let http_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "http" ]
+        ~doc:
+          "Serve the HTTP front door on 127.0.0.1:$(docv): RQL view queries \
+           ($(b,GET /views/NAME)), SQL and view-DML endpoints, SSE/long-poll \
+           subscription feeds and the Prometheus $(b,/metrics) surface.  \
+           Port 0 picks an ephemeral port (printed at startup).")
+
 let domains_arg =
   Arg.(
     value
@@ -471,6 +505,6 @@ let cmd =
     (Cmd.info "trigview" ~doc:"Triggers over XML views of relational data — interactive shell")
     Term.(
       const run $ strategy_arg $ script_arg $ data_dir_arg $ trace_arg
-      $ audit_arg $ socket_arg $ domains_arg $ no_independence_arg)
+      $ audit_arg $ socket_arg $ http_arg $ domains_arg $ no_independence_arg)
 
 let () = exit (Cmd.eval cmd)

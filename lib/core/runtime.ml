@@ -79,6 +79,10 @@ type tuning = {
   window_width_ms : int;
       (* ... and the width of each, so the window spans
          buckets × width_ms of recent traffic *)
+  request_deadline_ms : int;
+      (* per-request deadline for the network servers (socket hello /
+         write-drain eviction, HTTP request + long-poll abort); 0
+         disables deadlines *)
 }
 
 (* [domains] defaults from TRIGVIEW_DOMAINS so an unmodified test suite can
@@ -100,6 +104,7 @@ let default_tuning =
     domains;
     window_buckets = Obs.Knobs.window_buckets ();
     window_width_ms = Obs.Knobs.window_width_ms ();
+    request_deadline_ms = Obs.Knobs.request_deadline_ms ();
   }
 
 (* --- execution plan per (group, table): pushed-down or middleware --- *)
@@ -1937,6 +1942,72 @@ let view_nodes t ~path =
     (fun row -> match row.(slot) with Xval.Node n -> Some n | _ -> None)
     rel.Eval.rows
 
+(* --- query-over-view entry point (the HTTP front door's read path) --- *)
+
+type view_row = {
+  vr_tag : string;
+  vr_node : Xml.t;
+  vr_fields : (string * Value.t) list;
+}
+
+(* Resolve [level] (an element tag; default: the view's repeated top-level
+   element) to its view-tree node. *)
+let view_level view level =
+  let tree = view.Compile.tree in
+  match level with
+  | None -> (
+    match tree.Compile.children with
+    | child :: _ -> child
+    | [] -> tree)
+  | Some tag ->
+    let rec find n =
+      if n.Compile.elem_tag = tag then Some n
+      else List.find_map find n.Compile.children
+    in
+    (match find tree with
+    | Some n -> n
+    | None -> fail "view has no element level %S" tag)
+
+let view_level_fields t ~view ?level () =
+  match List.assoc_opt view t.views with
+  | None -> fail "unknown view %S" view
+  | Some v ->
+    let lvl = view_level v level in
+    List.map fst lvl.Compile.fields
+
+(* One row per element of the level, in document order, carrying the
+   constructed node plus the level's provenance fields as scalars — the
+   relation the HTTP layer's RQL compiles against. *)
+let view_rows t ~view ?level () =
+  match List.assoc_opt view t.views with
+  | None -> fail "unknown view %S" view
+  | Some v ->
+    let lvl = view_level v level in
+    let ctx = Ra_eval.ctx_of_db ~stats:t.scan_stats t.db in
+    let rel = Eval.eval_sorted ctx ~by:lvl.Compile.key lvl.Compile.op in
+    let node_slot = Eval.col_index rel lvl.Compile.node_col in
+    let field_slots =
+      List.map
+        (fun (name, col) -> (name, Eval.col_index rel col))
+        lvl.Compile.fields
+    in
+    let scalar v =
+      try Xval.atomize v
+      with Invalid_argument _ -> Value.String (Xval.to_string v)
+    in
+    List.filter_map
+      (fun row ->
+        match row.(node_slot) with
+        | Xval.Node n ->
+          Some
+            { vr_tag = lvl.Compile.elem_tag;
+              vr_node = n;
+              vr_fields =
+                List.map (fun (name, i) -> (name, scalar row.(i))) field_slots;
+            }
+        | _ -> None)
+      rel.Eval.rows
+
 (* --- observability: tracing, latency histograms, EXPLAIN, reports --- *)
 
 let set_tracing t on = Obs.Trace.set_enabled (Database.tracer t.db) on
@@ -2537,6 +2608,7 @@ let metrics_prometheus t =
          ("audit_ring", Obs.Audit.limit (Database.audit t.db));
          ("window_buckets", Obs.Window.buckets w);
          ("window_width_ms", Obs.Window.width_ms w);
+         ("request_deadline_ms", t.tuning.request_deadline_ms);
        ]);
   (* windowed rates for every live series (events/sec over the window) *)
   (match Obs.Window.snapshot w ~now:(Obs.Trace.now ()) with
@@ -2611,10 +2683,12 @@ let report t =
   let w = Database.window t.db in
   Buffer.add_string buf
     (Printf.sprintf
-       "observatory: window %d x %dms, trace ring %d, audit ring %d\n"
+       "observatory: window %d x %dms, trace ring %d, audit ring %d, \
+        request deadline %dms\n"
        (Obs.Window.buckets w) (Obs.Window.width_ms w)
        (Obs.Trace.limit (Database.tracer t.db))
-       (Obs.Audit.limit (Database.audit t.db)));
+       (Obs.Audit.limit (Database.audit t.db))
+       t.tuning.request_deadline_ms);
   (match Obs.Window.snapshot w ~now:(Obs.Trace.now ()) with
   | [] -> Buffer.add_string buf "  (no windowed series yet)\n"
   | snaps ->
@@ -2728,11 +2802,13 @@ let report_json t =
     in
     Printf.sprintf
       "{\"knobs\": {\"trace_ring\": %d, \"audit_ring\": %d, \
-       \"window_buckets\": %d, \"window_width_ms\": %d}, \"series\": [%s], \
+       \"window_buckets\": %d, \"window_width_ms\": %d, \
+       \"request_deadline_ms\": %d}, \"series\": [%s], \
        \"advisor\": %s}"
       (Obs.Trace.limit (Database.tracer t.db))
       (Obs.Audit.limit (Database.audit t.db))
-      (Obs.Window.buckets w) (Obs.Window.width_ms w) series (analyze_json t)
+      (Obs.Window.buckets w) (Obs.Window.width_ms w)
+      t.tuning.request_deadline_ms series (analyze_json t)
   in
   Printf.sprintf
     "{\"strategy\": \"%s\", \"counters\": %s, \"scan_rows\": %s, \"probes\": \

@@ -108,6 +108,11 @@ type tuning = {
   window_width_ms : int;
       (** bucket width in milliseconds (defaults from
           [$TRIGVIEW_WINDOW_WIDTH_MS], else 5000) *)
+  request_deadline_ms : int;
+      (** per-request deadline applied by the network servers (Unix-socket
+          hello/write-drain eviction, HTTP request parse, handler and
+          long-poll hold); defaults from [$TRIGVIEW_REQUEST_DEADLINE_MS],
+          else 10000; [0] disables deadline enforcement *)
 }
 
 (** [domains] defaults to [$TRIGVIEW_DOMAINS] when set to a positive
@@ -176,6 +181,27 @@ val scan_rows_report : t -> (string * int) list
     {!Maintain} for initial population, and handy for debugging).
     @raise Error on unknown views or non-composable paths. *)
 val view_nodes : t -> path:string -> Xmlkit.Xml.t list
+
+(** {2 Query-over-view entry point (the HTTP front door's read path)} *)
+
+type view_row = {
+  vr_tag : string;  (** element tag of the level *)
+  vr_node : Xmlkit.Xml.t;  (** the constructed element, document order *)
+  vr_fields : (string * Relkit.Value.t) list;
+      (** the level's provenance fields (["@attr"], simple child tags,
+          ["count(tag)"]) atomized to scalars — the relation RQL queries
+          compile against *)
+}
+
+(** Field names exposed at [level] (default: the view's repeated
+    top-level element).
+    @raise Error on unknown view or level. *)
+val view_level_fields : t -> view:string -> ?level:string -> unit -> string list
+
+(** One {!view_row} per element of [level], in document order, evaluated
+    through the reference XQGM evaluator against current table contents.
+    @raise Error on unknown view or level. *)
+val view_rows : t -> view:string -> ?level:string -> unit -> view_row list
 
 (** {2 Observability: tracing, latency histograms, EXPLAIN}
 

@@ -7,7 +7,8 @@
    so the server composes with a synchronous trigger runtime in one thread.
 
    Wire protocol, both directions: length-prefixed frames — a 4-byte
-   big-endian payload length followed by that many bytes of UTF-8 JSON.
+   big-endian payload length followed by that many bytes of UTF-8 JSON
+   ({!Replay.frame_u32}).
 
    Server -> client frames carry one notification each, wrapped with the
    server's global publication sequence:
@@ -22,12 +23,17 @@
    then streams live — at-least-once delivery across reconnects, bounded by
    the retention ring ([retain] notifications; a client further behind than
    that gets the oldest retained data and a "gap" marker frame
-   {"gap": true, "oldest": G} first).
+   {"gap": true, "oldest": G} first).  Retention and replay live in the
+   transport-agnostic {!Replay} core shared with the HTTP SSE sink.
 
    A client whose output buffer exceeds [max_buffered] bytes is dropped
    (slow-consumer protection); it can reconnect and resync via its ack
    cursor.  This mirrors the queue layer's [Disconnect] overflow policy one
-   level down the stack.
+   level down the stack.  Independently, [deadline_ms] (default: the
+   TRIGVIEW_REQUEST_DEADLINE_MS knob) bounds how long a client may sit
+   connected without completing its hello ack, and how long queued output
+   may sit undrained: both evict the client ([clients_evicted]), the same
+   request-deadline hygiene the HTTP front door applies per request.
 
    Cross-domain use: the hub's dedicated writer domain calls [publish]
    while the owning thread pumps [step], so the three entry points that
@@ -43,6 +49,8 @@ type client = {
   mutable greeted : bool;  (* saw the hello ack; live frames flow after it *)
   mutable acked : int;  (* highest gseq this client acknowledged *)
   mutable closed : bool;
+  mutable greet_due : int64;  (* ns deadline for the hello ack; 0 = none *)
+  mutable write_due : int64;  (* ns deadline to drain outbuf; 0 = none *)
 }
 
 type t = {
@@ -50,31 +58,24 @@ type t = {
   lock : Mutex.t;  (* serializes publish / step / stop across domains *)
   listen_fd : Unix.file_descr;
   mutable clients : client list;
-  retain : (int * string) option array;  (* (gseq, payload) ring *)
-  retain_cap : int;
-  mutable gseq : int;  (* last published global sequence number *)
+  ring : string Replay.t;  (* retained payloads, keyed by gseq *)
   max_buffered : int;
-  mutable published : int;
+  deadline_ms : int;  (* 0 disables deadline eviction *)
   mutable frames_sent : int;
   mutable clients_dropped : int;  (* slow consumers disconnected *)
+  mutable clients_evicted : int;  (* deadline evictions (hello / stalled write) *)
   mutable stopped : bool;
 }
 
-let frame payload =
-  let n = String.length payload in
-  let b = Bytes.create (4 + n) in
-  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
-  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
-  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
-  Bytes.set b 3 (Char.chr (n land 0xff));
-  Bytes.blit_string payload 0 b 4 n;
-  Bytes.to_string b
-
-let create ?(retain = 4096) ?(max_buffered = 4 * 1024 * 1024) ~path () =
+let create ?(retain = 4096) ?(max_buffered = 4 * 1024 * 1024) ?deadline_ms
+    ~path () =
   (if Sys.file_exists path then
      match (Unix.stat path).Unix.st_kind with
      | Unix.S_SOCK -> Sys.remove path  (* stale socket from a dead server *)
      | _ -> invalid_arg (Printf.sprintf "Server.create: %s exists and is not a socket" path));
+  let deadline_ms =
+    match deadline_ms with Some ms -> max 0 ms | None -> Obs.Knobs.request_deadline_ms ()
+  in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.set_nonblock fd;
   Unix.bind fd (Unix.ADDR_UNIX path);
@@ -83,22 +84,26 @@ let create ?(retain = 4096) ?(max_buffered = 4 * 1024 * 1024) ~path () =
     lock = Mutex.create ();
     listen_fd = fd;
     clients = [];
-    retain = Array.make (max 1 retain) None;
-    retain_cap = max 1 retain;
-    gseq = 0;
+    ring = Replay.create ~retain ();
     max_buffered;
-    published = 0;
+    deadline_ms;
     frames_sent = 0;
     clients_dropped = 0;
+    clients_evicted = 0;
     stopped = false;
   }
 
 let path t = t.path
 let client_count t = List.length t.clients
-let published t = t.published
+let published t = Replay.published t.ring
 let frames_sent t = t.frames_sent
 let clients_dropped t = t.clients_dropped
-let last_gseq t = t.gseq
+let clients_evicted t = t.clients_evicted
+let deadline_ms t = t.deadline_ms
+let last_gseq t = Replay.last_gseq t.ring
+
+let deadline_after t =
+  Int64.add (Obs.Trace.now ()) (Int64.of_int (t.deadline_ms * 1_000_000))
 
 let close_client t c =
   if not c.closed then begin
@@ -108,8 +113,9 @@ let close_client t c =
   end
 
 let send_frame t c payload =
-  Buffer.add_string c.outbuf (frame payload);
+  Buffer.add_string c.outbuf (Replay.frame_u32 payload);
   t.frames_sent <- t.frames_sent + 1;
+  if t.deadline_ms > 0 && c.write_due = 0L then c.write_due <- deadline_after t;
   if Buffer.length c.outbuf > t.max_buffered then begin
     t.clients_dropped <- t.clients_dropped + 1;
     close_client t c
@@ -120,17 +126,12 @@ let wrapped gseq payload =
 
 (* Replay everything retained above [cursor] to a (re)connecting client. *)
 let replay t c ~cursor =
-  let oldest_retained =
-    max 1 (t.gseq - (min t.gseq t.retain_cap) + 1)
-  in
-  if cursor + 1 < oldest_retained && t.gseq > 0 then
-    send_frame t c
-      (Printf.sprintf "{\"gap\": true, \"oldest\": %d}" oldest_retained);
-  for g = max (cursor + 1) oldest_retained to t.gseq do
-    match t.retain.((g - 1) mod t.retain_cap) with
-    | Some (g', payload) when g' = g -> send_frame t c (wrapped g payload)
-    | _ -> ()
-  done
+  (match Replay.gap_before t.ring ~cursor with
+  | Some oldest ->
+    send_frame t c (Printf.sprintf "{\"gap\": true, \"oldest\": %d}" oldest)
+  | None -> ());
+  Replay.iter_from t.ring ~cursor (fun g payload ->
+      send_frame t c (wrapped g payload))
 
 (* Publish one notification payload: retain it and send it to every greeted
    client.  Ungreeted clients get it from their hello replay instead —
@@ -138,11 +139,9 @@ let replay t c ~cursor =
 let publish t payload =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
-  t.gseq <- t.gseq + 1;
-  t.published <- t.published + 1;
-  t.retain.((t.gseq - 1) mod t.retain_cap) <- Some (t.gseq, payload);
+  let gseq = Replay.publish t.ring payload in
   List.iter
-    (fun c -> if c.greeted && not c.closed then send_frame t c (wrapped t.gseq payload))
+    (fun c -> if c.greeted && not c.closed then send_frame t c (wrapped gseq payload))
     t.clients
 
 (* Minimal parse of {"ack": N}: the only client->server frame. *)
@@ -169,6 +168,7 @@ let handle_frame t c payload =
     c.acked <- max c.acked n;
     if not c.greeted then begin
       c.greeted <- true;
+      c.greet_due <- 0L;
       replay t c ~cursor:c.acked
     end
   | None -> ()  (* unknown frame: ignore (forward compatibility) *)
@@ -220,6 +220,7 @@ let write_client t c =
       Buffer.clear c.outbuf;
       if n < String.length data then
         Buffer.add_substring c.outbuf data n (String.length data - n)
+      else c.write_due <- 0L
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> close_client t c
 
@@ -236,12 +237,35 @@ let accept_pending t =
           greeted = false;
           acked = 0;
           closed = false;
+          greet_due = (if t.deadline_ms > 0 then deadline_after t else 0L);
+          write_due = 0L;
         }
         :: t.clients
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
       continue := false
     | exception Unix.Unix_error _ -> continue := false
   done
+
+(* Evict clients past their hello or write-drain deadline.  Like the
+   slow-consumer drop, eviction is not an error for the client: its ack
+   cursor survives, so a reconnect resyncs via replay. *)
+let enforce_deadlines t =
+  if t.deadline_ms > 0 then begin
+    let now = Obs.Trace.now () in
+    let overdue =
+      List.filter
+        (fun c ->
+          (not c.closed)
+          && ((c.greet_due <> 0L && Int64.compare now c.greet_due > 0)
+             || (c.write_due <> 0L && Int64.compare now c.write_due > 0)))
+        t.clients
+    in
+    List.iter
+      (fun c ->
+        t.clients_evicted <- t.clients_evicted + 1;
+        close_client t c)
+      overdue
+  end
 
 (* One cooperative round: wait up to [timeout_ms] for activity, then accept
    / read / write whatever is ready.  Returns the number of fds that were
@@ -267,6 +291,7 @@ let step ?(timeout_ms = 0) t =
       List.iter
         (fun c -> if (not c.closed) && List.mem c.fd ws then write_client t c)
         t.clients;
+      enforce_deadlines t;
       List.length rs + List.length ws
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
   end

@@ -28,6 +28,7 @@
    so feeds come back armed without double-arming. *)
 
 module Squeue = Squeue
+module Replay = Replay
 module Notification = Notification
 module Server = Server
 module Runtime = Trigview.Runtime
@@ -521,6 +522,16 @@ let report t =
       (Printf.sprintf "%d flush(es), %d notification(s) delivered to %d sink(s)\n"
          t.flushes t.notifications_delivered (List.length t.sinks))
   end;
+  (match server t with
+  | None -> ()
+  | Some srv ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "socket server: %d client(s), %d published, %d frame(s) sent, %d \
+          dropped, %d evicted (deadline %d ms)\n"
+         (Server.client_count srv) (Server.published srv)
+         (Server.frames_sent srv) (Server.clients_dropped srv)
+         (Server.clients_evicted srv) (Server.deadline_ms srv)));
   Buffer.contents buf
 
 (* Per-subscriber counters and gauges plus delivery latency histograms, in
@@ -554,7 +565,12 @@ let metrics_prometheus t =
          [ ("published", Server.published srv);
            ("frames_sent", Server.frames_sent srv);
            ("clients_dropped", Server.clients_dropped srv);
+           ("clients_evicted", Server.clients_evicted srv);
          ]);
+    Buffer.add_string buf
+      (Obs.Metrics.prometheus_gauges
+         ~metric:"trigview_subscribe_server_deadline_ms"
+         [ ("configured", Server.deadline_ms srv) ]);
     Buffer.add_string buf
       (Obs.Metrics.prometheus_gauges ~metric:"trigview_subscribe_server_clients"
          [ ("connected", Server.client_count srv) ]));

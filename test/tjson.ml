@@ -1,8 +1,8 @@
 (* A tiny JSON parser shared by the test executables (validation + value
    extraction) — minimal recursive descent, enough to reject anything a
-   real parser would reject.  Escapes are checked but not decoded: every
-   escape sequence collapses to the placeholder 'x', so extracted strings
-   are only compared when they contain no escapes. *)
+   real parser would reject.  Escapes decode to their real characters
+   (\uXXXX to UTF-8, surrogate pairs included), so extracted strings
+   compare against the original payloads. *)
 
 type json =
   | J_null
@@ -39,6 +39,40 @@ let parse_json (s : string) : json =
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
+    (* one \uXXXX unit (the backslash and 'u' already consumed) *)
+    let hex4 () =
+      let v = ref 0 in
+      for _ = 1 to 4 do
+        (match peek () with
+        | Some c when c >= '0' && c <= '9' ->
+          v := (!v * 16) + (Char.code c - Char.code '0')
+        | Some c when c >= 'a' && c <= 'f' ->
+          v := (!v * 16) + (Char.code c - Char.code 'a' + 10)
+        | Some c when c >= 'A' && c <= 'F' ->
+          v := (!v * 16) + (Char.code c - Char.code 'A' + 10)
+        | _ -> fail "bad \\u escape");
+        advance ()
+      done;
+      !v
+    in
+    let add_utf8 cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
     let rec go () =
       match peek () with
       | None -> fail "unterminated string"
@@ -46,19 +80,31 @@ let parse_json (s : string) : json =
       | Some '\\' ->
         advance ();
         (match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
-          Buffer.add_char buf 'x';
-          advance ()
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some '/' -> Buffer.add_char buf '/'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
         | Some 'u' ->
           advance ();
-          for _ = 1 to 4 do
-            match peek () with
-            | Some c
-              when (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
-                   || (c >= 'A' && c <= 'F') ->
-              advance ()
-            | _ -> fail "bad \\u escape"
-          done
+          let u = hex4 () in
+          if u >= 0xD800 && u <= 0xDBFF then begin
+            (* high surrogate: the low half must follow as \uXXXX *)
+            (match peek () with
+            | Some '\\' -> advance ()
+            | _ -> fail "lone high surrogate");
+            (match peek () with
+            | Some 'u' -> advance ()
+            | _ -> fail "lone high surrogate");
+            let lo = hex4 () in
+            if lo < 0xDC00 || lo > 0xDFFF then fail "bad low surrogate";
+            add_utf8 (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if u >= 0xDC00 && u <= 0xDFFF then fail "lone low surrogate"
+          else add_utf8 u
         | _ -> fail "bad escape");
         go ()
       | Some c when Char.code c < 0x20 -> fail "raw control char in string"
